@@ -1,0 +1,179 @@
+//! Ablations for DIALGA's design choices (DESIGN.md §6):
+//!
+//! 1. **switch** — the lightweight shuffle-based hardware-prefetcher
+//!    control (§4.2) vs MSR-style per-call toggling (privileged mode
+//!    switches, ~2.5 µs each) vs no control, under high concurrency.
+//! 2. **eq1** — the Eq. (1) bound on the software prefetch distance at
+//!    high thread counts vs an unbounded distance.
+//! 3. **distance** — hill-climbed prefetch distance vs a fixed-d sweep.
+
+use dialga::source::{DialgaSource, Variant};
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Table};
+use dialga_memsim::{Counters, MachineConfig, RowTask, TaskSource};
+use dialga_pipeline::cost::CostModel;
+use dialga_pipeline::isal::{IsalSource, Knobs};
+use dialga_pipeline::layout::StripeLayout;
+use dialga_pipeline::runner::run_source;
+
+/// Wraps a source, injecting MSR-style prefetcher toggles every
+/// `period` tasks (emulating per-encode-call toggling via msr-tools).
+struct MsrToggled {
+    inner: IsalSource,
+    period: u64,
+    count: Vec<u64>,
+}
+
+impl TaskSource for MsrToggled {
+    fn next_task(&mut self, tid: usize, now: f64, c: &Counters, task: &mut RowTask) -> bool {
+        if !self.inner.next_task(tid, now, c, task) {
+            return false;
+        }
+        let n = &mut self.count[tid];
+        // Off at the start of each period, back on at its midpoint —
+        // the "switch around each coding call" pattern of prior work.
+        if (*n).is_multiple_of(self.period) {
+            task.toggle_hw_prefetch = Some(false);
+        } else if *n % self.period == self.period / 2 {
+            task.toggle_hw_prefetch = Some(true);
+        }
+        *n += 1;
+        true
+    }
+    fn data_bytes(&self) -> u64 {
+        self.inner.data_bytes()
+    }
+}
+
+fn main() {
+    let args = Args::parse(1 << 20);
+    let cfg = MachineConfig::pm();
+    let cost = CostModel::default();
+    let (k, m, block, threads) = (28usize, 4usize, 1024u64, 16usize);
+    let layout = StripeLayout::sized_for(k, m, block, args.bytes_per_thread);
+
+    // --- 1. switching mechanism ---------------------------------------
+    // All three arms run DIALGA's high-pressure kernel (SW prefetch +
+    // 256 B expansion); they differ only in how the HW prefetcher is kept
+    // out of the way. MSR toggling pays a privileged mode switch per
+    // encode call; the shuffle mapping is free; leaving the prefetcher
+    // uncontrolled lets it pollute the read buffer.
+    let hp_knobs = Knobs {
+        sw_distance: Some(k as u32),
+        xpline_expand: true,
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        "ablation_switch",
+        &["mechanism", "throughput_gbs", "media_amp"],
+    );
+    {
+        let mut uncontrolled = IsalSource::new(layout, cost, hp_knobs, threads);
+        let r = run_source(&cfg, threads, &mut uncontrolled);
+        t.row(vec![
+            "none (HW PF uncontrolled)".into(),
+            gbs(r.throughput_gbs()),
+            format!("{:.2}", r.counters.media_read_amplification()),
+        ]);
+
+        // MSR arm: prefetcher held off for the whole call, but each call
+        // boundary costs two privileged toggles.
+        let steps_per_stripe = (layout.rows_per_block() / 4) * k as u64;
+        let mut msr = MsrToggled {
+            inner: IsalSource::new(layout, cost, hp_knobs, threads),
+            period: steps_per_stripe,
+            count: vec![0; threads],
+        };
+        let r = run_source(&cfg, threads, &mut msr);
+        t.row(vec![
+            "MSR toggle per call".into(),
+            gbs(r.throughput_gbs()),
+            format!("{:.2}", r.counters.media_read_amplification()),
+        ]);
+
+        let mut shuffled = IsalSource::new(
+            layout,
+            cost,
+            Knobs {
+                shuffle: true,
+                ..hp_knobs
+            },
+            threads,
+        );
+        let r = run_source(&cfg, threads, &mut shuffled);
+        t.row(vec![
+            "shuffle mapping (DIALGA)".into(),
+            gbs(r.throughput_gbs()),
+            format!("{:.2}", r.counters.media_read_amplification()),
+        ]);
+    }
+    t.finish(&cfg.digest(), args.csv);
+
+    // --- 2. Eq. (1) distance bound ------------------------------------
+    // At 14 threads the Eq. (1) budget is exhausted; a long prefetch
+    // distance multiplies the simultaneously-live XPLines per stream and
+    // thrashes the read buffer. (No expansion here — this isolates the
+    // distance's buffer footprint.)
+    let mut t = Table::new(
+        "ablation_eq1",
+        &["policy", "throughput_gbs", "media_amp", "buffer_evicted_unused"],
+    );
+    {
+        let threads = 14;
+        for (label, d) in [
+            ("Eq.1 floor (d=k)", k as u32),
+            ("5x over (d=5k)", 5 * k as u32),
+            ("13x over (d=13k)", 13 * k as u32),
+        ] {
+            let mut src = IsalSource::new(
+                layout,
+                cost,
+                Knobs {
+                    shuffle: true,
+                    sw_distance: Some(d),
+                    ..Default::default()
+                },
+                threads,
+            );
+            let r = run_source(&cfg, threads, &mut src);
+            t.row(vec![
+                label.into(),
+                gbs(r.throughput_gbs()),
+                format!("{:.2}", r.counters.media_read_amplification()),
+                r.counters.buffer_evicted_unused.to_string(),
+            ]);
+        }
+    }
+    t.finish(&cfg.digest(), args.csv);
+
+    // --- 3. hill-climbed vs fixed distance (single thread) -------------
+    let mut t = Table::new("ablation_distance", &["d", "throughput_gbs"]);
+    {
+        let layout1 = StripeLayout::sized_for(k, m, block, args.bytes_per_thread * 4);
+        let mut best_fixed = 0.0f64;
+        for d in [4u32, 8, 16, 28, 56, 112, 224] {
+            let mut src = IsalSource::new(
+                layout1,
+                cost,
+                Knobs {
+                    sw_distance: Some(d),
+                    ..Default::default()
+                },
+                1,
+            );
+            let r = run_source(&cfg, 1, &mut src);
+            best_fixed = best_fixed.max(r.throughput_gbs());
+            t.row(vec![format!("fixed {d}"), gbs(r.throughput_gbs())]);
+        }
+        let mut adaptive = DialgaSource::with_variant(layout1, cost, 1, &cfg, Variant::Adaptive);
+        adaptive.set_sample_interval(50_000.0);
+        let r = run_source(&cfg, 1, &mut adaptive);
+        t.row(vec!["hill-climbed (DIALGA)".into(), gbs(r.throughput_gbs())]);
+        let ratio = r.throughput_gbs() / best_fixed;
+        t.row(vec![
+            "adaptive / best-fixed".into(),
+            format!("{:.2}x", ratio),
+        ]);
+    }
+    t.finish(&cfg.digest(), args.csv);
+}

@@ -1,0 +1,25 @@
+//! Run every figure binary's logic in sequence (invoking the compiled
+//! binaries), writing CSVs into `results/`. Used to produce the
+//! EXPERIMENTS.md numbers in one go.
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "fig03", "fig04", "fig05", "fig06", "fig07", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "generality", "ablations", "update_path", "repair_path",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    for fig in figs {
+        let path = dir.join(fig);
+        let status = Command::new(&path)
+            .arg("--csv")
+            .args(&extra)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", path.display()));
+        assert!(status.success(), "{fig} failed");
+    }
+    eprintln!("all figures done; CSVs in ./results/");
+}

@@ -1,0 +1,35 @@
+//! Figure 3: RS(12,8) encoding throughput and demand-miss stall cycles with
+//! different load sources (DRAM vs PM) and the hardware prefetcher on/off.
+//!
+//! Paper shape: DRAM 195–272 % above PM; the prefetcher buys DRAM ~109 %
+//! but PM only ~50 %. (Block size: the §3.2 default of 4 KiB; see
+//! EXPERIMENTS.md for the "1 KB stripes" reading.)
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(8 << 20);
+    let mut t = Table::new(
+        "fig03",
+        &["source", "prefetcher", "throughput_gbs", "stall_cyc_per_load"],
+    );
+    let base = MachineConfig::pm();
+    for (label, dram) in [("PM", false), ("DRAM", true)] {
+        for (pf_label, sys) in [("on", System::Isal), ("off", System::IsalNoPf)] {
+            let mut spec = Spec::new(12, 8, 4096, 1, args.bytes_per_thread);
+            if dram {
+                spec.cfg = MachineConfig::dram();
+            }
+            let r = dialga_bench::systems::encode_report(sys, &spec).unwrap();
+            t.row(vec![
+                label.into(),
+                pf_label.into(),
+                gbs(r.throughput_gbs()),
+                format!("{:.1}", r.stall_cycles_per_load(spec.cfg.freq_ghz)),
+            ]);
+        }
+    }
+    t.finish(&base.digest(), args.csv);
+}

@@ -1,0 +1,39 @@
+//! Figure 4: RS(12,8) encoding throughput vs CPU frequency, on DRAM and PM,
+//! under AVX512 and AVX256.
+//!
+//! Paper shape: on PM, gains flatten beyond ~2 GHz (cycles are spent
+//! waiting on memory); DRAM keeps improving; the effect is stronger under
+//! AVX256.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+use dialga_pipeline::cost::Simd;
+
+fn main() {
+    let args = Args::parse(8 << 20);
+    let mut t = Table::new(
+        "fig04",
+        &["freq_ghz", "pm_avx512", "pm_avx256", "dram_avx512", "dram_avx256"],
+    );
+    for freq10 in [10u32, 14, 18, 22, 26, 30, 33] {
+        let freq = freq10 as f64 / 10.0;
+        let mut row = vec![format!("{freq:.1}")];
+        for dram in [false, true] {
+            for simd in [Simd::Avx512, Simd::Avx256] {
+                let mut spec = Spec::new(12, 8, 4096, 1, args.bytes_per_thread);
+                spec.cfg = if dram {
+                    MachineConfig::dram()
+                } else {
+                    MachineConfig::pm()
+                };
+                spec.cfg.freq_ghz = freq;
+                spec.simd = simd;
+                let r = dialga_bench::systems::encode_report(System::Isal, &spec).unwrap();
+                row.push(gbs(r.throughput_gbs()));
+            }
+        }
+        t.row(row);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

@@ -1,0 +1,31 @@
+//! Figure 5: impact of stripe width k on PM encoding (m = 4, 4 KiB blocks):
+//! throughput, useless-prefetch ratio, and L2 prefetch ratio.
+//!
+//! Paper shape: throughput climbs with k while the prefetch window grows,
+//! peaks near the 32-stream table limit, then collapses for k > 32 where
+//! the stream prefetcher loses confidence and shuts off (prefetch ratio
+//! drops to ~0).
+
+use dialga_bench::table::{gbs, pct};
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(8 << 20);
+    let mut t = Table::new(
+        "fig05",
+        &["k", "throughput_gbs", "useless_pf_ratio", "l2_pf_ratio", "stream_evictions"],
+    );
+    for k in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56, 64] {
+        let spec = Spec::new(k, 4, 4096, 1, args.bytes_per_thread);
+        let r = dialga_bench::systems::encode_report(System::Isal, &spec).unwrap();
+        t.row(vec![
+            k.to_string(),
+            gbs(r.throughput_gbs()),
+            pct(r.counters.useless_prefetch_ratio()),
+            pct(r.counters.prefetch_ratio()),
+            r.counters.stream_evictions.to_string(),
+        ]);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

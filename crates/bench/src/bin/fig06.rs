@@ -1,0 +1,31 @@
+//! Figure 6: RS(28,24) encoding throughput and PM media read amplification
+//! across block sizes, hardware prefetcher on vs off.
+//!
+//! Paper shape: no prefetcher effect (and no amplification) at ≤512 B;
+//! speedup plus 23–37 % amplification at 1–3 KiB; best case at 4 KiB with
+//! no amplification (page-clamped prefetching); mixed behaviour at 5 KiB.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(8 << 20);
+    let mut t = Table::new(
+        "fig06",
+        &["block", "pf_on_gbs", "pf_off_gbs", "media_amp_on", "media_amp_off"],
+    );
+    for block in [256u64, 512, 1024, 2048, 3072, 4096, 5120] {
+        let spec = Spec::new(28, 24, block, 1, args.bytes_per_thread);
+        let on = dialga_bench::systems::encode_report(System::Isal, &spec).unwrap();
+        let off = dialga_bench::systems::encode_report(System::IsalNoPf, &spec).unwrap();
+        t.row(vec![
+            block.to_string(),
+            gbs(on.throughput_gbs()),
+            gbs(off.throughput_gbs()),
+            format!("{:.2}", on.counters.media_read_amplification()),
+            format!("{:.2}", off.counters.media_read_amplification()),
+        ]);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

@@ -1,0 +1,36 @@
+//! Figure 7: multi-thread scalability of RS(28,24) encoding on PM, hardware
+//! prefetcher on vs off.
+//!
+//! Paper shape: with the prefetcher on, throughput plateaus (then declines)
+//! around 8–10 threads as aggressive prefetching thrashes the PM read
+//! buffer; with it off, scaling continues further at a lower single-thread
+//! level.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(2 << 20);
+    let mut t = Table::new(
+        "fig07",
+        &["threads", "pf_on_gbs", "pf_off_gbs", "amp_on", "buffer_hit_on"],
+    );
+    for threads in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18] {
+        let spec = Spec::new(28, 24, 4096, threads, args.bytes_per_thread);
+        let on = dialga_bench::systems::encode_report(System::Isal, &spec).unwrap();
+        let off = dialga_bench::systems::encode_report(System::IsalNoPf, &spec).unwrap();
+        let c = &on.counters;
+        t.row(vec![
+            threads.to_string(),
+            gbs(on.throughput_gbs()),
+            gbs(off.throughput_gbs()),
+            format!("{:.2}", c.media_read_amplification()),
+            format!(
+                "{:.0}%",
+                100.0 * c.buffer_hits as f64 / (c.buffer_hits + c.xpline_fetches).max(1) as f64
+            ),
+        ]);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

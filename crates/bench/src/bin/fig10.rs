@@ -1,0 +1,38 @@
+//! Figure 10: encoding throughput vs number of data blocks k (m = 4, 1 KiB
+//! blocks) across the five systems.
+//!
+//! Paper shape: DIALGA best everywhere (+54–102 % narrow, +194–199 % over
+//! ISA-L on wide stripes, only ~+22 % at the k = 32 sweet spot); ISA-L
+//! collapses past k = 32; decompose (ISA-L-D) recovers part of it and
+//! beats Cerasure; Zerasure has no wide-stripe results.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let systems = [
+        System::Zerasure,
+        System::Cerasure,
+        System::Isal,
+        System::IsalD,
+        System::Dialga,
+    ];
+    let mut t = Table::new(
+        "fig10",
+        &["k", "Zerasure", "Cerasure", "ISA-L", "ISA-L-D", "DIALGA"],
+    );
+    for k in [4usize, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64] {
+        let spec = Spec::new(k, 4, 1024, 1, args.bytes_per_thread);
+        let mut row = vec![k.to_string()];
+        for sys in systems {
+            row.push(match dialga_bench::systems::encode_report(sys, &spec) {
+                Some(r) => gbs(r.throughput_gbs()),
+                None => "-".into(),
+            });
+        }
+        t.row(row);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

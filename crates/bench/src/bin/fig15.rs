@@ -1,0 +1,37 @@
+//! Figure 15: encoding throughput under AVX512 vs AVX256 (1 KiB blocks).
+//!
+//! Paper shape: dropping to AVX256 costs ISA-L only 12–24 % (it is
+//! memory-latency-bound) but DIALGA 25–31 % (its prefetching exposes the
+//! compute); DIALGA still leads ISA-L/Cerasure by 37–104 % under AVX256.
+//! Zerasure/Cerasure are AVX256-only, so their columns repeat.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+use dialga_pipeline::cost::Simd;
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let mut t = Table::new(
+        "fig15",
+        &["code", "simd", "Cerasure", "ISA-L", "DIALGA"],
+    );
+    for (k, m) in [(12usize, 8usize), (28, 24)] {
+        for simd in [Simd::Avx512, Simd::Avx256] {
+            let mut spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
+            spec.simd = simd;
+            let mut row = vec![
+                format!("RS({},{})", k + m, k),
+                format!("{simd:?}"),
+            ];
+            for sys in [System::Cerasure, System::Isal, System::Dialga] {
+                row.push(match dialga_bench::systems::encode_report(sys, &spec) {
+                    Some(r) => gbs(r.throughput_gbs()),
+                    None => "-".into(),
+                });
+            }
+            t.row(row);
+        }
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

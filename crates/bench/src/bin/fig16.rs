@@ -1,0 +1,33 @@
+//! Figure 16: LRC(k, m, l) encoding throughput (1 KiB blocks).
+//!
+//! Paper shape: every system loses throughput relative to RS (the extra
+//! local parities add computation and stores); DIALGA gains 24–33 % on
+//! non-wide stripes and 35–38 % on wide ones — smaller margins than RS
+//! because the store share grows.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let mut t = Table::new(
+        "fig16",
+        &["lrc", "ISA-L", "ISA-L-noPF", "DIALGA", "dialga_gain"],
+    );
+    for (k, m, l) in [(12usize, 4usize, 2usize), (24, 4, 4), (48, 4, 4)] {
+        let spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
+        let isal = dialga_bench::systems::lrc_report(System::Isal, &spec, l).unwrap();
+        let nopf = dialga_bench::systems::lrc_report(System::IsalNoPf, &spec, l).unwrap();
+        let dialga = dialga_bench::systems::lrc_report(System::Dialga, &spec, l).unwrap();
+        let best = isal.throughput_gbs().max(nopf.throughput_gbs());
+        t.row(vec![
+            format!("LRC({k},{m},{l})"),
+            gbs(isal.throughput_gbs()),
+            gbs(nopf.throughput_gbs()),
+            gbs(dialga.throughput_gbs()),
+            format!("{:+.1}%", 100.0 * (dialga.throughput_gbs() / best - 1.0)),
+        ]);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

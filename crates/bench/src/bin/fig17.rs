@@ -1,0 +1,30 @@
+//! Figure 17: CPU cache-miss stall cycles per load during encoding (1 KiB
+//! blocks), normalized by load count.
+//!
+//! Paper shape: at RS(12,8) ISA-L stalls ~2x DIALGA (mirroring the ~2x
+//! throughput gap); at RS(28,24) the prefetcher is already efficient so
+//! the gap narrows; at RS(52,48) DIALGA cuts ~35 % of the decompose
+//! strategy's cycles (no parity reloading, better prefetch).
+
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let mut t = Table::new(
+        "fig17",
+        &["code", "ISA-L", "ISA-L-D", "DIALGA"],
+    );
+    for (k, m) in [(12usize, 8usize), (28, 24), (48, 4)] {
+        let spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
+        let mut row = vec![format!("RS({},{})", k + m, k)];
+        for sys in [System::Isal, System::IsalD, System::Dialga] {
+            row.push(match dialga_bench::systems::encode_report(sys, &spec) {
+                Some(r) => format!("{:.1}", r.stall_cycles_per_load(spec.cfg.freq_ghz)),
+                None => "-".into(),
+            });
+        }
+        t.row(row);
+    }
+    t.finish(&MachineConfig::pm().digest(), args.csv);
+}

@@ -1,0 +1,41 @@
+//! §6 generality: DIALGA's mechanisms target PM's *general* shape — a
+//! buffered, high-latency, large-granularity tier — so they also apply to
+//! CMM-H-class CXL devices (DRAM-buffered flash). This binary compares
+//! ISA-L vs DIALGA on the Optane-like testbed and on the CMM-H-like
+//! config, plus the 3rd-gen-Xeon (64-stream prefetcher) variant.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Spec, System, Table};
+use dialga_memsim::MachineConfig;
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let mut t = Table::new(
+        "generality",
+        &["device", "code", "ISA-L", "DIALGA", "dialga_gain"],
+    );
+    let devices: [(&str, MachineConfig); 3] = [
+        ("Optane", MachineConfig::pm()),
+        ("CMM-H", MachineConfig::cmm_h()),
+        ("Optane-gen3", MachineConfig::gen3()),
+    ];
+    for (name, cfg) in devices {
+        for (k, m) in [(12usize, 4usize), (48, 4)] {
+            let mut spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
+            spec.cfg = cfg.clone();
+            let isal = dialga_bench::systems::encode_report(System::Isal, &spec).unwrap();
+            let dialga = dialga_bench::systems::encode_report(System::Dialga, &spec).unwrap();
+            t.row(vec![
+                name.into(),
+                format!("RS({},{})", k + m, k),
+                gbs(isal.throughput_gbs()),
+                gbs(dialga.throughput_gbs()),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (dialga.throughput_gbs() / isal.throughput_gbs() - 1.0)
+                ),
+            ]);
+        }
+    }
+    t.finish("multiple device configs (see rows)", args.csv);
+}

@@ -1,0 +1,51 @@
+//! Extension experiment: degraded reads (single-block repair latency
+//! path). LRC's selling point is repairing one block from `k/l` local reads
+//! instead of `k`; DIALGA's prefetch scheduling applies to both. This
+//! regenerates repair throughput for RS full decode vs LRC local repair,
+//! plain vs DIALGA-scheduled.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Table};
+use dialga_memsim::MachineConfig;
+use dialga_pipeline::cost::CostModel;
+use dialga_pipeline::isal::{IsalSource, Knobs};
+use dialga_pipeline::layout::StripeLayout;
+use dialga_pipeline::runner::run_source;
+
+/// Repair one block from `reads` sources (the decode load pattern with a
+/// single output stream).
+fn repair(cfg: &MachineConfig, reads: usize, block: u64, bytes: u64, d: Option<u32>) -> f64 {
+    let layout = StripeLayout::sized_for(reads, 1, block, bytes);
+    let knobs = Knobs {
+        sw_distance: d,
+        bf_first_distance: d.map(|x| 4 * x),
+        ..Default::default()
+    };
+    let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
+    // Throughput here counts survivor bytes read; normalize instead to
+    // repaired bytes = bytes / reads.
+    let r = run_source(cfg, 1, &mut src);
+    r.data_bytes as f64 / reads as f64 / r.elapsed_ns
+}
+
+fn main() {
+    let args = Args::parse(4 << 20);
+    let cfg = MachineConfig::pm();
+    let mut t = Table::new(
+        "repair_path",
+        &["scheme", "reads", "plain_gbs", "dialga_gbs", "gain"],
+    );
+    // RS(16,12) full repair vs LRC(12,4,2) local repair (6+1 reads) at 1 KiB.
+    for (label, reads) in [("RS full decode", 12usize), ("LRC local repair", 7)] {
+        let plain = repair(&cfg, reads, 1024, args.bytes_per_thread, None);
+        let dialga = repair(&cfg, reads, 1024, args.bytes_per_thread, Some(reads as u32));
+        t.row(vec![
+            label.into(),
+            reads.to_string(),
+            gbs(plain),
+            gbs(dialga),
+            format!("{:+.1}%", 100.0 * (dialga / plain - 1.0)),
+        ]);
+    }
+    t.finish(&cfg.digest(), args.csv);
+}

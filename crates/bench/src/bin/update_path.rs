@@ -1,0 +1,42 @@
+//! Extension experiment: the parity-*update* write path (one block of a
+//! stripe changes; all parities are delta-patched in place). This is the
+//! workload the TVARAK/Vilamb/CodePM line of work (§7) optimizes with
+//! hardware or crash-consistency tricks; here we show DIALGA's load-side
+//! scheduling also transfers to it — the update reads m+1 short streams,
+//! another bad case for the hardware prefetcher.
+
+use dialga_bench::table::gbs;
+use dialga_bench::{Args, Table};
+use dialga_memsim::MachineConfig;
+use dialga_pipeline::cost::CostModel;
+use dialga_pipeline::layout::StripeLayout;
+use dialga_pipeline::runner::run_source;
+use dialga_pipeline::update_pat::UpdateSource;
+
+fn main() {
+    let args = Args::parse(2 << 20);
+    let cfg = MachineConfig::pm();
+    let mut t = Table::new(
+        "update_path",
+        &["k", "m", "plain_gbs", "dialga_sw_gbs", "gain"],
+    );
+    for (k, m) in [(12usize, 2usize), (12, 4), (28, 4), (48, 4)] {
+        let layout = StripeLayout::sized_for(k, m, 1024, args.bytes_per_thread);
+        let mut plain = UpdateSource::new(layout, CostModel::default(), None, 1);
+        let r_plain = run_source(&cfg, 1, &mut plain);
+        let d = 2 * (m as u32 + 1);
+        let mut dialga = UpdateSource::new(layout, CostModel::default(), Some(d), 1);
+        let r_dialga = run_source(&cfg, 1, &mut dialga);
+        t.row(vec![
+            k.to_string(),
+            m.to_string(),
+            gbs(r_plain.throughput_gbs()),
+            gbs(r_dialga.throughput_gbs()),
+            format!(
+                "{:+.1}%",
+                100.0 * (r_dialga.throughput_gbs() / r_plain.throughput_gbs() - 1.0)
+            ),
+        ]);
+    }
+    t.finish(&cfg.digest(), args.csv);
+}

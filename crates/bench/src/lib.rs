@@ -1,0 +1,49 @@
+#![deny(missing_docs)]
+//! Shared machinery for the figure-regeneration binaries.
+//!
+//! Every figure of the paper's evaluation (Figs. 3–19) has a binary in
+//! `src/bin/` that prints the figure's series as an aligned table and,
+//! with `--csv`, writes `results/figNN.csv`. This library provides the
+//! systems-under-test constructors ([`systems`]) and the output helpers
+//! ([`table`]).
+
+pub mod systems;
+pub mod table;
+
+pub use systems::{Spec, System};
+pub use table::Table;
+
+/// Parse common CLI flags: `--bytes <n>` scales the per-thread footprint,
+/// `--csv` writes results/<name>.csv alongside the printed table.
+pub struct Args {
+    /// Per-thread data footprint in bytes.
+    pub bytes_per_thread: u64,
+    /// Write CSV output.
+    pub csv: bool,
+}
+
+impl Args {
+    /// Parse from `std::env::args`, with a figure-appropriate default
+    /// footprint.
+    pub fn parse(default_bytes: u64) -> Args {
+        let mut args = Args {
+            bytes_per_thread: default_bytes,
+            csv: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--bytes" => {
+                    args.bytes_per_thread = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--bytes needs a number");
+                }
+                "--csv" => args.csv = true,
+                "--quick" => args.bytes_per_thread = args.bytes_per_thread.min(1 << 20),
+                other => panic!("unknown flag {other} (expected --bytes N | --csv | --quick)"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,112 @@
+//! Aligned-table and CSV output for the figure binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned results table that can also serialize to CSV.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table for figure `name` with the given column headers.
+    pub fn new(name: &str, header: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print the table, preceded by the figure name and a config line.
+    pub fn print(&self, config_digest: &str) {
+        println!("== {} ==", self.name);
+        println!("config: {config_digest}");
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        println!("{}", fmt_row(&self.header));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        println!();
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(dir.join(format!("{}.csv", self.name)), out)
+    }
+
+    /// Finish: print and optionally write CSV.
+    pub fn finish(&self, config_digest: &str, csv: bool) {
+        self.print(config_digest);
+        if csv {
+            if let Err(e) = self.write_csv() {
+                eprintln!("csv write failed: {e}");
+            }
+        }
+    }
+
+    /// Access rows (for tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+/// Format a GB/s value.
+pub fn gbs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("figtest", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows().len(), 1);
+        t.print("cfg");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn column_mismatch_panics() {
+        let mut t = Table::new("figtest", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Hill climbing for the software prefetch distance (§4.1).
+//!
+//! The paper: "DIALGA employs hill climbing to determine the software
+//! prefetch distance d. It initiates this search upon startup or when the
+//! encoding performance fluctuates by more than 10 %. The search begins by
+//! setting d = k [...] It then iteratively explores a neighborhood of size
+//! 16 around the current distance to find a local optimum."
+//!
+//! The climber is sample-driven: the coordinator feeds it one objective
+//! measurement (mean sub-task latency — lower is better) per sampling
+//! interval, and it answers with the next candidate distance to try.
+
+/// Search neighborhood radius (paper: 16).
+pub const NEIGHBORHOOD: i64 = 16;
+
+/// Probe offsets explored around the current best, coarse to fine.
+const OFFSETS: [i64; 8] = [-16, -8, -4, -2, 2, 4, 8, 16];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Measuring the current best distance to establish the reference.
+    Reference,
+    /// Probing `OFFSETS[idx]`.
+    Probing { idx: usize },
+    /// Search converged; watching for >10 % fluctuation.
+    Settled,
+}
+
+/// Sample-driven hill climber over prefetch distances.
+#[derive(Debug, Clone)]
+pub struct HillClimber {
+    best: u32,
+    best_score: f64,
+    min: u32,
+    max: u32,
+    state: State,
+    /// Set when a probe round improved, to re-probe around the new best.
+    improved: bool,
+}
+
+impl HillClimber {
+    /// Start a search at `init` (the paper starts at d = k), clamped to
+    /// `[min, max]` (`max` comes from the Eq. (1) bound).
+    pub fn new(init: u32, min: u32, max: u32) -> Self {
+        assert!(min <= max, "empty distance range");
+        HillClimber {
+            best: init.clamp(min, max),
+            best_score: f64::INFINITY,
+            min,
+            max,
+            state: State::Reference,
+            improved: false,
+        }
+    }
+
+    /// The distance the encoder should use right now (the candidate under
+    /// measurement, or the settled optimum).
+    pub fn current(&self) -> u32 {
+        match self.state {
+            State::Reference | State::Settled => self.best,
+            State::Probing { idx } => self.candidate(OFFSETS[idx]),
+        }
+    }
+
+    /// Whether the search has converged.
+    pub fn settled(&self) -> bool {
+        self.state == State::Settled
+    }
+
+    fn candidate(&self, offset: i64) -> u32 {
+        (self.best as i64 + offset).clamp(self.min as i64, self.max as i64) as u32
+    }
+
+    /// Feed the objective (mean sub-task latency, lower = better) measured
+    /// while [`Self::current`] was active. Returns the next distance.
+    pub fn observe(&mut self, score: f64) -> u32 {
+        match self.state {
+            State::Reference => {
+                self.best_score = score;
+                self.improved = false;
+                self.state = State::Probing { idx: 0 };
+            }
+            State::Probing { idx } => {
+                let cand = self.candidate(OFFSETS[idx]);
+                if cand != self.best && score < self.best_score {
+                    self.best = cand;
+                    self.best_score = score;
+                    self.improved = true;
+                }
+                if idx + 1 < OFFSETS.len() {
+                    self.state = State::Probing { idx: idx + 1 };
+                } else if self.improved {
+                    // Re-probe around the improved optimum.
+                    self.improved = false;
+                    self.state = State::Probing { idx: 0 };
+                } else {
+                    self.state = State::Settled;
+                }
+            }
+            State::Settled => {
+                // Restart when performance drifts >10 % from the optimum's
+                // reference score (either direction — the paper re-searches
+                // on fluctuation, not just regression).
+                let drift = (score - self.best_score).abs() / self.best_score.max(1e-9);
+                if drift > 0.10 {
+                    self.state = State::Reference;
+                }
+            }
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Convex objective with optimum at 40: the climber must find it.
+    fn objective(d: u32) -> f64 {
+        let x = d as f64 - 40.0;
+        100.0 + x * x
+    }
+
+    #[test]
+    fn converges_to_optimum_of_convex_objective() {
+        let mut hc = HillClimber::new(12, 1, 128);
+        for _ in 0..200 {
+            if hc.settled() {
+                break;
+            }
+            let d = hc.current();
+            hc.observe(objective(d));
+        }
+        assert!(hc.settled(), "did not settle");
+        assert!(
+            (hc.current() as i64 - 40).abs() <= 2,
+            "settled at {} instead of ~40",
+            hc.current()
+        );
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut hc = HillClimber::new(100, 4, 24);
+        assert!(hc.current() <= 24);
+        for _ in 0..100 {
+            if hc.settled() {
+                break;
+            }
+            let d = hc.current();
+            assert!((4..=24).contains(&d), "candidate {d} out of bounds");
+            hc.observe(objective(d));
+        }
+        // Optimum 40 is outside the range: must settle at the top bound.
+        assert_eq!(hc.current(), 24);
+    }
+
+    #[test]
+    fn restarts_on_fluctuation() {
+        let mut hc = HillClimber::new(40, 1, 128);
+        for _ in 0..100 {
+            if hc.settled() {
+                break;
+            }
+            let d = hc.current();
+            hc.observe(objective(d));
+        }
+        assert!(hc.settled());
+        // Stable scores keep it settled.
+        hc.observe(hc.best_score * 1.05);
+        assert!(hc.settled());
+        // A >10 % swing restarts the search.
+        hc.observe(hc.best_score * 1.5);
+        assert!(!hc.settled());
+    }
+
+    #[test]
+    fn stays_within_neighborhood_per_round() {
+        let hc = HillClimber::new(50, 1, 128);
+        for off in OFFSETS {
+            assert!(off.abs() <= NEIGHBORHOOD);
+        }
+        assert_eq!(hc.current(), 50);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the scheduler: the hill climber, the Eq. (1)
+//! bound, the prefetch-pointer construction and the coordinator must be
+//! robust to arbitrary inputs.
+
+use dialga::coordinator::{eq1_max_distance, Coordinator};
+use dialga::hillclimb::HillClimber;
+use dialga::operator::build_prefetch_ptrs;
+use dialga_memsim::{Counters, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The climber's candidate never leaves its bounds, for any objective.
+    #[test]
+    fn hillclimber_stays_in_bounds(
+        init in 1u32..500,
+        min in 1u32..100,
+        span in 0u32..400,
+        scores in proptest::collection::vec(0.0f64..1e6, 1..120),
+    ) {
+        let max = min + span;
+        let mut hc = HillClimber::new(init, min, max);
+        for s in scores {
+            let d = hc.current();
+            prop_assert!((min..=max).contains(&d), "candidate {} out of [{}, {}]", d, min, max);
+            hc.observe(s);
+        }
+    }
+
+    /// On a deterministic objective the climber settles in bounded time,
+    /// at a point no worse than its start.
+    #[test]
+    fn hillclimber_settles_and_never_regresses(
+        init in 1u32..256,
+        opt in 1u32..256,
+    ) {
+        let f = |d: u32| {
+            let x = d as f64 - opt as f64;
+            10.0 + x * x
+        };
+        let mut hc = HillClimber::new(init, 1, 256);
+        let start_score = f(init);
+        for _ in 0..400 {
+            if hc.settled() {
+                break;
+            }
+            let d = hc.current();
+            hc.observe(f(d));
+        }
+        prop_assert!(hc.settled(), "no convergence from {} toward {}", init, opt);
+        prop_assert!(f(hc.current()) <= start_score + 1e-9);
+    }
+
+    /// Eq. (1): monotone non-increasing in threads, k, and unit size; never
+    /// below its floor (k); always a sane value.
+    #[test]
+    fn eq1_bound_monotone(
+        threads in 1usize..32,
+        k in 1usize..128,
+        buffer_kib in 1u64..1024,
+        unit in prop_oneof![Just(256u64), Just(512), Just(1024)],
+    ) {
+        let buffer = buffer_kib * 1024;
+        let d = eq1_max_distance(threads, k, buffer, unit);
+        prop_assert!(d >= k.min(4096) as u32);
+        prop_assert!(d <= 4096);
+        let d_more_threads = eq1_max_distance(threads + 1, k, buffer, unit);
+        prop_assert!(d_more_threads <= d);
+        let d_bigger_unit = eq1_max_distance(threads, k, buffer, unit * 2);
+        prop_assert!(d_bigger_unit <= d);
+    }
+
+    /// Prefetch-pointer coverage: over a whole stripe, every step except
+    /// the d-length warm-up is targeted exactly once, in bounds, for any
+    /// (k, rows, d, shuffle).
+    #[test]
+    fn prefetch_ptrs_cover_exactly_once(
+        k in 1usize..32,
+        rows_pow in 0u32..7, // rows = 2^pow (1..64)
+        d in 1u32..300,
+        shuffled in any::<bool>(),
+    ) {
+        let rows = 1u64 << rows_pow;
+        let total = rows * k as u64;
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..rows {
+            for p in build_prefetch_ptrs(row, k, rows, d, shuffled).into_iter().flatten() {
+                prop_assert!(p.block < k);
+                prop_assert!(p.row < rows);
+                prop_assert!(seen.insert((p.block, p.row)), "duplicate {:?}", p);
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, total.saturating_sub(d as u64));
+    }
+
+    /// The coordinator never panics and never violates the Eq. (1) bound
+    /// for arbitrary counter streams.
+    #[test]
+    fn coordinator_robust_to_arbitrary_counters(
+        k in 1usize..64,
+        m in 1usize..8,
+        threads in 1usize..20,
+        steps in proptest::collection::vec((1u64..10_000, 0.0f64..1e7, 0u64..5_000), 1..40),
+    ) {
+        let cfg = MachineConfig::pm();
+        let mut coord = Coordinator::new(k, m, 1024, threads, &cfg);
+        coord.set_sample_interval(100.0);
+        let mut ctr = Counters::default();
+        let mut now = 0.0;
+        for (loads, stall, useless) in steps {
+            ctr.loads += loads;
+            ctr.demand_stall_ns += stall;
+            ctr.useless_prefetches += useless;
+            ctr.hw_prefetches += useless + 1;
+            now += 150.0;
+            coord.on_tick(now, &ctr);
+            let p = coord.policy();
+            if let Some(d) = p.knobs.sw_distance {
+                prop_assert!(d <= coord.d_max(), "d {} > bound {}", d, coord.d_max());
+            }
+            // BF split and shuffle are mutually exclusive by construction.
+            if p.knobs.shuffle {
+                prop_assert!(p.knobs.bf_first_distance.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared across the erasure-coding crate.
+
+use std::fmt;
+
+/// Errors produced by code construction, encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// Invalid code geometry.
+    InvalidParams {
+        /// Requested data-block count.
+        k: usize,
+        /// Requested parity-block count.
+        m: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Block buffers have inconsistent or unusable lengths.
+    BlockLength {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// Wrong number of blocks supplied to an operation.
+    BlockCount {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// More erasures than the code can repair.
+    TooManyErasures {
+        /// Number of lost blocks.
+        lost: usize,
+        /// Fault tolerance of the code.
+        tolerance: usize,
+    },
+    /// The decode matrix was singular (should not happen for MDS
+    /// constructions; surfaced rather than panicking).
+    SingularMatrix,
+    /// LRC group geometry error.
+    InvalidGroups {
+        /// Requested group count.
+        l: usize,
+        /// Data-block count it must divide.
+        k: usize,
+    },
+}
+
+impl fmt::Display for EcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcError::InvalidParams { k, m, reason } => {
+                write!(f, "invalid code params k={k} m={m}: {reason}")
+            }
+            EcError::BlockLength { expected, got } => {
+                write!(f, "block length mismatch: expected {expected}, got {got}")
+            }
+            EcError::BlockCount { expected, got } => {
+                write!(f, "block count mismatch: expected {expected}, got {got}")
+            }
+            EcError::TooManyErasures { lost, tolerance } => {
+                write!(f, "{lost} erasures exceed fault tolerance {tolerance}")
+            }
+            EcError::SingularMatrix => write!(f, "singular decode matrix"),
+            EcError::InvalidGroups { l, k } => {
+                write!(f, "invalid LRC groups: l={l} must divide k={k} and be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EcError {}

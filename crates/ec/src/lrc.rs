@@ -1,0 +1,305 @@
+//! Locally Repairable Codes, Azure-style LRC(k, m, l) (§4.1 "Other Coding
+//! Tasks", Fig. 16).
+//!
+//! The k data blocks are split into `l` equal groups; each group gets one
+//! local XOR parity, and the whole stripe gets `m` global RS parities.
+//! Single failures inside a group repair by reading only `k/l` blocks;
+//! bigger failures fall back to global decoding. Encoding still reads all k
+//! data blocks (the paper's point: the load bottleneck is the same as RS),
+//! but stores `m + l` parity blocks.
+
+use crate::{CodeParams, EcError, ReedSolomon};
+use dialga_gf::slice::xor_slice;
+
+/// An LRC(k, m, l) code: `l` local XOR parities over equal groups plus `m`
+/// global Reed–Solomon parities.
+///
+/// # Examples
+///
+/// ```
+/// use dialga_ec::Lrc;
+///
+/// let lrc = Lrc::new(6, 2, 2).unwrap(); // two groups of 3
+/// let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 32]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+/// let parity = lrc.encode_vec(&refs).unwrap();
+///
+/// // Single failure in group 0: local repair reads only 2 peers + 1 parity.
+/// let peers: Vec<&[u8]> = vec![refs[0], refs[2]];
+/// let repaired = lrc.repair_local(1, &peers, &parity[2]).unwrap();
+/// assert_eq!(repaired, data[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lrc {
+    global: ReedSolomon,
+    l: usize,
+}
+
+impl Lrc {
+    /// Build LRC(k, m, l). `l` must divide `k` evenly.
+    pub fn new(k: usize, m: usize, l: usize) -> Result<Self, EcError> {
+        if l == 0 || !k.is_multiple_of(l) {
+            return Err(EcError::InvalidGroups { l, k });
+        }
+        Ok(Lrc {
+            global: ReedSolomon::new(k, m)?,
+            l,
+        })
+    }
+
+    /// Global-code geometry (k data, m global parities).
+    pub fn params(&self) -> CodeParams {
+        self.global.params()
+    }
+
+    /// Number of local groups.
+    pub fn groups(&self) -> usize {
+        self.l
+    }
+
+    /// Blocks per local group.
+    pub fn group_size(&self) -> usize {
+        self.global.params().k / self.l
+    }
+
+    /// Total parity blocks produced per stripe (m global + l local).
+    pub fn parity_count(&self) -> usize {
+        self.global.params().m + self.l
+    }
+
+    /// The inner global RS code.
+    pub fn global_code(&self) -> &ReedSolomon {
+        &self.global
+    }
+
+    /// Encode: returns `m` global parities followed by `l` local parities.
+    pub fn encode_vec(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        let k = self.global.params().k;
+        if data.len() != k {
+            return Err(EcError::BlockCount {
+                expected: k,
+                got: data.len(),
+            });
+        }
+        let mut out = self.global.encode_vec(data)?;
+        let len = data[0].len();
+        let gs = self.group_size();
+        for g in 0..self.l {
+            let mut local = vec![0u8; len];
+            for d in &data[g * gs..(g + 1) * gs] {
+                xor_slice(d, &mut local);
+            }
+            out.push(local);
+        }
+        Ok(out)
+    }
+
+    /// Repair a single lost *data* block using only its local group
+    /// (reads `k/l - 1` data blocks + 1 local parity).
+    pub fn repair_local(
+        &self,
+        lost: usize,
+        group_data: &[&[u8]],
+        local_parity: &[u8],
+    ) -> Result<Vec<u8>, EcError> {
+        let gs = self.group_size();
+        if lost >= self.global.params().k {
+            return Err(EcError::BlockCount {
+                expected: self.global.params().k,
+                got: lost,
+            });
+        }
+        if group_data.len() != gs - 1 {
+            return Err(EcError::BlockCount {
+                expected: gs - 1,
+                got: group_data.len(),
+            });
+        }
+        let mut out = local_parity.to_vec();
+        for d in group_data {
+            if d.len() != out.len() {
+                return Err(EcError::BlockLength {
+                    expected: out.len(),
+                    got: d.len(),
+                });
+            }
+            xor_slice(d, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Group index of a data block.
+    pub fn group_of(&self, block: usize) -> usize {
+        block / self.group_size()
+    }
+
+    /// Full-stripe decode. `shards` holds k data, then m global parities,
+    /// then l local parities (`k + m + l` entries). Uses local repair when
+    /// a group has exactly one loss and its local parity survives,
+    /// otherwise global RS decode; finally recomputes lost parities.
+    #[allow(clippy::needless_range_loop)] // shards are addressed by block id
+    pub fn decode(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let (k, m) = (self.global.params().k, self.global.params().m);
+        let expected = k + m + self.l;
+        if shards.len() != expected {
+            return Err(EcError::BlockCount {
+                expected,
+                got: shards.len(),
+            });
+        }
+        let gs = self.group_size();
+
+        // Pass 1: local repairs.
+        for g in 0..self.l {
+            let lp_idx = k + m + g;
+            if shards[lp_idx].is_none() {
+                continue;
+            }
+            let lost_in_group: Vec<usize> = (g * gs..(g + 1) * gs)
+                .filter(|&i| shards[i].is_none())
+                .collect();
+            if lost_in_group.len() == 1 {
+                let lost = lost_in_group[0];
+                let lp = shards[lp_idx].as_ref().unwrap().clone();
+                let mut out = lp;
+                for i in g * gs..(g + 1) * gs {
+                    if i != lost {
+                        xor_slice(shards[i].as_ref().unwrap(), &mut out);
+                    }
+                }
+                shards[lost] = Some(out);
+            }
+        }
+
+        // Pass 2: global decode for whatever data/global-parity is missing.
+        {
+            let mut global_shards: Vec<Option<Vec<u8>>> =
+                shards[..k + m].to_vec();
+            let still_lost = global_shards.iter().filter(|s| s.is_none()).count();
+            if still_lost > 0 {
+                self.global.decode(&mut global_shards)?;
+                shards[..k + m].clone_from_slice(&global_shards);
+            }
+        }
+
+        // Pass 3: recompute missing local parities from repaired data.
+        for g in 0..self.l {
+            let lp_idx = k + m + g;
+            if shards[lp_idx].is_some() {
+                continue;
+            }
+            let len = shards[0].as_ref().unwrap().len();
+            let mut local = vec![0u8; len];
+            for i in g * gs..(g + 1) * gs {
+                xor_slice(shards[i].as_ref().unwrap(), &mut local);
+            }
+            shards[lp_idx] = Some(local);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 53 + j * 29 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn encode_all(lrc: &Lrc, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn geometry() {
+        let lrc = Lrc::new(12, 4, 2).unwrap();
+        assert_eq!(lrc.group_size(), 6);
+        assert_eq!(lrc.parity_count(), 6);
+        assert_eq!(lrc.group_of(0), 0);
+        assert_eq!(lrc.group_of(6), 1);
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        assert!(Lrc::new(12, 4, 5).is_err()); // 5 does not divide 12
+        assert!(Lrc::new(12, 4, 0).is_err());
+    }
+
+    #[test]
+    fn local_repair_single_failure() {
+        let lrc = Lrc::new(12, 4, 2).unwrap();
+        let data = make_data(12, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+        // Lose block 3 (group 0); repair from the 5 peers + local parity 0.
+        let peers: Vec<&[u8]> = (0..6).filter(|&i| i != 3).map(|i| refs[i]).collect();
+        let repaired = lrc.repair_local(3, &peers, &parity[4]).unwrap();
+        assert_eq!(repaired, data[3]);
+    }
+
+    #[test]
+    fn full_decode_mixed_failures() {
+        let lrc = Lrc::new(12, 4, 2).unwrap();
+        let data = make_data(12, 64);
+        let mut shards = encode_all(&lrc, &data);
+        let originals = shards.clone();
+        // One local-repairable loss, two global losses, one local parity.
+        shards[2] = None; // group 0, single loss -> local repair
+        shards[6] = None; // group 1
+        shards[8] = None; // group 1 (two losses -> global decode)
+        shards[17] = None; // local parity of group 1
+        lrc.decode(&mut shards).unwrap();
+        assert_eq!(shards, originals);
+    }
+
+    #[test]
+    fn decode_with_all_global_parity_lost() {
+        let lrc = Lrc::new(8, 2, 2).unwrap();
+        let data = make_data(8, 32);
+        let mut shards = encode_all(&lrc, &data);
+        let originals = shards.clone();
+        shards[8] = None;
+        shards[9] = None;
+        lrc.decode(&mut shards).unwrap();
+        assert_eq!(shards, originals);
+    }
+
+    #[test]
+    fn too_many_global_losses_error() {
+        let lrc = Lrc::new(8, 2, 2).unwrap();
+        let data = make_data(8, 32);
+        let mut shards = encode_all(&lrc, &data);
+        // Three data losses in one group: local parity can't help, global
+        // tolerance (2) exceeded.
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            lrc.decode(&mut shards),
+            Err(EcError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_lrc_geometries_roundtrip() {
+        for (k, m, l) in [(12, 4, 2), (24, 4, 4), (48, 4, 4)] {
+            let lrc = Lrc::new(k, m, l).unwrap();
+            let data = make_data(k, 32);
+            let mut shards = encode_all(&lrc, &data);
+            let originals = shards.clone();
+            shards[k - 1] = None;
+            shards[k + 1] = None;
+            lrc.decode(&mut shards).unwrap();
+            assert_eq!(shards, originals, "LRC({k},{m},{l})");
+        }
+    }
+}

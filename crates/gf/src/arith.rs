@@ -1,0 +1,178 @@
+//! Scalar GF(2^8) element type and operations.
+
+// Characteristic-2 field arithmetic legitimately implements Add via XOR,
+// Sub via Add, and Div via multiplication by the inverse.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
+use crate::tables::{EXP, GROUP_ORDER, INV, LOG};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// An element of GF(2^8) under the 0x11D polynomial.
+///
+/// Addition is XOR (every element is its own additive inverse);
+/// multiplication goes through the log/exp tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf8(pub u8);
+
+impl Gf8 {
+    /// The additive identity.
+    pub const ZERO: Gf8 = Gf8(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf8 = Gf8(1);
+    /// The canonical generator of the multiplicative group.
+    pub const GENERATOR: Gf8 = Gf8(2);
+
+    /// Multiplicative inverse. Panics on zero.
+    #[inline]
+    pub fn inv(self) -> Gf8 {
+        assert!(self.0 != 0, "inverse of zero in GF(2^8)");
+        Gf8(INV[self.0 as usize])
+    }
+
+    /// `self` raised to the `e`-th power (e interpreted mod 255 for nonzero
+    /// bases; `0^0 == 1`).
+    pub fn pow(self, e: u32) -> Gf8 {
+        if self.0 == 0 {
+            return if e == 0 { Gf8::ONE } else { Gf8::ZERO };
+        }
+        let l = LOG[self.0 as usize] as u64 * e as u64 % GROUP_ORDER as u64;
+        Gf8(EXP[l as usize])
+    }
+
+    /// `2^i`, the i-th power of the generator.
+    #[inline]
+    pub fn exp(i: usize) -> Gf8 {
+        Gf8(EXP[i % GROUP_ORDER])
+    }
+
+    /// Discrete log base 2. Panics on zero.
+    #[inline]
+    pub fn log(self) -> u8 {
+        assert!(self.0 != 0, "log of zero in GF(2^8)");
+        LOG[self.0 as usize]
+    }
+}
+
+impl Add for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn add(self, rhs: Gf8) -> Gf8 {
+        Gf8(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf8 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf8) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn sub(self, rhs: Gf8) -> Gf8 {
+        // Characteristic 2: subtraction and addition coincide.
+        self + rhs
+    }
+}
+
+impl Neg for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn neg(self) -> Gf8 {
+        self
+    }
+}
+
+impl Mul for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn mul(self, rhs: Gf8) -> Gf8 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf8::ZERO;
+        }
+        Gf8(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf8 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf8) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf8 {
+    type Output = Gf8;
+    #[inline]
+    fn div(self, rhs: Gf8) -> Gf8 {
+        self * rhs.inv()
+    }
+}
+
+impl From<u8> for Gf8 {
+    fn from(v: u8) -> Self {
+        Gf8(v)
+    }
+}
+
+impl std::fmt::Display for Gf8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::mul_notable;
+
+    #[test]
+    fn mul_matches_reference() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 7, 0x1D, 0x80, 0xFF] {
+                assert_eq!((Gf8(a) * Gf8(b)).0, mul_notable(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let q = Gf8(a) / Gf8(b);
+                assert_eq!(q * Gf8(b), Gf8(a));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul() {
+        for a in [Gf8(2), Gf8(3), Gf8(0x1D), Gf8(0xFF)] {
+            let mut acc = Gf8::ONE;
+            for e in 0..520u32 {
+                assert_eq!(a.pow(e), acc, "a={a} e={e}");
+                acc *= a;
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_base() {
+        assert_eq!(Gf8::ZERO.pow(0), Gf8::ONE);
+        assert_eq!(Gf8::ZERO.pow(5), Gf8::ZERO);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = Gf8::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x *= Gf8::GENERATOR;
+        }
+        assert_eq!(x, Gf8::ONE);
+    }
+}

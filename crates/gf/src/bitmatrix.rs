@@ -1,0 +1,323 @@
+//! Binary matrix (bitmatrix) support for XOR-based erasure codes.
+//!
+//! XOR-based libraries (Jerasure, Zerasure, Cerasure) replace GF(2^8)
+//! multiplication with XORs by expanding every field element into its 8x8
+//! companion matrix over GF(2). A `(k, m)` code over w = 8 becomes an
+//! `(m*8) x (k*8)` bitmatrix; each output *bit-row* is the XOR of the input
+//! *bit-columns* whose entry is 1. The number of ones therefore determines
+//! the XOR count — which is exactly what Zerasure/Cerasure minimize, and
+//! why their memory access pattern re-reads source packets (the property the
+//! paper's §2.2 and Fig. 14 hinge on).
+
+use crate::arith::Gf8;
+
+/// Galois field word size used throughout this reproduction.
+pub const W: usize = 8;
+
+/// A dense binary matrix with u64-packed rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = self.bits[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 != 0
+    }
+
+    /// Write one bit.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = &mut self.bits[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// Total number of set bits (== XOR source operands across all outputs).
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in one row.
+    pub fn row_ones(&self, r: usize) -> usize {
+        let s = r * self.words_per_row;
+        self.bits[s..s + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Column indices of set bits in row `r`, ascending.
+    pub fn row_indices(&self, r: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&c| self.get(r, c)).collect()
+    }
+
+    /// `rows[dst] ^= rows[src]` — the elementary row operation of GF(2)
+    /// elimination and of schedule "smart" XOR reuse.
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "xor_row_into with identical rows");
+        let (a, b) = (src * self.words_per_row, dst * self.words_per_row);
+        for i in 0..self.words_per_row {
+            let v = self.bits[a + i];
+            self.bits[b + i] ^= v;
+        }
+    }
+
+    /// Expand a GF(2^8) generator matrix (`rows x cols` of coefficients)
+    /// into its `(rows*8) x (cols*8)` bitmatrix, Jerasure-style: the 8x8
+    /// block for element `e` has, as its c-th column, the bit pattern of
+    /// `e * 2^c`.
+    pub fn from_gf_matrix(coeffs: &[Vec<Gf8>]) -> Self {
+        let rows = coeffs.len();
+        let cols = if rows == 0 { 0 } else { coeffs[0].len() };
+        let mut bm = Self::zero(rows * W, cols * W);
+        for (i, row) in coeffs.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged GF matrix");
+            for (j, &e) in row.iter().enumerate() {
+                for c in 0..W {
+                    let prod = (e * Gf8::exp(c)).0;
+                    for r in 0..W {
+                        if (prod >> r) & 1 != 0 {
+                            bm.set(i * W + r, j * W + c, true);
+                        }
+                    }
+                }
+            }
+        }
+        bm
+    }
+
+    /// Multiply a bit-vector (as bool slice, length == cols) by the matrix:
+    /// `out[r] = XOR_c M[r][c] & v[c]`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic is the clearest form here
+    pub fn apply(&self, v: &[bool]) -> Vec<bool> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = false;
+                for c in 0..self.cols {
+                    acc ^= self.get(r, c) && v[c];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Invert the matrix over GF(2) via Gauss–Jordan. Returns `None` if
+    /// singular. Used to derive decode bitmatrices — which is why XOR
+    /// baselines decode slowly: the inverse is dense and unoptimized
+    /// (paper §5.4).
+    pub fn inverse(&self) -> Option<BitMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square bitmatrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = BitMatrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col))?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            for r in 0..n {
+                if r != col && a.get(r, col) {
+                    a.xor_row_into(col, r);
+                    inv.xor_row_into(col, r);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Swap two rows.
+    pub fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        let w = self.words_per_row;
+        for i in 0..w {
+            self.bits.swap(r1 * w + i, r2 * w + i);
+        }
+    }
+
+    /// Matrix product over GF(2).
+    pub fn matmul(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = BitMatrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    // out.row[r] ^= rhs.row[c]
+                    let (s, d) = (c * rhs.words_per_row, r * out.words_per_row);
+                    for i in 0..rhs.words_per_row {
+                        let v = rhs.bits[s + i];
+                        out.bits[d + i] ^= v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Take a sub-matrix of whole 8x8 blocks: block-rows `rs` and
+    /// block-columns `cs` (used to build decode matrices from survivors).
+    pub fn block_submatrix(&self, rs: &[usize], cs: &[usize]) -> BitMatrix {
+        let mut out = BitMatrix::zero(rs.len() * W, cs.len() * W);
+        for (bi, &br) in rs.iter().enumerate() {
+            for (bj, &bc) in cs.iter().enumerate() {
+                for r in 0..W {
+                    for c in 0..W {
+                        out.set(bi * W + r, bj * W + c, self.get(br * W + r, bc * W + c));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{}", if self.get(r, c) { '1' } else { '0' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::mul_notable;
+
+    fn byte_to_bits(b: u8) -> Vec<bool> {
+        (0..8).map(|i| (b >> i) & 1 != 0).collect()
+    }
+
+    fn bits_to_byte(bits: &[bool]) -> u8 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | ((b as u8) << i))
+    }
+
+    #[test]
+    fn companion_matrix_multiplies_correctly() {
+        // The 8x8 bitmatrix of element e applied to the bits of x must give
+        // the bits of e*x, for all e, over a sample of x.
+        for e in [1u8, 2, 3, 0x1D, 0x53, 0xFF] {
+            let bm = BitMatrix::from_gf_matrix(&[vec![Gf8(e)]]);
+            for x in [0u8, 1, 2, 0x80, 0xAB, 0xFF] {
+                let out = bm.apply(&byte_to_bits(x));
+                assert_eq!(bits_to_byte(&out), mul_notable(e, x), "e={e} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_block_is_identity() {
+        let bm = BitMatrix::from_gf_matrix(&[vec![Gf8::ONE]]);
+        assert_eq!(bm, BitMatrix::identity(8));
+    }
+
+    #[test]
+    fn ones_count() {
+        let mut m = BitMatrix::zero(3, 70);
+        m.set(0, 0, true);
+        m.set(1, 64, true);
+        m.set(2, 69, true);
+        m.set(2, 69, true); // idempotent set
+        assert_eq!(m.ones(), 3);
+        assert_eq!(m.row_ones(2), 1);
+        assert_eq!(m.row_indices(1), vec![64]);
+        m.set(2, 69, false);
+        assert_eq!(m.ones(), 2);
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let id = BitMatrix::identity(16);
+        assert_eq!(id.inverse().unwrap(), id);
+    }
+
+    #[test]
+    fn inverse_roundtrip_gf_block() {
+        // Invertible 2x2 GF matrix -> 16x16 bitmatrix, inverse must compose
+        // to identity.
+        let m = BitMatrix::from_gf_matrix(&[vec![Gf8(1), Gf8(1)], vec![Gf8(1), Gf8(2)]]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.matmul(&inv), BitMatrix::identity(16));
+        assert_eq!(inv.matmul(&m), BitMatrix::identity(16));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = BitMatrix::zero(8, 8);
+        assert!(m.inverse().is_none());
+        // Two equal rows.
+        let m = BitMatrix::from_gf_matrix(&[vec![Gf8(3), Gf8(3)], vec![Gf8(3), Gf8(3)]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn block_submatrix_extracts_blocks() {
+        let m = BitMatrix::from_gf_matrix(&[
+            vec![Gf8(1), Gf8(2)],
+            vec![Gf8(3), Gf8(4)],
+        ]);
+        let sub = m.block_submatrix(&[1], &[0]);
+        let expect = BitMatrix::from_gf_matrix(&[vec![Gf8(3)]]);
+        assert_eq!(sub, expect);
+    }
+
+    #[test]
+    fn xor_row_into_updates() {
+        let mut m = BitMatrix::identity(4);
+        m.xor_row_into(0, 1);
+        assert!(m.get(1, 0) && m.get(1, 1));
+        assert_eq!(m.row_ones(1), 2);
+    }
+}

@@ -1,0 +1,28 @@
+#![deny(missing_docs)]
+//! GF(2^8) finite-field arithmetic for erasure coding.
+//!
+//! This crate is the arithmetic substrate of the DIALGA reproduction. It
+//! provides:
+//!
+//! * scalar field operations over GF(2^8) with the AES-adjacent primitive
+//!   polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), the polynomial used by
+//!   Intel ISA-L and Jerasure;
+//! * data-plane slice kernels ([`slice`]) mirroring ISA-L's
+//!   `gf_vect_mul`/`gf_vect_mad` split-nibble lookup scheme (the scheme the
+//!   paper's Figure 2 calls the "lookup table approach");
+//! * bitmatrix expansion ([`bitmatrix`]) used by XOR-based codes
+//!   (Zerasure/Cerasure-style baselines), where each GF(2^8) element becomes
+//!   an 8x8 binary companion matrix and multiplication becomes XOR groups.
+//!
+//! All operations are implemented in portable Rust written so the compiler
+//! can autovectorize the hot loops; correctness is exercised by unit and
+//! property tests rather than by trusting any table constant.
+
+pub mod arith;
+pub mod bitmatrix;
+pub mod simd;
+pub mod slice;
+pub mod tables;
+
+pub use arith::Gf8;
+pub use bitmatrix::BitMatrix;

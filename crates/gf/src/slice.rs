@@ -1,0 +1,214 @@
+//! Data-plane slice kernels.
+//!
+//! These are the Rust equivalents of ISA-L's `gf_vect_mul` / `gf_vect_mad`
+//! assembly: multiply a whole buffer by one GF(2^8) constant, optionally
+//! accumulating (XOR) into a destination. The split-nibble table scheme
+//! means the inner loop is two byte-table lookups and one XOR per byte —
+//! which LLVM autovectorizes into `pshufb`-style shuffles on x86-64, giving
+//! the same memory access shape as ISA-L: each source byte read exactly
+//! once, each destination byte written exactly once.
+
+use crate::tables::NibbleTables;
+
+/// `dst[i] = c * src[i]` for every byte.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let t = NibbleTables::new(c);
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = t.low[(s & 0x0F) as usize] ^ t.high[(s >> 4) as usize];
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for every byte — the multiply-accumulate at the
+/// heart of RS encoding (`gf_vect_mad`).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(src, dst);
+        return;
+    }
+    let t = NibbleTables::new(c);
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= t.low[(s & 0x0F) as usize] ^ t.high[(s >> 4) as usize];
+    }
+}
+
+/// `dst[i] ^= src[i]` — the XOR kernel used by bitmatrix codes and LRC local
+/// parities. Word-at-a-time for throughput.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    let n = src.len() / 8 * 8;
+    // Word loop: u64 chunks, byte tail.
+    let (src_w, src_t) = src.split_at(n);
+    let (dst_w, dst_t) = dst.split_at_mut(n);
+    for (d, s) in dst_w.chunks_exact_mut(8).zip(src_w.chunks_exact(8)) {
+        let x = u64::from_ne_bytes(d[..8].try_into().unwrap())
+            ^ u64::from_ne_bytes(s[..8].try_into().unwrap());
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, &s) in dst_t.iter_mut().zip(src_t) {
+        *d ^= s;
+    }
+}
+
+/// Prefetch hint for a read that will happen soon. On x86-64 this issues a
+/// real `prefetcht0`; elsewhere it is a no-op. This is the instruction the
+/// paper's pipelined software prefetcher embeds in the encode loop.
+#[inline(always)]
+pub fn prefetch_read(ptr: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// `dst[i] ^= t.mul(src[i])` with a caller-precomputed table — the hot path
+/// when one coefficient is applied to many rows (ISA-L precomputes exactly
+/// these tables in `ec_init_tables`).
+pub fn mul_add_slice_tab(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_add_slice_tab length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= t.low[(s & 0x0F) as usize] ^ t.high[(s >> 4) as usize];
+    }
+}
+
+/// Encode one destination from many sources with per-source coefficients:
+/// `dst = sum_j coeffs[j] * srcs[j]`, overwriting `dst`.
+///
+/// This mirrors one output row of ISA-L's `ec_encode_data`: every source is
+/// read exactly once, the destination written once.
+///
+/// # Panics
+/// Panics if `coeffs.len() != srcs.len()` or any length differs from `dst`.
+pub fn mul_add_row(coeffs: &[u8], srcs: &[&[u8]], dst: &mut [u8]) {
+    assert_eq!(coeffs.len(), srcs.len(), "coeff/source count mismatch");
+    dst.fill(0);
+    for (&c, src) in coeffs.iter().zip(srcs) {
+        mul_add_slice(c, src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::mul_notable;
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let src = pattern(100, 7);
+        let mut dst = vec![0u8; 100];
+        for c in [0u8, 1, 2, 0x1D, 0xC4, 0xFF] {
+            mul_slice(c, &src, &mut dst);
+            for (i, (&d, &s)) in dst.iter().zip(&src).enumerate() {
+                assert_eq!(d, mul_notable(c, s), "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_accumulates() {
+        let src = pattern(64, 3);
+        let mut dst = pattern(64, 9);
+        let before = dst.clone();
+        mul_add_slice(0x35, &src, &mut dst);
+        for i in 0..64 {
+            assert_eq!(dst[i], before[i] ^ mul_notable(0x35, src[i]));
+        }
+    }
+
+    #[test]
+    fn mul_add_zero_is_noop() {
+        let src = pattern(33, 1);
+        let mut dst = pattern(33, 2);
+        let before = dst.clone();
+        mul_add_slice(0, &src, &mut dst);
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn xor_slice_unaligned_tail() {
+        // Lengths that are not multiples of 8 exercise the byte tail.
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let src = pattern(len, 5);
+            let mut dst = pattern(len, 11);
+            let before = dst.clone();
+            xor_slice(&src, &mut dst);
+            for i in 0..len {
+                assert_eq!(dst[i], before[i] ^ src[i], "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let src = pattern(128, 4);
+        let mut dst = pattern(128, 8);
+        let before = dst.clone();
+        xor_slice(&src, &mut dst);
+        xor_slice(&src, &mut dst);
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    fn mul_add_row_linear_combination() {
+        let a = pattern(48, 1);
+        let b = pattern(48, 2);
+        let c = pattern(48, 3);
+        let mut dst = vec![0xAA; 48];
+        mul_add_row(&[3, 0, 7], &[&a, &b, &c], &mut dst);
+        for i in 0..48 {
+            assert_eq!(dst[i], mul_notable(3, a[i]) ^ mul_notable(7, c[i]));
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_tab_matches_untabled() {
+        let src = pattern(77, 6);
+        for c in [0u8, 1, 0x1D, 0xF3] {
+            let mut a = pattern(77, 12);
+            let mut b = a.clone();
+            mul_add_slice(c, &src, &mut a);
+            let t = NibbleTables::new(c);
+            mul_add_slice_tab(&t, &src, &mut b);
+            assert_eq!(a, b, "c={c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mul_slice_length_mismatch_panics() {
+        let src = [0u8; 4];
+        let mut dst = [0u8; 5];
+        mul_slice(2, &src, &mut dst);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for GF(2^8) field axioms and kernel equivalence.
+
+use dialga_gf::bitmatrix::BitMatrix;
+use dialga_gf::slice::{mul_add_slice, mul_slice, xor_slice};
+use dialga_gf::tables::mul_notable;
+use dialga_gf::Gf8;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_commutative(a: u8, b: u8) {
+        prop_assert_eq!(Gf8(a) + Gf8(b), Gf8(b) + Gf8(a));
+    }
+
+    #[test]
+    fn mul_commutative(a: u8, b: u8) {
+        prop_assert_eq!(Gf8(a) * Gf8(b), Gf8(b) * Gf8(a));
+    }
+
+    #[test]
+    fn mul_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!((Gf8(a) * Gf8(b)) * Gf8(c), Gf8(a) * (Gf8(b) * Gf8(c)));
+    }
+
+    #[test]
+    fn distributive(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(Gf8(a) * (Gf8(b) + Gf8(c)), Gf8(a) * Gf8(b) + Gf8(a) * Gf8(c));
+    }
+
+    #[test]
+    fn mul_matches_bitwise_reference(a: u8, b: u8) {
+        prop_assert_eq!((Gf8(a) * Gf8(b)).0, mul_notable(a, b));
+    }
+
+    #[test]
+    fn nonzero_has_inverse(a in 1u8..=255) {
+        prop_assert_eq!(Gf8(a) * Gf8(a).inv(), Gf8::ONE);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in 1u8..=255, e1 in 0u32..300, e2 in 0u32..300) {
+        prop_assert_eq!(Gf8(a).pow(e1) * Gf8(a).pow(e2), Gf8(a).pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_slice_equals_scalar_loop(c: u8, src in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dst = vec![0u8; src.len()];
+        mul_slice(c, &src, &mut dst);
+        for (d, &s) in dst.iter().zip(&src) {
+            prop_assert_eq!(*d, mul_notable(c, s));
+        }
+    }
+
+    #[test]
+    fn mul_add_is_mul_then_xor(c: u8, src in proptest::collection::vec(any::<u8>(), 1..200),
+                               seed: u8) {
+        let mut dst: Vec<u8> = (0..src.len()).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let mut expect = dst.clone();
+        mul_add_slice(c, &src, &mut dst);
+        let mut prod = vec![0u8; src.len()];
+        mul_slice(c, &src, &mut prod);
+        xor_slice(&prod, &mut expect);
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn bitmatrix_mul_is_gf_mul(e: u8, x: u8) {
+        let bm = BitMatrix::from_gf_matrix(&[vec![Gf8(e)]]);
+        let bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 != 0).collect();
+        let out = bm.apply(&bits);
+        let got = out.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        prop_assert_eq!(got, mul_notable(e, x));
+    }
+
+    #[test]
+    fn bitmatrix_inverse_roundtrip(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255, d in 0u8..=255) {
+        // Only test when the GF matrix is invertible (det != 0).
+        let det = Gf8(a) * Gf8(d) + Gf8(b) * Gf8(c);
+        prop_assume!(det != Gf8::ZERO);
+        let m = BitMatrix::from_gf_matrix(&[vec![Gf8(a), Gf8(b)], vec![Gf8(c), Gf8(d)]]);
+        let inv = m.inverse().expect("invertible GF matrix must yield invertible bitmatrix");
+        prop_assert_eq!(m.matmul(&inv), BitMatrix::identity(16));
+    }
+}

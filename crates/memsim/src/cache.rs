@@ -1,0 +1,254 @@
+//! Set-associative LRU cache with prefetch tagging.
+//!
+//! Entries carry a `ready_ns` fill-completion time so an in-flight fill
+//! (demand or prefetch) can be modelled without a global event queue: a
+//! later demand to the line simply waits until `ready_ns`. Prefetch-tagged
+//! entries that get evicted unused feed the useless-prefetch counter
+//! (PMU 0xf2 analogue).
+
+use crate::config::CacheConfig;
+
+/// Invalid tag sentinel.
+const INVALID: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Line address (byte address / 64), or `INVALID`.
+    tag: u64,
+    /// LRU timestamp (monotone tick).
+    lru: u64,
+    /// Fill completion time.
+    ready_ns: f64,
+    /// Filled by a prefetch and not yet consumed by demand.
+    prefetched: bool,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Probe {
+    /// Line present; `ready_ns` is when the fill completes (may be past),
+    /// `was_prefetch` reports whether this is the first demand touch of a
+    /// prefetched line.
+    Hit {
+        /// Fill completion time of the resident line.
+        ready_ns: f64,
+        /// First demand touch of a prefetched line.
+        was_prefetch: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// What an insert evicted, if anything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evicted {
+    /// The evicted line address.
+    pub line: u64,
+    /// It was prefetched and never consumed — a useless prefetch.
+    pub useless_prefetch: bool,
+}
+
+/// A set-associative LRU cache over 64 B lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Build from a config.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        Cache {
+            sets,
+            ways: cfg.ways,
+            entries: vec![
+                Entry {
+                    tag: INVALID,
+                    lru: 0,
+                    ready_ns: 0.0,
+                    prefetched: false,
+                };
+                sets * cfg.ways
+            ],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line as usize) % self.sets;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Demand probe: on hit, touches LRU and clears the prefetch tag.
+    pub fn probe_demand(&mut self, line: u64) -> Probe {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for e in &mut self.entries[range] {
+            if e.tag == line {
+                e.lru = tick;
+                let was_prefetch = e.prefetched;
+                e.prefetched = false;
+                return Probe::Hit {
+                    ready_ns: e.ready_ns,
+                    was_prefetch,
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Prefetch probe: reports presence without clearing the tag (a
+    /// prefetch to a resident line is dropped by the issuer).
+    pub fn contains(&self, line: u64) -> bool {
+        let range = self.set_range(line);
+        self.entries[range].iter().any(|e| e.tag == line)
+    }
+
+    /// Insert a line filled at `ready_ns`. Returns eviction info.
+    pub fn insert(&mut self, line: u64, ready_ns: f64, prefetched: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        // Already present (e.g. race between prefetch and demand): refresh.
+        if let Some(e) = self.entries[range.clone()].iter_mut().find(|e| e.tag == line) {
+            e.lru = tick;
+            e.ready_ns = e.ready_ns.min(ready_ns);
+            return None;
+        }
+        let victim = self.entries[range]
+            .iter_mut()
+            .min_by_key(|e| if e.tag == INVALID { 0 } else { e.lru + 1 })
+            .expect("nonzero ways");
+        let evicted = if victim.tag != INVALID {
+            Some(Evicted {
+                line: victim.tag,
+                useless_prefetch: victim.prefetched,
+            })
+        } else {
+            None
+        };
+        *victim = Entry {
+            tag: line,
+            lru: tick,
+            ready_ns,
+            prefetched,
+        };
+        evicted
+    }
+
+    /// Drop a line if present (used by tests and invalidation paths).
+    pub fn invalidate(&mut self, line: u64) {
+        let range = self.set_range(line);
+        for e in &mut self.entries[range] {
+            if e.tag == line {
+                e.tag = INVALID;
+                e.prefetched = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways = 8 lines.
+        Cache::new(&CacheConfig {
+            bytes: 8 * 64,
+            ways: 2,
+            hit_ns: 1.0,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe_demand(5), Probe::Miss);
+        assert!(c.insert(5, 10.0, false).is_none());
+        match c.probe_demand(5) {
+            Probe::Hit { ready_ns, was_prefetch } => {
+                assert_eq!(ready_ns, 10.0);
+                assert!(!was_prefetch);
+            }
+            Probe::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(0, 0.0, false);
+        c.insert(4, 0.0, false);
+        // Touch 0 so 4 becomes LRU.
+        c.probe_demand(0);
+        let ev = c.insert(8, 0.0, false).expect("eviction");
+        assert_eq!(ev.line, 4);
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn useless_prefetch_detected_on_eviction() {
+        let mut c = tiny();
+        c.insert(0, 0.0, true); // prefetched, never touched
+        c.insert(4, 0.0, false);
+        let ev = c.insert(8, 0.0, false).expect("eviction");
+        assert_eq!(ev.line, 0);
+        assert!(ev.useless_prefetch);
+    }
+
+    #[test]
+    fn demand_touch_clears_prefetch_tag() {
+        let mut c = tiny();
+        c.insert(0, 0.0, true);
+        match c.probe_demand(0) {
+            Probe::Hit { was_prefetch, .. } => assert!(was_prefetch),
+            _ => panic!(),
+        }
+        // Second touch no longer reports prefetch; eviction not useless.
+        match c.probe_demand(0) {
+            Probe::Hit { was_prefetch, .. } => assert!(!was_prefetch),
+            _ => panic!(),
+        }
+        c.insert(4, 0.0, false);
+        let ev = c.insert(8, 0.0, false).unwrap();
+        assert!(!ev.useless_prefetch);
+    }
+
+    #[test]
+    fn reinsert_keeps_earlier_ready_time() {
+        let mut c = tiny();
+        c.insert(3, 50.0, true);
+        assert!(c.insert(3, 20.0, false).is_none());
+        match c.probe_demand(3) {
+            Probe::Hit { ready_ns, .. } => assert_eq!(ready_ns, 20.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(7, 0.0, false);
+        assert!(c.contains(7));
+        c.invalidate(7);
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn fills_all_ways_before_evicting() {
+        let mut c = tiny();
+        assert!(c.insert(1, 0.0, false).is_none());
+        assert!(c.insert(5, 0.0, false).is_none()); // same set, second way
+        assert!(c.insert(9, 0.0, false).is_some()); // now evicts
+    }
+}

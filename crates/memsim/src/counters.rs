@@ -1,0 +1,199 @@
+//! PMU-analogue counters. These are what the paper samples with perf/PEBS
+//! (cache events, useless-prefetch event 0xf2) and ipmctl (per-layer read
+//! traffic), and what DIALGA's adaptive coordinator consumes.
+
+/// Aggregated event counts for one simulated core (or the whole machine,
+/// when summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Demand loads that hit L2.
+    pub l2_hits: u64,
+    /// Demand loads that hit LLC.
+    pub llc_hits: u64,
+    /// Demand loads that went to memory.
+    pub demand_misses: u64,
+    /// Nanoseconds demand loads spent stalled past the L2 hit cost
+    /// (the "L3 cache miss cycles" series of Figs. 3 and 17, in ns).
+    pub demand_stall_ns: f64,
+    /// Hardware prefetches issued to memory.
+    pub hw_prefetches: u64,
+    /// Hardware prefetches dropped because the channel queue was busy.
+    pub hw_prefetch_drops: u64,
+    /// Software prefetches issued to memory.
+    pub sw_prefetches: u64,
+    /// Prefetched L2 lines evicted before any demand hit
+    /// (analogue of PMU 0xf2, L2_LINES_OUT.USELESS_HWPF).
+    pub useless_prefetches: u64,
+    /// Prefetched lines that a demand load consumed.
+    pub useful_prefetches: u64,
+    /// Prefetched lines whose demand arrived before the fill completed
+    /// (late prefetch: traffic spent, little latency hidden).
+    pub late_prefetches: u64,
+    /// Demand-requested bytes (encode-layer traffic, Fig. 19).
+    pub encode_read_bytes: u64,
+    /// Cachelines read through the memory controller x 64
+    /// (iMC-layer traffic: demand misses + all prefetch fills).
+    pub imc_read_bytes: u64,
+    /// Bytes fetched from PM media (media-layer traffic; 256 B per XPLine).
+    /// For DRAM this equals `imc_read_bytes`.
+    pub media_read_bytes: u64,
+    /// Bytes written through the controller (NT stores).
+    pub imc_write_bytes: u64,
+    /// Bytes written to media (XPLine write-combining assumed).
+    pub media_write_bytes: u64,
+    /// Reads served by the PM on-DIMM read buffer.
+    pub buffer_hits: u64,
+    /// XPLine fetches from PM media.
+    pub xpline_fetches: u64,
+    /// XPLines evicted from the read buffer with at least one never-read
+    /// line (the thrashing signal of Obs. 5).
+    pub buffer_evicted_unused: u64,
+    /// Lines never read in evicted XPLines.
+    pub buffer_unused_lines: u64,
+    /// Streams evicted from the prefetcher stream table (capacity signal
+    /// of Obs. 3).
+    pub stream_evictions: u64,
+    /// Non-temporal stores issued.
+    pub nt_stores: u64,
+    /// Nanoseconds threads spent stalled on store backlog.
+    pub store_stall_ns: f64,
+}
+
+impl Counters {
+    /// Element-wise accumulate (for cross-core aggregation).
+    pub fn add(&mut self, o: &Counters) {
+        self.loads += o.loads;
+        self.l2_hits += o.l2_hits;
+        self.llc_hits += o.llc_hits;
+        self.demand_misses += o.demand_misses;
+        self.demand_stall_ns += o.demand_stall_ns;
+        self.hw_prefetches += o.hw_prefetches;
+        self.hw_prefetch_drops += o.hw_prefetch_drops;
+        self.sw_prefetches += o.sw_prefetches;
+        self.useless_prefetches += o.useless_prefetches;
+        self.useful_prefetches += o.useful_prefetches;
+        self.late_prefetches += o.late_prefetches;
+        self.encode_read_bytes += o.encode_read_bytes;
+        self.imc_read_bytes += o.imc_read_bytes;
+        self.media_read_bytes += o.media_read_bytes;
+        self.imc_write_bytes += o.imc_write_bytes;
+        self.media_write_bytes += o.media_write_bytes;
+        self.buffer_hits += o.buffer_hits;
+        self.xpline_fetches += o.xpline_fetches;
+        self.buffer_evicted_unused += o.buffer_evicted_unused;
+        self.buffer_unused_lines += o.buffer_unused_lines;
+        self.stream_evictions += o.stream_evictions;
+        self.nt_stores += o.nt_stores;
+        self.store_stall_ns += o.store_stall_ns;
+    }
+
+    /// Element-wise difference (for interval sampling by the coordinator).
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        Counters {
+            loads: self.loads - earlier.loads,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            llc_hits: self.llc_hits - earlier.llc_hits,
+            demand_misses: self.demand_misses - earlier.demand_misses,
+            demand_stall_ns: self.demand_stall_ns - earlier.demand_stall_ns,
+            hw_prefetches: self.hw_prefetches - earlier.hw_prefetches,
+            hw_prefetch_drops: self.hw_prefetch_drops - earlier.hw_prefetch_drops,
+            sw_prefetches: self.sw_prefetches - earlier.sw_prefetches,
+            useless_prefetches: self.useless_prefetches - earlier.useless_prefetches,
+            useful_prefetches: self.useful_prefetches - earlier.useful_prefetches,
+            late_prefetches: self.late_prefetches - earlier.late_prefetches,
+            encode_read_bytes: self.encode_read_bytes - earlier.encode_read_bytes,
+            imc_read_bytes: self.imc_read_bytes - earlier.imc_read_bytes,
+            media_read_bytes: self.media_read_bytes - earlier.media_read_bytes,
+            imc_write_bytes: self.imc_write_bytes - earlier.imc_write_bytes,
+            media_write_bytes: self.media_write_bytes - earlier.media_write_bytes,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            xpline_fetches: self.xpline_fetches - earlier.xpline_fetches,
+            buffer_evicted_unused: self.buffer_evicted_unused - earlier.buffer_evicted_unused,
+            buffer_unused_lines: self.buffer_unused_lines - earlier.buffer_unused_lines,
+            stream_evictions: self.stream_evictions - earlier.stream_evictions,
+            nt_stores: self.nt_stores - earlier.nt_stores,
+            store_stall_ns: self.store_stall_ns - earlier.store_stall_ns,
+        }
+    }
+
+    /// Average demand load latency over an interval, ns (the coordinator's
+    /// 110 %-threshold input). Falls back to 0 when no loads happened.
+    pub fn avg_load_latency_ns(&self, l2_hit_ns: f64) -> f64 {
+        if self.loads == 0 {
+            return 0.0;
+        }
+        l2_hit_ns + self.demand_stall_ns / self.loads as f64
+    }
+
+    /// Useless fraction of hardware prefetches (late + evicted-unused over
+    /// issued), the coordinator's 150 %-threshold input.
+    pub fn useless_prefetch_ratio(&self) -> f64 {
+        if self.hw_prefetches == 0 {
+            return 0.0;
+        }
+        (self.useless_prefetches + self.late_prefetches) as f64 / self.hw_prefetches as f64
+    }
+
+    /// Prefetch share of controller read traffic (Fig. 5's "L2 prefetch
+    /// ratio").
+    pub fn prefetch_ratio(&self) -> f64 {
+        let fills = self.demand_misses + self.hw_prefetches + self.sw_prefetches;
+        if fills == 0 {
+            return 0.0;
+        }
+        (self.hw_prefetches + self.sw_prefetches) as f64 / fills as f64
+    }
+
+    /// Media read amplification relative to demand bytes (Fig. 6/19).
+    pub fn media_read_amplification(&self) -> f64 {
+        if self.encode_read_bytes == 0 {
+            return 0.0;
+        }
+        self.media_read_bytes as f64 / self.encode_read_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_delta_are_inverse() {
+        let mut a = Counters::default();
+        a.loads = 10;
+        a.demand_stall_ns = 5.0;
+        a.media_read_bytes = 256;
+        let mut b = a;
+        let inc = Counters {
+            loads: 7,
+            hw_prefetches: 3,
+            ..Default::default()
+        };
+        b.add(&inc);
+        let d = b.delta(&a);
+        assert_eq!(d.loads, 7);
+        assert_eq!(d.hw_prefetches, 3);
+        assert_eq!(d.media_read_bytes, 0);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = Counters::default();
+        assert_eq!(c.useless_prefetch_ratio(), 0.0);
+        assert_eq!(c.prefetch_ratio(), 0.0);
+        assert_eq!(c.media_read_amplification(), 0.0);
+        assert_eq!(c.avg_load_latency_ns(4.2), 0.0);
+    }
+
+    #[test]
+    fn amplification_math() {
+        let c = Counters {
+            encode_read_bytes: 1024,
+            media_read_bytes: 1536,
+            ..Default::default()
+        };
+        assert!((c.media_read_amplification() - 1.5).abs() < 1e-12);
+    }
+}

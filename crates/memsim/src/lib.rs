@@ -1,0 +1,44 @@
+#![deny(missing_docs)]
+//! Trace-driven simulator of a PM-equipped server memory system.
+//!
+//! This crate is the substitute (per DESIGN.md) for the paper's hardware
+//! testbed: an Intel Xeon Gold 6240 with 6 channels of Optane DCPMM 100.
+//! It models, at cacheline granularity:
+//!
+//! * per-core **L2** and shared **LLC** set-associative caches with
+//!   prefetch-tagged lines (for useless-prefetch accounting, the analogue
+//!   of PMU event 0xf2);
+//! * the **L2 stream hardware prefetcher**: a page-keyed LRU stream table
+//!   (32 unidirectional streams by default, 64 in the "3rd-gen Xeon"
+//!   config), confidence-ramped prefetch degree, and no prefetching across
+//!   4 KiB boundaries — the three properties the paper's Observations 3–5
+//!   rest on;
+//! * the **PM device**: 256 B XPLine media granularity, a 16 KiB-per-channel
+//!   on-DIMM read buffer with LRU replacement and *implicit loads* (any 64 B
+//!   access fetches its whole XPLine), per-channel queueing, and separate
+//!   media/controller traffic counters;
+//! * a **DRAM device** for the paper's DRAM-vs-PM comparisons;
+//! * a deterministic multi-core **engine** with per-thread clocks,
+//!   MSHR-limited load overlap, posted non-temporal stores and a
+//!   PMU-analogue counter block.
+//!
+//! Simulated threads are *logical*: the engine is single-threaded and
+//! deterministic, interleaving logical threads by earliest local clock.
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod engine;
+pub mod prefetcher;
+
+pub use config::{CacheConfig, MachineConfig, MemKind, PmConfig, PrefetcherConfig};
+pub use counters::Counters;
+pub use engine::{Engine, RowTask, RunReport, TaskSource};
+
+/// Bytes per cacheline (CPU cache and memory-interface granularity).
+pub const CACHELINE: u64 = 64;
+/// Bytes per XPLine (PM media access granularity).
+pub const XPLINE: u64 = 256;
+/// Bytes per page (hardware prefetchers do not cross this boundary).
+pub const PAGE: u64 = 4096;

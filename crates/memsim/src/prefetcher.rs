@@ -1,0 +1,261 @@
+//! L2 stream hardware prefetcher model.
+//!
+//! Captures the three properties the paper's observations depend on:
+//!
+//! 1. a finite LRU **stream table** (32 unidirectional streams on the
+//!    testbed CPU; 64 on 3rd-gen Xeon) — exceeding it makes every access
+//!    miss the table, confidence never builds, and prefetching stops
+//!    (Obs. 3, the k > 32 collapse);
+//! 2. **confidence-ramped degree** — short streams (small blocks) never
+//!    reach useful aggressiveness (Obs. 4);
+//! 3. **no prefetching across 4 KiB boundaries** — 4 KiB-aligned blocks
+//!    incur no overshoot (Obs. 4), and DIALGA's shuffle mapping defeats
+//!    detection entirely because shuffled deltas are never +1 (§4.2).
+
+use crate::config::PrefetcherConfig;
+use crate::PAGE;
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// Page number (line address / 64).
+    page: u64,
+    /// Last line accessed within the page.
+    last: u64,
+    /// Detector confidence.
+    confidence: u8,
+    /// Next line to prefetch (monotone within the page).
+    head: u64,
+    /// LRU tick.
+    lru: u64,
+}
+
+/// Per-core stream prefetcher.
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    cfg: PrefetcherConfig,
+    streams: Vec<Stream>,
+    tick: u64,
+    /// Streams evicted due to capacity (Obs. 3 signal).
+    pub evictions: u64,
+}
+
+impl StreamPrefetcher {
+    /// Build from a config.
+    pub fn new(cfg: PrefetcherConfig) -> Self {
+        StreamPrefetcher {
+            streams: Vec::with_capacity(cfg.streams),
+            cfg,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Enable/disable at the core level (the MSR-style switch; DIALGA never
+    /// uses this — it defeats detection with shuffle instead).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.cfg.enabled = enabled;
+        if !enabled {
+            self.streams.clear();
+        }
+    }
+
+    /// Whether the core-level switch is on.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Observe one demand access (line address) and append the lines to
+    /// prefetch into `out`. The caller filters lines already cached.
+    pub fn on_demand_access(&mut self, line: u64, out: &mut Vec<u64>) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let page = line / (PAGE / crate::CACHELINE);
+        let page_last_line = (page + 1) * (PAGE / crate::CACHELINE) - 1;
+
+        if let Some(s) = self.streams.iter_mut().find(|s| s.page == page) {
+            s.lru = tick;
+            if line == s.last + 1 {
+                s.confidence = (s.confidence + 1).min(self.cfg.max_confidence);
+            } else if line != s.last {
+                s.confidence = s.confidence.saturating_sub(self.cfg.confidence_penalty);
+            }
+            s.last = line;
+            if s.confidence >= self.cfg.confidence_threshold {
+                // Degree ramps with confidence above the threshold.
+                let over = (s.confidence - self.cfg.confidence_threshold) as u32;
+                let degree = (2 + 2 * over).min(self.cfg.max_degree);
+                let from = s.head.max(line + 1);
+                let to = (line + degree as u64).min(page_last_line);
+                for l in from..=to {
+                    out.push(l);
+                }
+                if to + 1 > s.head {
+                    s.head = to + 1;
+                }
+            }
+            return;
+        }
+
+        // New stream: allocate, evicting LRU on capacity.
+        if self.streams.len() >= self.cfg.streams {
+            let (idx, _) = self
+                .streams
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .expect("nonempty table");
+            self.streams.swap_remove(idx);
+            self.evictions += 1;
+        }
+        self.streams.push(Stream {
+            page,
+            last: line,
+            confidence: 0,
+            head: line + 1,
+            lru: tick,
+        });
+    }
+
+    /// Number of live streams (for tests/telemetry).
+    pub fn live_streams(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf(streams: usize) -> StreamPrefetcher {
+        StreamPrefetcher::new(PrefetcherConfig {
+            streams,
+            ..Default::default()
+        })
+    }
+
+    /// Feed a pure sequential scan of one page; prefetches must start after
+    /// the confidence threshold and stay within the page.
+    #[test]
+    fn sequential_stream_trains_and_prefetches() {
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        let base = 64 * 10; // page 10
+        let mut total = 0;
+        for i in 0..64u64 {
+            out.clear();
+            p.on_demand_access(base + i, &mut out);
+            if i < 6 {
+                assert!(out.is_empty(), "prefetch before confidence at i={i}");
+            }
+            for &l in &out {
+                assert!(l > base + i, "prefetch behind demand");
+                assert!(l <= base + 63, "prefetch crossed page boundary");
+            }
+            total += out.len();
+        }
+        assert!(total > 40, "too few prefetches: {total}");
+    }
+
+    #[test]
+    fn no_duplicate_prefetches() {
+        let mut p = pf(32);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for i in 0..64u64 {
+            out.clear();
+            p.on_demand_access(i, &mut out);
+            for &l in &out {
+                assert!(seen.insert(l), "line {l} prefetched twice");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_access_never_trains() {
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        // A fixed non-sequential permutation pattern within one page.
+        let order = [0u64, 17, 3, 41, 9, 55, 22, 36, 5, 48, 13, 60, 27, 38, 2, 50];
+        for &l in order.iter().cycle().take(200) {
+            p.on_demand_access(l, &mut out);
+        }
+        assert!(out.is_empty(), "shuffle produced prefetches: {out:?}");
+    }
+
+    #[test]
+    fn table_overflow_stops_prefetching() {
+        // 40 interleaved streams > 32 capacity: constant eviction, zero
+        // prefetches (Obs. 3's k > 32 collapse).
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        let streams = 40u64;
+        for row in 0..64u64 {
+            for s in 0..streams {
+                p.on_demand_access(s * 64 + row, &mut out);
+            }
+        }
+        assert!(out.is_empty(), "prefetches despite table overflow");
+        assert!(p.evictions > 0);
+    }
+
+    #[test]
+    fn table_at_capacity_still_prefetches() {
+        // 32 streams == capacity: every stream survives, all train.
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        for row in 0..64u64 {
+            for s in 0..32u64 {
+                p.on_demand_access(s * 64 + row, &mut out);
+            }
+        }
+        assert!(out.len() > 32 * 40, "expected heavy prefetching");
+        assert_eq!(p.evictions, 0);
+    }
+
+    #[test]
+    fn gen3_capacity_64_handles_wide_stripes() {
+        let mut p = pf(64);
+        let mut out = Vec::new();
+        for row in 0..64u64 {
+            for s in 0..48u64 {
+                p.on_demand_access(s * 64 + row, &mut out);
+            }
+        }
+        assert!(!out.is_empty(), "64-stream table should track 48 streams");
+    }
+
+    #[test]
+    fn disabled_prefetcher_is_silent() {
+        let mut p = pf(32);
+        p.set_enabled(false);
+        let mut out = Vec::new();
+        for i in 0..128u64 {
+            p.on_demand_access(i, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(p.live_streams(), 0);
+    }
+
+    #[test]
+    fn backward_jump_drops_confidence() {
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            out.clear();
+            p.on_demand_access(i, &mut out);
+        }
+        assert!(!out.is_empty(), "trained by now");
+        // Jump backwards repeatedly: confidence decays, prefetching stops.
+        for _ in 0..6 {
+            out.clear();
+            p.on_demand_access(2, &mut out);
+            p.on_demand_access(40, &mut out);
+        }
+        out.clear();
+        p.on_demand_access(41, &mut out);
+        assert!(out.is_empty(), "confidence should have collapsed");
+    }
+}

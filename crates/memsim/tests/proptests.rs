@@ -1,0 +1,167 @@
+//! Property-based tests for the memory-system model: cache behaviour
+//! against a reference model, queueing invariants, and traffic
+//! conservation under arbitrary workloads.
+
+use dialga_memsim::cache::{Cache, Probe};
+use dialga_memsim::config::CacheConfig;
+use dialga_memsim::device::MemorySystem;
+use dialga_memsim::{Counters, Engine, MachineConfig, RowTask, TaskSource};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model of a set-associative LRU cache.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    /// set -> Vec<line> in LRU order (front = LRU).
+    sets_v: HashMap<usize, Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets,
+            ways,
+            sets_v: HashMap::new(),
+        }
+    }
+    fn probe(&mut self, line: u64) -> bool {
+        let set = self.sets_v.entry((line as usize) % self.sets).or_default();
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.push(l);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, line: u64) {
+        let ways = self.ways;
+        let set = self.sets_v.entry((line as usize) % self.sets).or_default();
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.push(l);
+            return;
+        }
+        if set.len() >= ways {
+            set.remove(0);
+        }
+        set.push(line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache must agree hit-for-hit with a reference LRU model under
+    /// arbitrary interleavings of demand probes and inserts.
+    #[test]
+    fn cache_matches_reference_lru(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400)) {
+        let cfg = CacheConfig { bytes: 16 * 64, ways: 4, hit_ns: 1.0 }; // 4 sets x 4 ways
+        let mut cache = Cache::new(&cfg);
+        let mut reference = RefCache::new(cfg.sets(), cfg.ways);
+        for (is_insert, line) in ops {
+            if is_insert {
+                cache.insert(line, 0.0, false);
+                reference.insert(line);
+            } else {
+                let got = matches!(cache.probe_demand(line), Probe::Hit { .. });
+                let want = reference.probe(line);
+                prop_assert_eq!(got, want, "line {}", line);
+            }
+        }
+    }
+
+    /// Completion times never precede request times, and identical request
+    /// sequences produce identical timings (determinism).
+    #[test]
+    fn reads_complete_after_issue_and_deterministically(
+        addrs in proptest::collection::vec(0u64..(1 << 22), 1..200),
+        pm in any::<bool>(),
+    ) {
+        let cfg = if pm { MachineConfig::pm() } else { MachineConfig::dram() };
+        let run = |cfg: &MachineConfig| {
+            let mut m = MemorySystem::new(cfg);
+            let mut c = Counters::default();
+            let mut times = Vec::new();
+            let mut now = 0.0;
+            for &a in &addrs {
+                let t = m.read_line(a / 64, now, &mut c);
+                prop_assert!(t >= now, "completion {} before issue {}", t, now);
+                times.push(t);
+                now += 10.0;
+            }
+            Ok((times, c))
+        };
+        let (t1, c1) = run(&cfg)?;
+        let (t2, c2) = run(&cfg)?;
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// PM media traffic is unit-quantized, bounded below by distinct units
+    /// touched and above by one fetch per request.
+    #[test]
+    fn pm_media_traffic_bounds(addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+        let cfg = MachineConfig::pm();
+        let mut m = MemorySystem::new(&cfg);
+        let mut c = Counters::default();
+        let mut now = 0.0;
+        for &a in &addrs {
+            m.read_line(a / 64, now, &mut c);
+            now += 50.0;
+        }
+        let unit = cfg.pm.unit_bytes;
+        prop_assert_eq!(c.media_read_bytes % unit, 0);
+        let distinct_units: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / unit).collect();
+        prop_assert!(c.xpline_fetches >= distinct_units.len() as u64);
+        prop_assert!(c.xpline_fetches <= addrs.len() as u64);
+        prop_assert_eq!(c.buffer_hits + c.xpline_fetches, addrs.len() as u64);
+    }
+
+    /// Engine-level conservation for arbitrary strided row workloads.
+    #[test]
+    fn engine_traffic_conservation(
+        k in 1usize..16,
+        rows in 1u64..200,
+        stride in prop_oneof![Just(64u64), Just(128), Just(4096)],
+        threads in 1usize..4,
+        pf in any::<bool>(),
+    ) {
+        struct Src {
+            k: usize,
+            rows: u64,
+            stride: u64,
+            pos: Vec<u64>,
+            threads: usize,
+        }
+        impl TaskSource for Src {
+            fn next_task(&mut self, tid: usize, _n: f64, _c: &Counters, task: &mut RowTask) -> bool {
+                let r = self.pos[tid];
+                if r >= self.rows {
+                    return false;
+                }
+                for j in 0..self.k as u64 {
+                    task.loads.push(tid as u64 * (1 << 30) + j * (1 << 20) + r * self.stride);
+                }
+                task.compute_cycles = 10.0;
+                self.pos[tid] = r + 1;
+                true
+            }
+            fn data_bytes(&self) -> u64 {
+                self.rows * self.k as u64 * 64 * self.threads as u64
+            }
+        }
+        let mut cfg = MachineConfig::pm();
+        cfg.prefetcher.enabled = pf;
+        let mut eng = Engine::new(cfg, threads);
+        let r = eng.run(&mut Src { k, rows, stride, pos: vec![0; threads], threads });
+        let c = r.counters;
+        prop_assert_eq!(c.loads, (k as u64) * rows * threads as u64);
+        prop_assert_eq!(c.loads, c.l2_hits + c.llc_hits + c.demand_misses);
+        prop_assert_eq!(c.imc_read_bytes, (c.demand_misses + c.hw_prefetches + c.sw_prefetches) * 64);
+        prop_assert_eq!(c.media_read_bytes, c.xpline_fetches * 256);
+        prop_assert!(r.elapsed_ns > 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Calibration sweep: dump simulator counters for the key observation scenarios (Figs. 3, 5, 6, 7).
+
+use dialga_memsim::MachineConfig;
+use dialga_pipeline::cost::CostModel;
+use dialga_pipeline::isal::{IsalSource, Knobs};
+use dialga_pipeline::layout::StripeLayout;
+use dialga_pipeline::runner::run_source;
+
+fn show(label: &str, cfg: &MachineConfig, k: usize, m: usize, block: u64, threads: usize, knobs: Knobs) {
+    let layout = StripeLayout::sized_for(k, m, block, 4 << 20);
+    let mut src = IsalSource::new(layout, CostModel::default(), knobs, threads);
+    let r = run_source(cfg, threads, &mut src);
+    let c = r.counters;
+    println!(
+        "{label:28} tp={:6.2} GB/s stall/load={:5.1}cy hwpf={:8} swpf={:7} useless={:6} late={:6} l2hit%={:4.1} bufhit%={:4.1} amp={:4.2} wamp_stall={:6.0}us evu={:6}",
+        r.throughput_gbs(),
+        r.stall_cycles_per_load(cfg.freq_ghz),
+        c.hw_prefetches,
+        c.sw_prefetches,
+        c.useless_prefetches,
+        c.late_prefetches,
+        100.0 * c.l2_hits as f64 / c.loads as f64,
+        100.0 * c.buffer_hits as f64 / (c.buffer_hits + c.xpline_fetches).max(1) as f64,
+        c.media_read_amplification(),
+        c.store_stall_ns / 1000.0,
+        c.buffer_evicted_unused,
+    );
+}
+
+fn main() {
+    let pm = MachineConfig::pm();
+    let dram = MachineConfig::dram();
+    let mut pm_off = MachineConfig::pm();
+    pm_off.prefetcher.enabled = false;
+    let mut dram_off = MachineConfig::dram();
+    dram_off.prefetcher.enabled = false;
+    let k = Knobs::default();
+
+    println!("== Fig 3: RS(12,8) 1KB ==");
+    show("pm  pf-on", &pm, 12, 8, 1024, 1, k);
+    show("pm  pf-off", &pm_off, 12, 8, 1024, 1, k);
+    show("dram pf-on", &dram, 12, 8, 1024, 1, k);
+    show("dram pf-off", &dram_off, 12, 8, 1024, 1, k);
+
+    println!("== Obs 3: k sweep m=4 4KB ==");
+    for kk in [4usize, 8, 12, 16, 24, 28, 32, 40, 48, 64] {
+        show(&format!("k={kk}"), &pm, kk, 4, 4096, 1, k);
+    }
+
+    println!("== Obs 4: RS(28,24) block sweep ==");
+    for b in [256u64, 512, 1024, 2048, 3072, 4096, 5120] {
+        show(&format!("block={b}"), &pm, 28, 24, b, 1, k);
+        show(&format!("block={b} pf-off"), &pm_off, 28, 24, b, 1, k);
+    }
+
+    println!("== Obs 5: RS(28,24) 1KB thread sweep ==");
+    for t in [1usize, 2, 4, 8, 12, 16, 18] {
+        show(&format!("pf-on  t={t}"), &pm, 28, 4, 1024, t, k);
+        show(&format!("pf-off t={t}"), &pm_off, 28, 4, 1024, t, k);
+    }
+}

@@ -1,0 +1,109 @@
+//! Compute-cost model for the encoding kernels.
+//!
+//! Calibrated against the structure of ISA-L's AVX512 kernels: a GF
+//! multiply-accumulate of one 64 B line into one parity is two shuffles +
+//! two XORs + table loads ≈ 2 cycles; AVX256 halves the vector width, so
+//! every per-64 B figure doubles (§5.5). XOR-code packet XORs are one
+//! load/xor pair ≈ 1 cycle per 64 B.
+
+/// Vector instruction set in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Simd {
+    /// 64-byte vectors (the paper's default).
+    #[default]
+    Avx512,
+    /// 32-byte vectors: every per-line compute cost doubles.
+    Avx256,
+}
+
+impl Simd {
+    /// Multiplier on per-64 B compute costs relative to AVX512.
+    pub fn width_factor(self) -> f64 {
+        match self {
+            Simd::Avx512 => 1.0,
+            Simd::Avx256 => 2.0,
+        }
+    }
+}
+
+/// Cycle costs of the data-plane kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Instruction set.
+    pub simd: Simd,
+    /// Cycles per GF multiply-accumulate of one 64 B line into one parity
+    /// (AVX512 baseline).
+    pub gf_mad_cycles: f64,
+    /// Cycles per 64 B XOR (AVX512 baseline).
+    pub xor_cycles: f64,
+    /// Fixed per-row loop overhead, cycles (pointer bumps, loop control).
+    pub row_overhead_cycles: f64,
+}
+
+impl CostModel {
+    /// Default model for the given instruction set.
+    pub fn new(simd: Simd) -> Self {
+        CostModel {
+            simd,
+            gf_mad_cycles: 2.0,
+            xor_cycles: 1.0,
+            row_overhead_cycles: 4.0,
+        }
+    }
+
+    /// Compute cycles for one dot-product row: `k` source lines folded into
+    /// `m` parity lines (the ISA-L `ec_encode_data` inner iteration).
+    pub fn rs_row_cycles(&self, k: usize, m: usize) -> f64 {
+        (k * m) as f64 * self.gf_mad_cycles * self.simd.width_factor() + self.row_overhead_cycles
+    }
+
+    /// Compute cycles for one source's contribution to `m` parities over
+    /// one 64 B line (used by the XPLine-expanded loop which processes one
+    /// block at a time).
+    pub fn rs_line_cycles(&self, m: usize) -> f64 {
+        m as f64 * self.gf_mad_cycles * self.simd.width_factor()
+    }
+
+    /// Compute cycles to XOR `lines` 64 B lines (one packet operation of a
+    /// bitmatrix schedule).
+    pub fn xor_lines_cycles(&self, lines: u64) -> f64 {
+        lines as f64 * self.xor_cycles * self.simd.width_factor() + 1.0
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new(Simd::Avx512)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avx256_doubles_compute() {
+        let a = CostModel::new(Simd::Avx512);
+        let b = CostModel::new(Simd::Avx256);
+        let ra = a.rs_row_cycles(12, 4) - a.row_overhead_cycles;
+        let rb = b.rs_row_cycles(12, 4) - b.row_overhead_cycles;
+        assert!((rb - 2.0 * ra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_cost_scales_with_k_and_m() {
+        let c = CostModel::default();
+        assert!(c.rs_row_cycles(24, 4) > c.rs_row_cycles(12, 4));
+        assert!(c.rs_row_cycles(12, 8) > c.rs_row_cycles(12, 4));
+        let km = c.rs_row_cycles(12, 4) - c.row_overhead_cycles;
+        assert!((km - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_cost_linear_in_lines() {
+        let c = CostModel::default();
+        let one = c.xor_lines_cycles(1);
+        let four = c.xor_lines_cycles(4);
+        assert!((four - 1.0 - 4.0 * (one - 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,456 @@
+//! The ISA-L-style table-driven encode/decode access pattern, with DIALGA's
+//! scheduling knobs.
+//!
+//! One *row task* is one iteration of the `ec_encode_data` dot-product
+//! loop: load one 64 B line from each of the k data blocks, fold them into
+//! m parity accumulators, NT-store m parity lines. The k read streams
+//! advance in lockstep — the structure behind the paper's prefetch-window
+//! analysis (Obs. 3) and behind DIALGA's Fig. 9 pipelined prefetch.
+//!
+//! The [`Knobs`] struct exposes everything DIALGA's coordinator schedules:
+//!
+//! * `sw_distance` — pipelined software prefetch distance `d` in row-major
+//!   cacheline steps (Fig. 9; tail steps revert to the plain kernel);
+//! * `bf_first_distance` — the longer distance applied to the first
+//!   cacheline of each XPLine (§4.3.2, initial value k+4);
+//! * `shuffle` — the static shuffle mapping that defeats the L2 stream
+//!   detector (the lightweight HW-prefetcher "off switch" of §4.2);
+//! * `xpline_expand` — 256 B task-granularity expansion (§4.3.3).
+
+use crate::cost::CostModel;
+use crate::layout::StripeLayout;
+use dialga_memsim::{Counters, RowTask, TaskSource};
+
+/// DIALGA's per-task scheduling knobs (all off = plain ISA-L).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Knobs {
+    /// Pipelined software prefetch distance, in row-major cacheline steps.
+    pub sw_distance: Option<u32>,
+    /// Longer prefetch distance for XPLine-first cachelines. Only applied
+    /// when `sw_distance` is set and `shuffle` is off.
+    pub bf_first_distance: Option<u32>,
+    /// Shuffle the row order to de-train the hardware stream prefetcher.
+    pub shuffle: bool,
+    /// Expand loop tasks to 256 B (XPLine) granularity.
+    pub xpline_expand: bool,
+}
+
+/// Greatest common divisor.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Stride for the shuffle permutation within a window of `w` rows: coprime
+/// to `w`, avoiding +1/−1 deltas where possible.
+fn pick_stride(w: u64) -> u64 {
+    if w <= 2 {
+        return 1;
+    }
+    let mut s = 3;
+    while s < w {
+        if gcd(s, w) == 1 && s != w - 1 {
+            return s;
+        }
+        s += 2;
+    }
+    w - 1
+}
+
+/// The static shuffle mapping: a bijection on row indices, applied within
+/// windows of at most 64 rows (one 4 KiB page) so no in-page access ever
+/// follows its predecessor at delta +1.
+pub fn shuffle_row(r: u64, rows: u64) -> u64 {
+    let w = rows.clamp(1, 64);
+    let window = r / w;
+    let x = r % w;
+    let base = window * w;
+    // The last window may be short; permute within its actual size.
+    let wlen = w.min(rows - base);
+    if wlen <= 1 {
+        return r;
+    }
+    base + (x % wlen) * pick_stride(wlen) % wlen
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    stripe: u64,
+    step: u64,
+}
+
+/// Task source for the table-driven (ISA-L-like) pattern.
+///
+/// For decode workloads, construct the layout with `k` = surviving source
+/// blocks and `m` = blocks being reconstructed: the memory pattern is
+/// identical (§4.1, "encoding and decoding tasks share the same memory
+/// load pattern").
+#[derive(Debug, Clone)]
+pub struct IsalSource {
+    layout: StripeLayout,
+    cost: CostModel,
+    knobs: Knobs,
+    cur: Vec<Cursor>,
+    threads: usize,
+}
+
+impl IsalSource {
+    /// Build a source for `threads` logical threads.
+    pub fn new(layout: StripeLayout, cost: CostModel, knobs: Knobs, threads: usize) -> Self {
+        IsalSource {
+            layout,
+            cost,
+            knobs,
+            cur: vec![Cursor::default(); threads],
+            threads,
+        }
+    }
+
+    /// Replace the knobs (DIALGA's coordinator does this between samples).
+    pub fn set_knobs(&mut self, knobs: Knobs) {
+        self.knobs = knobs;
+    }
+
+    /// Current knobs.
+    pub fn knobs(&self) -> Knobs {
+        self.knobs
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &StripeLayout {
+        &self.layout
+    }
+
+    fn expanded(&self) -> bool {
+        self.knobs.xpline_expand && self.layout.rows_per_block().is_multiple_of(4)
+    }
+
+    fn steps_per_stripe(&self) -> u64 {
+        if self.expanded() {
+            (self.layout.rows_per_block() / 4) * self.layout.k as u64
+        } else {
+            self.layout.rows_per_block()
+        }
+    }
+
+    fn row_of(&self, visual: u64) -> u64 {
+        if self.knobs.shuffle {
+            shuffle_row(visual, self.layout.rows_per_block())
+        } else {
+            visual
+        }
+    }
+
+    fn group_of(&self, visual: u64) -> u64 {
+        let groups = self.layout.rows_per_block() / 4;
+        if self.knobs.shuffle {
+            shuffle_row(visual, groups)
+        } else {
+            visual
+        }
+    }
+
+    fn fill_normal(&self, tid: usize, c: Cursor, task: &mut RowTask) {
+        let (k, m) = (self.layout.k, self.layout.m);
+        let rows = self.layout.rows_per_block();
+        let vr = c.step;
+        let row = self.row_of(vr);
+
+        if let Some(d) = self.knobs.sw_distance {
+            let total = rows * k as u64;
+            let d = d as u64;
+            // BF split only applies without shuffle (see module docs).
+            let df = if self.knobs.shuffle {
+                None
+            } else {
+                self.knobs.bf_first_distance.map(u64::from)
+            };
+            for j in 0..k as u64 {
+                let n = vr * k as u64 + j;
+                match df {
+                    None => {
+                        let t = n + d;
+                        if t < total {
+                            let (tr, tj) = (self.row_of(t / k as u64), (t % k as u64) as usize);
+                            task.sw_prefetches
+                                .push(self.layout.data_line(tid, c.stripe, tj, tr));
+                        }
+                    }
+                    Some(df) => {
+                        // Each future step is covered exactly once: by the
+                        // long distance if it starts an XPLine, by the short
+                        // one otherwise.
+                        let t1 = n + d;
+                        if t1 < total && !(t1 / k as u64).is_multiple_of(4) {
+                            task.sw_prefetches.push(self.layout.data_line(
+                                tid,
+                                c.stripe,
+                                (t1 % k as u64) as usize,
+                                t1 / k as u64,
+                            ));
+                        }
+                        let t2 = n + df;
+                        if t2 < total && (t2 / k as u64).is_multiple_of(4) {
+                            task.sw_prefetches.push(self.layout.data_line(
+                                tid,
+                                c.stripe,
+                                (t2 % k as u64) as usize,
+                                t2 / k as u64,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        for j in 0..k {
+            task.loads.push(self.layout.data_line(tid, c.stripe, j, row));
+        }
+        task.compute_cycles = self.cost.rs_row_cycles(k, m);
+        for i in 0..m {
+            task.stores
+                .push(self.layout.parity_line(tid, c.stripe, i, row));
+        }
+    }
+
+    fn fill_expanded(&self, tid: usize, c: Cursor, task: &mut RowTask) {
+        let (k, m) = (self.layout.k, self.layout.m);
+        let vg = c.step / k as u64;
+        let j = (c.step % k as u64) as usize;
+        let g = self.group_of(vg);
+
+        if let Some(d) = self.knobs.sw_distance {
+            // One expanded step covers 4 row-major lines of one block;
+            // translate the line distance into steps.
+            let de = (d as u64 / 4).max(1);
+            let t = c.step + de;
+            if t < self.steps_per_stripe() {
+                let (tg, tj) = (self.group_of(t / k as u64), (t % k as u64) as usize);
+                for l in 0..4 {
+                    task.sw_prefetches
+                        .push(self.layout.data_line(tid, c.stripe, tj, tg * 4 + l));
+                }
+            }
+        }
+
+        for l in 0..4 {
+            task.loads
+                .push(self.layout.data_line(tid, c.stripe, j, g * 4 + l));
+        }
+        task.compute_cycles = 4.0 * self.cost.rs_line_cycles(m) + self.cost.row_overhead_cycles;
+        if j == k - 1 {
+            for i in 0..m {
+                for l in 0..4 {
+                    task.stores
+                        .push(self.layout.parity_line(tid, c.stripe, i, g * 4 + l));
+                }
+            }
+        }
+    }
+}
+
+impl TaskSource for IsalSource {
+    fn next_task(
+        &mut self,
+        tid: usize,
+        _now_ns: f64,
+        _counters: &Counters,
+        task: &mut RowTask,
+    ) -> bool {
+        let c = self.cur[tid];
+        if c.stripe >= self.layout.stripes_per_thread {
+            return false;
+        }
+        if self.expanded() {
+            self.fill_expanded(tid, c, task);
+        } else {
+            self.fill_normal(tid, c, task);
+        }
+        let steps = self.steps_per_stripe();
+        let cur = &mut self.cur[tid];
+        cur.step += 1;
+        if cur.step >= steps {
+            cur.step = 0;
+            cur.stripe += 1;
+        }
+        true
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.layout.data_bytes_per_thread() * self.threads as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dialga_memsim::MachineConfig;
+
+    fn collect_tasks(src: &mut IsalSource, tid: usize, n: usize) -> Vec<RowTask> {
+        let ctr = Counters::default();
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let mut t = RowTask::default();
+            if !src.next_task(tid, 0.0, &ctr, &mut t) {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn shuffle_row_is_bijective() {
+        for rows in [4u64, 8, 16, 32, 48, 64, 80, 160] {
+            let mut seen = vec![false; rows as usize];
+            for r in 0..rows {
+                let s = shuffle_row(r, rows);
+                assert!(s < rows, "rows={rows} r={r} -> {s}");
+                assert!(!seen[s as usize], "rows={rows}: duplicate {s}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_avoids_sequential_deltas() {
+        for rows in [8u64, 16, 32, 64] {
+            for r in 0..rows - 1 {
+                let a = shuffle_row(r, rows);
+                let b = shuffle_row(r + 1, rows);
+                // Within the same window, consecutive visual steps must not
+                // produce +1 (the stream detector's trigger).
+                if r / 64 == (r + 1) / 64 {
+                    assert_ne!(b, a + 1, "rows={rows} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normal_task_shape() {
+        let layout = StripeLayout::new(12, 4, 1024, 4);
+        let mut src = IsalSource::new(layout, CostModel::default(), Knobs::default(), 1);
+        let tasks = collect_tasks(&mut src, 0, 3);
+        assert_eq!(tasks.len(), 3);
+        for t in &tasks {
+            assert_eq!(t.loads.len(), 12);
+            assert_eq!(t.stores.len(), 4);
+            assert!(t.sw_prefetches.is_empty());
+            assert!(t.compute_cycles > 0.0);
+        }
+        // Loads advance by one row (64 B) per task.
+        assert_eq!(tasks[1].loads[0], tasks[0].loads[0] + 64);
+    }
+
+    #[test]
+    fn stripe_count_limits_tasks() {
+        let layout = StripeLayout::new(4, 2, 1024, 2);
+        let mut src = IsalSource::new(layout, CostModel::default(), Knobs::default(), 1);
+        // 16 rows per block x 2 stripes = 32 tasks.
+        let tasks = collect_tasks(&mut src, 0, 100);
+        assert_eq!(tasks.len(), 32);
+    }
+
+    #[test]
+    fn sw_prefetch_targets_d_steps_ahead() {
+        let layout = StripeLayout::new(4, 2, 1024, 1);
+        let knobs = Knobs {
+            sw_distance: Some(4), // exactly one row ahead when k=4
+            ..Default::default()
+        };
+        let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
+        let tasks = collect_tasks(&mut src, 0, 2);
+        // Row 0's prefetches are row 1's loads.
+        assert_eq!(tasks[0].sw_prefetches, tasks[1].loads);
+    }
+
+    #[test]
+    fn sw_prefetch_skips_tail() {
+        let layout = StripeLayout::new(4, 2, 1024, 1); // 16 rows
+        let knobs = Knobs {
+            sw_distance: Some(8),
+            ..Default::default()
+        };
+        let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
+        let tasks = collect_tasks(&mut src, 0, 16);
+        // Last two rows (steps 56..64 of 64) have no prefetches at d=8.
+        assert!(tasks[15].sw_prefetches.is_empty());
+        assert!(tasks[14].sw_prefetches.is_empty());
+        assert_eq!(tasks[0].sw_prefetches.len(), 4);
+    }
+
+    #[test]
+    fn bf_split_covers_each_step_once() {
+        let layout = StripeLayout::new(4, 2, 1024, 1);
+        let knobs = Knobs {
+            sw_distance: Some(6),
+            bf_first_distance: Some(10),
+            ..Default::default()
+        };
+        let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
+        let tasks = collect_tasks(&mut src, 0, 16);
+        // Union of all prefetch targets == union of all loads minus the
+        // warm-up prefix (steps 0..min(d)) — and no duplicates.
+        let mut targets: Vec<u64> = tasks.iter().flat_map(|t| t.sw_prefetches.clone()).collect();
+        let before = targets.len();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(before, targets.len(), "duplicate prefetch targets");
+        let loads: std::collections::HashSet<u64> =
+            tasks.iter().flat_map(|t| t.loads.clone()).collect();
+        for t in &targets {
+            assert!(loads.contains(t), "prefetch {t} never loaded");
+        }
+    }
+
+    #[test]
+    fn expanded_mode_visits_all_lines_and_stores_once() {
+        let layout = StripeLayout::new(3, 2, 1024, 1);
+        let knobs = Knobs {
+            xpline_expand: true,
+            ..Default::default()
+        };
+        let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
+        let tasks = collect_tasks(&mut src, 0, 1000);
+        // 16 rows / 4 = 4 groups x 3 blocks = 12 tasks.
+        assert_eq!(tasks.len(), 12);
+        let mut loads: Vec<u64> = tasks.iter().flat_map(|t| t.loads.clone()).collect();
+        loads.sort_unstable();
+        loads.dedup();
+        assert_eq!(loads.len(), 3 * 16, "every data line exactly once");
+        let stores: usize = tasks.iter().map(|t| t.stores.len()).sum();
+        assert_eq!(stores, 2 * 16, "every parity line exactly once");
+        // Loads within a task are 4 consecutive lines of one block.
+        for t in &tasks {
+            assert_eq!(t.loads.len(), 4);
+            assert_eq!(t.loads[3] - t.loads[0], 192);
+        }
+    }
+
+    #[test]
+    fn shuffled_run_defeats_hw_prefetcher_end_to_end() {
+        let layout = StripeLayout::sized_for(12, 4, 4096, 2 << 20);
+        let plain = IsalSource::new(layout, CostModel::default(), Knobs::default(), 1);
+        let shuf = IsalSource::new(
+            layout,
+            CostModel::default(),
+            Knobs {
+                shuffle: true,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut e1 = dialga_memsim::Engine::new(MachineConfig::pm(), 1);
+        let r1 = e1.run(&mut { plain });
+        let mut e2 = dialga_memsim::Engine::new(MachineConfig::pm(), 1);
+        let r2 = e2.run(&mut { shuf });
+        assert!(r1.counters.hw_prefetches > 1000, "plain should prefetch");
+        assert_eq!(r2.counters.hw_prefetches, 0, "shuffle must silence HW PF");
+        // Shuffle still touches every line exactly once.
+        assert_eq!(r1.counters.loads, r2.counters.loads);
+    }
+}

@@ -1,0 +1,207 @@
+//! Convenience entry point: build an engine, run a source, return the
+//! report.
+
+use dialga_memsim::{Engine, MachineConfig, RunReport, TaskSource};
+
+/// Run `source` on a fresh engine with `threads` logical threads.
+///
+/// # Examples
+///
+/// ```
+/// use dialga_memsim::MachineConfig;
+/// use dialga_pipeline::cost::CostModel;
+/// use dialga_pipeline::isal::{IsalSource, Knobs};
+/// use dialga_pipeline::layout::StripeLayout;
+/// use dialga_pipeline::run_source;
+///
+/// // Simulate plain ISA-L encoding RS(16,12) with 1 KiB blocks on PM.
+/// let cfg = MachineConfig::pm();
+/// let layout = StripeLayout::sized_for(12, 4, 1024, 1 << 20);
+/// let mut src = IsalSource::new(layout, CostModel::default(), Knobs::default(), 1);
+/// let report = run_source(&cfg, 1, &mut src);
+/// assert!(report.throughput_gbs() > 0.0);
+/// assert_eq!(report.counters.encode_read_bytes, report.data_bytes);
+/// ```
+pub fn run_source<S: TaskSource>(cfg: &MachineConfig, threads: usize, source: &mut S) -> RunReport {
+    let mut engine = Engine::new(cfg.clone(), threads);
+    engine.run(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::isal::{IsalSource, Knobs};
+    use crate::layout::StripeLayout;
+
+    fn isal(k: usize, m: usize, block: u64, bytes: u64, knobs: Knobs, threads: usize) -> IsalSource {
+        let layout = StripeLayout::sized_for(k, m, block, bytes);
+        IsalSource::new(layout, CostModel::default(), knobs, threads)
+    }
+
+    /// Fig. 3 shape: DRAM beats PM substantially; the prefetcher helps DRAM
+    /// more than PM. (4 KiB blocks — the §3.2 default configuration.)
+    #[test]
+    fn fig3_shape_dram_vs_pm() {
+        let run = |cfg: MachineConfig| {
+            let mut src = isal(12, 8, 4096, 4 << 20, Knobs::default(), 1);
+            run_source(&cfg, 1, &mut src).throughput_gbs()
+        };
+        let mut pm_off = MachineConfig::pm();
+        pm_off.prefetcher.enabled = false;
+        let mut dram_off = MachineConfig::dram();
+        dram_off.prefetcher.enabled = false;
+
+        let pm_on = run(MachineConfig::pm());
+        let pm_nof = run(pm_off);
+        let dram_on = run(MachineConfig::dram());
+        let dram_nof = run(dram_off);
+
+        assert!(dram_on > 2.5 * pm_on, "DRAM {dram_on:.2} vs PM {pm_on:.2}");
+        assert!(dram_nof > pm_nof, "DRAM-noPF {dram_nof:.2} vs PM-noPF {pm_nof:.2}");
+        let dram_gain = dram_on / dram_nof;
+        let pm_gain = pm_on / pm_nof;
+        assert!(
+            dram_gain > pm_gain,
+            "prefetcher should help DRAM ({dram_gain:.2}x) more than PM ({pm_gain:.2}x)"
+        );
+        assert!(pm_gain > 1.05, "prefetcher should still help PM: {pm_gain:.2}x");
+    }
+
+    /// Obs. 3 shape: throughput rises with k, then collapses past the
+    /// 32-stream table.
+    #[test]
+    fn obs3_shape_k_sweep() {
+        let tp = |k: usize| {
+            let mut src = isal(k, 4, 4096, 4 << 20, Knobs::default(), 1);
+            run_source(&MachineConfig::pm(), 1, &mut src).throughput_gbs()
+        };
+        let t4 = tp(4);
+        let t12 = tp(12);
+        let t28 = tp(28);
+        let t40 = tp(40);
+        assert!(t12 > t4, "k=12 ({t12:.2}) should beat k=4 ({t4:.2})");
+        assert!(t28 > 1.2 * t4, "k=28 ({t28:.2}) should beat k=4 ({t4:.2})");
+        assert!(t40 < 0.75 * t28, "k=40 ({t40:.2}) should collapse vs k=28 ({t28:.2})");
+    }
+
+    /// Obs. 4 shape: the prefetcher has no (or negative) effect at ≤512 B,
+    /// a positive effect plus read amplification at 1 KiB, and a positive
+    /// effect with *no* amplification at 4 KiB. (Known deviation vs the
+    /// paper: the model's streamer still fires once near the end of an
+    /// 8-line stream, so 512 B shows residual amplification without any
+    /// speedup; the paper measured none. See EXPERIMENTS.md.)
+    #[test]
+    fn obs4_shape_block_sizes() {
+        let run = |block: u64, pf: bool| {
+            let mut cfg = MachineConfig::pm();
+            cfg.prefetcher.enabled = pf;
+            let mut src = isal(28, 4, block, 4 << 20, Knobs::default(), 1);
+            run_source(&cfg, 1, &mut src)
+        };
+        let r512 = run(512, true);
+        let r512_off = run(512, false);
+        let r1k = run(1024, true);
+        let r1k_off = run(1024, false);
+        let r4k = run(4096, true);
+        let r4k_off = run(4096, false);
+
+        // ≤512 B: no benefit from the prefetcher.
+        let g512 = r512.throughput_gbs() / r512_off.throughput_gbs();
+        assert!(g512 < 1.08, "512B prefetch gain {g512:.2} should be ~none");
+        // 1 KiB: real speedup and real amplification.
+        let g1k = r1k.throughput_gbs() / r1k_off.throughput_gbs();
+        assert!(g1k > 1.2, "1KiB prefetch gain {g1k:.2}");
+        assert!(
+            r1k.counters.media_read_amplification() > 1.15,
+            "1KiB amplification {:.2} should be visible",
+            r1k.counters.media_read_amplification()
+        );
+        // 4 KiB: best speedup, no amplification.
+        let g4k = r4k.throughput_gbs() / r4k_off.throughput_gbs();
+        assert!(g4k > g1k, "4KiB gain {g4k:.2} should beat 1KiB {g1k:.2}");
+        assert!(
+            r4k.counters.media_read_amplification() < 1.06,
+            "4KiB amplification {:.2}",
+            r4k.counters.media_read_amplification()
+        );
+    }
+
+    /// Obs. 5 shape: with the prefetcher on, multi-thread scaling saturates
+    /// well below linear while prefetcher-off keeps scaling.
+    #[test]
+    fn obs5_shape_thread_scaling() {
+        let run = |cfg: &MachineConfig, threads: usize| {
+            let mut src = isal(28, 4, 1024, 2 << 20, Knobs::default(), threads);
+            run_source(cfg, threads, &mut src).throughput_gbs()
+        };
+        let on = MachineConfig::pm();
+        let mut off = MachineConfig::pm();
+        off.prefetcher.enabled = false;
+
+        let on1 = run(&on, 1);
+        let on16 = run(&on, 16);
+        let off1 = run(&off, 1);
+        let off16 = run(&off, 16);
+        assert!(on1 > off1, "single-thread prefetching should help");
+        let on_scale = on16 / on1;
+        let off_scale = off16 / off1;
+        assert!(
+            off_scale > on_scale,
+            "pf-off should scale better: {off_scale:.2}x vs {on_scale:.2}x"
+        );
+    }
+
+    /// §4.2: software prefetching recovers most of the loss when the HW
+    /// prefetcher is defeated by shuffle.
+    #[test]
+    fn sw_prefetch_recovers_shuffled_throughput() {
+        let k = 12;
+        let shuffled = Knobs {
+            shuffle: true,
+            ..Default::default()
+        };
+        let shuffled_sw = Knobs {
+            shuffle: true,
+            sw_distance: Some((2 * k) as u32),
+            ..Default::default()
+        };
+        let mut a = isal(k, 4, 1024, 4 << 20, shuffled, 1);
+        let mut b = isal(k, 4, 1024, 4 << 20, shuffled_sw, 1);
+        let ra = run_source(&MachineConfig::pm(), 1, &mut a);
+        let rb = run_source(&MachineConfig::pm(), 1, &mut b);
+        assert!(
+            rb.throughput_gbs() > 1.15 * ra.throughput_gbs(),
+            "sw prefetch {:.2} should beat bare shuffle {:.2}",
+            rb.throughput_gbs(),
+            ra.throughput_gbs()
+        );
+        assert!(rb.counters.sw_prefetches > 0);
+    }
+
+    /// §4.3.3: XPLine expansion cuts media amplification under high
+    /// concurrency.
+    #[test]
+    fn xpline_expansion_reduces_thrashing() {
+        let threads = 16;
+        let base = Knobs {
+            shuffle: true,
+            ..Default::default()
+        };
+        let expanded = Knobs {
+            shuffle: true,
+            xpline_expand: true,
+            ..Default::default()
+        };
+        let mut a = isal(28, 4, 1024, 1 << 20, base, threads);
+        let mut b = isal(28, 4, 1024, 1 << 20, expanded, threads);
+        let ra = run_source(&MachineConfig::pm(), threads, &mut a);
+        let rb = run_source(&MachineConfig::pm(), threads, &mut b);
+        let amp_a = ra.counters.media_read_amplification();
+        let amp_b = rb.counters.media_read_amplification();
+        assert!(
+            amp_b < amp_a,
+            "expansion should reduce amplification: {amp_b:.2} vs {amp_a:.2}"
+        );
+    }
+}

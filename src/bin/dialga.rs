@@ -1,0 +1,97 @@
+//! `dialga` — erasure-coded file archives from the command line.
+//!
+//! ```text
+//! dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N]
+//! dialga verify <manifest.dialga>
+//! dialga repair <manifest.dialga>
+//! dialga restore <manifest.dialga> [--out FILE]
+//! ```
+
+use dialga_repro::archive;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N]\n  dialga verify <manifest.dialga>\n  dialga repair <manifest.dialga>\n  dialga restore <manifest.dialga> [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "encode" => {
+            let out = flag(&mut args, "--out").map(PathBuf::from);
+            let k: usize = flag(&mut args, "--k").and_then(|v| v.parse().ok()).unwrap_or(8);
+            let m: usize = flag(&mut args, "--m").and_then(|v| v.parse().ok()).unwrap_or(2);
+            let threads: usize = flag(&mut args, "--threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            let Some(file) = args.first().map(PathBuf::from) else {
+                return usage();
+            };
+            let out_dir = out.unwrap_or_else(|| {
+                file.parent().map(PathBuf::from).unwrap_or_else(|| ".".into())
+            });
+            archive::encode_file(&file, &out_dir, k, m, threads).map(|p| {
+                println!(
+                    "encoded {} -> {} ({} data + {} parity shards)",
+                    file.display(),
+                    p.display(),
+                    k,
+                    m
+                );
+            })
+        }
+        "verify" => {
+            let Some(manifest) = args.first().map(PathBuf::from) else {
+                return usage();
+            };
+            archive::verify(&manifest).map(|status| {
+                if status.healthy() {
+                    println!("healthy");
+                } else {
+                    println!("missing shards: {:?}", status.missing);
+                    println!("corrupt shards: {:?}", status.corrupt);
+                }
+            })
+        }
+        "repair" => {
+            let Some(manifest) = args.first().map(PathBuf::from) else {
+                return usage();
+            };
+            archive::repair(&manifest).map(|n| println!("rebuilt {n} shard(s)"))
+        }
+        "restore" => {
+            let out = flag(&mut args, "--out").map(PathBuf::from);
+            let Some(manifest) = args.first().map(PathBuf::from) else {
+                return usage();
+            };
+            archive::restore(&manifest, out.as_deref())
+                .map(|p| println!("restored {}", p.display()))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

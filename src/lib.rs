@@ -1,0 +1,23 @@
+#![deny(missing_docs)]
+//! Facade crate for the DIALGA reproduction workspace.
+//!
+//! Re-exports the public surfaces of every sub-crate so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`gf`] — GF(2^8) arithmetic and slice kernels.
+//! * [`ec`] — Reed–Solomon, XOR-bitmatrix, and LRC codes (plus the
+//!   Zerasure/Cerasure-style baselines and decompose strategy).
+//! * [`memsim`] — the persistent-memory + cache-hierarchy + hardware
+//!   prefetcher simulator that substitutes for Optane hardware.
+//! * [`pipeline`] — access-pattern generators and the timed executor that
+//!   couples coding strategies to the simulator.
+//! * [`scheduler`] — the DIALGA adaptive prefetcher scheduler itself
+//!   (coordinator, lightweight operator, buffer-friendly prefetch).
+
+pub mod archive;
+
+pub use dialga as scheduler;
+pub use dialga_ec as ec;
+pub use dialga_gf as gf;
+pub use dialga_memsim as memsim;
+pub use dialga_pipeline as pipeline;
