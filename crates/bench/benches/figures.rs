@@ -1,254 +1,222 @@
-//! Criterion benches, one group per paper figure.
+//! Timed regeneration of one representative configuration per paper
+//! figure.
 //!
-//! Each group runs a reduced-footprint version of the corresponding figure
-//! point through the PM simulator (the figure *binaries* in `src/bin/`
-//! print the full series; these criterion entries time the regeneration
-//! itself and pin one representative configuration per figure so
-//! `cargo bench` exercises every experiment end to end).
+//! The figure *binaries* in `src/bin/` print the full series; these
+//! entries time the regeneration itself through the PM simulator so
+//! `cargo bench` exercises every experiment end to end. Timed with the
+//! in-tree harness (`dialga_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dialga::Variant;
+use dialga_bench::harness::group;
 use dialga_bench::systems::{decode_report, encode_report, lrc_report, Spec, System};
 use dialga_memsim::MachineConfig;
 use dialga_pipeline::cost::Simd;
 use std::hint::black_box;
-use std::time::Duration;
 
-/// Small footprint so each criterion sample is a few milliseconds.
+/// Small footprint so each sample is a few milliseconds.
 const BYTES: u64 = 512 << 10;
 
 fn spec(k: usize, m: usize, block: u64, threads: usize) -> Spec {
     Spec::new(k, m, block, threads, BYTES)
 }
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
-    g
-}
-
-fn fig03(c: &mut Criterion) {
-    let mut g = group(c, "fig03");
-    g.bench_function("pm_vs_dram", |b| {
-        b.iter(|| {
-            let pm = encode_report(System::Isal, &spec(12, 8, 4096, 1)).unwrap();
-            let mut s = spec(12, 8, 4096, 1);
-            s.cfg = MachineConfig::dram();
-            let dram = encode_report(System::Isal, &s).unwrap();
-            black_box((pm.throughput_gbs(), dram.throughput_gbs()))
-        })
+fn fig03() {
+    let mut g = group("fig03");
+    g.bench("pm_vs_dram", || {
+        let pm = encode_report(System::Isal, &spec(12, 8, 4096, 1)).unwrap();
+        let mut s = spec(12, 8, 4096, 1);
+        s.cfg = MachineConfig::dram();
+        let dram = encode_report(System::Isal, &s).unwrap();
+        black_box((pm.throughput_gbs(), dram.throughput_gbs()))
     });
-    g.finish();
 }
 
-fn fig04(c: &mut Criterion) {
-    let mut g = group(c, "fig04");
-    g.bench_function("freq_2ghz_pm", |b| {
-        b.iter(|| {
-            let mut s = spec(12, 8, 4096, 1);
-            s.cfg.freq_ghz = 2.0;
-            black_box(encode_report(System::Isal, &s).unwrap().throughput_gbs())
-        })
+fn fig04() {
+    let mut g = group("fig04");
+    g.bench("freq_2ghz_pm", || {
+        let mut s = spec(12, 8, 4096, 1);
+        s.cfg.freq_ghz = 2.0;
+        black_box(encode_report(System::Isal, &s).unwrap().throughput_gbs())
     });
-    g.finish();
 }
 
-fn fig05(c: &mut Criterion) {
-    let mut g = group(c, "fig05");
+fn fig05() {
+    let mut g = group("fig05");
     for k in [12usize, 40] {
-        g.bench_function(format!("k{k}"), |b| {
-            b.iter(|| {
-                black_box(
-                    encode_report(System::Isal, &spec(k, 4, 4096, 1))
-                        .unwrap()
-                        .throughput_gbs(),
-                )
-            })
+        g.bench(&format!("k{k}"), || {
+            black_box(
+                encode_report(System::Isal, &spec(k, 4, 4096, 1))
+                    .unwrap()
+                    .throughput_gbs(),
+            )
         });
     }
-    g.finish();
 }
 
-fn fig06(c: &mut Criterion) {
-    let mut g = group(c, "fig06");
-    g.bench_function("block_1k_amp", |b| {
-        b.iter(|| {
-            black_box(
-                encode_report(System::Isal, &spec(28, 24, 1024, 1))
-                    .unwrap()
-                    .counters
-                    .media_read_amplification(),
-            )
-        })
+fn fig06() {
+    let mut g = group("fig06");
+    g.bench("block_1k_amp", || {
+        black_box(
+            encode_report(System::Isal, &spec(28, 24, 1024, 1))
+                .unwrap()
+                .counters
+                .media_read_amplification(),
+        )
     });
-    g.finish();
 }
 
-fn fig07(c: &mut Criterion) {
-    let mut g = group(c, "fig07");
-    g.bench_function("threads8", |b| {
-        b.iter(|| {
+fn fig07() {
+    let mut g = group("fig07");
+    g.bench("threads8", || {
+        black_box(
+            encode_report(System::Isal, &spec(28, 24, 4096, 8))
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig10() {
+    let mut g = group("fig10");
+    for sys in [
+        System::Cerasure,
+        System::Isal,
+        System::IsalD,
+        System::Dialga,
+    ] {
+        g.bench(sys.label(), || {
             black_box(
-                encode_report(System::Isal, &spec(28, 24, 4096, 8))
+                encode_report(sys, &spec(12, 4, 1024, 1))
                     .unwrap()
                     .throughput_gbs(),
             )
-        })
-    });
-    g.finish();
-}
-
-fn fig10(c: &mut Criterion) {
-    let mut g = group(c, "fig10");
-    for sys in [System::Cerasure, System::Isal, System::IsalD, System::Dialga] {
-        g.bench_function(sys.label(), |b| {
-            b.iter(|| {
-                black_box(
-                    encode_report(sys, &spec(12, 4, 1024, 1))
-                        .unwrap()
-                        .throughput_gbs(),
-                )
-            })
         });
     }
-    g.finish();
 }
 
-fn fig11(c: &mut Criterion) {
-    let mut g = group(c, "fig11");
-    g.bench_function("m3_dialga", |b| {
-        b.iter(|| {
+fn fig11() {
+    let mut g = group("fig11");
+    g.bench("m3_dialga", || {
+        black_box(
+            encode_report(System::Dialga, &spec(12, 3, 1024, 1))
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig12() {
+    let mut g = group("fig12");
+    g.bench("block512_dialga", || {
+        black_box(
+            encode_report(System::Dialga, &spec(12, 8, 512, 1))
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig13() {
+    let mut g = group("fig13");
+    g.bench("wide_8threads_dialga", || {
+        black_box(
+            encode_report(System::Dialga, &spec(48, 4, 1024, 8))
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig14() {
+    let mut g = group("fig14");
+    g.bench("decode_dialga", || {
+        black_box(
+            decode_report(System::Dialga, &spec(12, 4, 1024, 1), 4)
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+    g.bench("decode_cerasure", || {
+        black_box(
+            decode_report(System::Cerasure, &spec(12, 4, 1024, 1), 4)
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig15() {
+    let mut g = group("fig15");
+    g.bench("avx256_dialga", || {
+        let mut s = spec(12, 8, 1024, 1);
+        s.simd = Simd::Avx256;
+        black_box(encode_report(System::Dialga, &s).unwrap().throughput_gbs())
+    });
+}
+
+fn fig16() {
+    let mut g = group("fig16");
+    g.bench("lrc12_4_2_dialga", || {
+        black_box(
+            lrc_report(System::Dialga, &spec(12, 4, 1024, 1), 2)
+                .unwrap()
+                .throughput_gbs(),
+        )
+    });
+}
+
+fn fig17() {
+    let mut g = group("fig17");
+    g.bench("stall_cycles_isal", || {
+        let s = spec(12, 8, 1024, 1);
+        black_box(
+            encode_report(System::Isal, &s)
+                .unwrap()
+                .stall_cycles_per_load(s.cfg.freq_ghz),
+        )
+    });
+}
+
+fn fig18() {
+    let mut g = group("fig18");
+    for v in [
+        Variant::Vanilla,
+        Variant::Sw,
+        Variant::SwHw,
+        Variant::SwHwBf,
+    ] {
+        g.bench(System::DialgaVariant(v).label(), || {
             black_box(
-                encode_report(System::Dialga, &spec(12, 3, 1024, 1))
+                encode_report(System::DialgaVariant(v), &spec(12, 8, 1024, 1))
                     .unwrap()
                     .throughput_gbs(),
             )
-        })
-    });
-    g.finish();
-}
-
-fn fig12(c: &mut Criterion) {
-    let mut g = group(c, "fig12");
-    g.bench_function("block512_dialga", |b| {
-        b.iter(|| {
-            black_box(
-                encode_report(System::Dialga, &spec(12, 8, 512, 1))
-                    .unwrap()
-                    .throughput_gbs(),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn fig13(c: &mut Criterion) {
-    let mut g = group(c, "fig13");
-    g.bench_function("wide_8threads_dialga", |b| {
-        b.iter(|| {
-            black_box(
-                encode_report(System::Dialga, &spec(48, 4, 1024, 8))
-                    .unwrap()
-                    .throughput_gbs(),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn fig14(c: &mut Criterion) {
-    let mut g = group(c, "fig14");
-    g.bench_function("decode_dialga", |b| {
-        b.iter(|| {
-            black_box(
-                decode_report(System::Dialga, &spec(12, 4, 1024, 1), 4)
-                    .unwrap()
-                    .throughput_gbs(),
-            )
-        })
-    });
-    g.bench_function("decode_cerasure", |b| {
-        b.iter(|| {
-            black_box(
-                decode_report(System::Cerasure, &spec(12, 4, 1024, 1), 4)
-                    .unwrap()
-                    .throughput_gbs(),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn fig15(c: &mut Criterion) {
-    let mut g = group(c, "fig15");
-    g.bench_function("avx256_dialga", |b| {
-        b.iter(|| {
-            let mut s = spec(12, 8, 1024, 1);
-            s.simd = Simd::Avx256;
-            black_box(encode_report(System::Dialga, &s).unwrap().throughput_gbs())
-        })
-    });
-    g.finish();
-}
-
-fn fig16(c: &mut Criterion) {
-    let mut g = group(c, "fig16");
-    g.bench_function("lrc12_4_2_dialga", |b| {
-        b.iter(|| {
-            black_box(
-                lrc_report(System::Dialga, &spec(12, 4, 1024, 1), 2)
-                    .unwrap()
-                    .throughput_gbs(),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn fig17(c: &mut Criterion) {
-    let mut g = group(c, "fig17");
-    g.bench_function("stall_cycles_isal", |b| {
-        b.iter(|| {
-            let s = spec(12, 8, 1024, 1);
-            black_box(
-                encode_report(System::Isal, &s)
-                    .unwrap()
-                    .stall_cycles_per_load(s.cfg.freq_ghz),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn fig18(c: &mut Criterion) {
-    let mut g = group(c, "fig18");
-    for v in [Variant::Vanilla, Variant::Sw, Variant::SwHw, Variant::SwHwBf] {
-        g.bench_function(System::DialgaVariant(v).label(), |b| {
-            b.iter(|| {
-                black_box(
-                    encode_report(System::DialgaVariant(v), &spec(12, 8, 1024, 1))
-                        .unwrap()
-                        .throughput_gbs(),
-                )
-            })
         });
     }
-    g.finish();
 }
 
-fn fig19(c: &mut Criterion) {
-    let mut g = group(c, "fig19");
-    g.bench_function("traffic_layers", |b| {
-        b.iter(|| {
-            let r = encode_report(System::Dialga, &spec(28, 24, 1024, 4)).unwrap();
-            black_box((r.counters.imc_read_bytes, r.counters.media_read_bytes))
-        })
+fn fig19() {
+    let mut g = group("fig19");
+    g.bench("traffic_layers", || {
+        let r = encode_report(System::Dialga, &spec(28, 24, 1024, 4)).unwrap();
+        black_box((r.counters.imc_read_bytes, r.counters.media_read_bytes))
     });
-    g.finish();
 }
 
-criterion_group!(
-    figures, fig03, fig04, fig05, fig06, fig07, fig10, fig11, fig12, fig13, fig14, fig15,
-    fig16, fig17, fig18, fig19
-);
-criterion_main!(figures);
+fn main() {
+    fig03();
+    fig04();
+    fig05();
+    fig06();
+    fig07();
+    fig10();
+    fig11();
+    fig12();
+    fig13();
+    fig14();
+    fig15();
+    fig16();
+    fig17();
+    fig18();
+    fig19();
+}

@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks for the functional data-plane kernels: the
-//! real-bytes GF arithmetic, RS/XOR encoders, and DIALGA's operator
-//! mechanics. These measure this crate's actual code on the host CPU
-//! (unlike the figure benches, which measure the simulated PM system).
+//! Microbenchmarks for the functional data-plane kernels: the real-bytes
+//! GF arithmetic, RS/XOR encoders, and DIALGA's operator mechanics. These
+//! measure this crate's actual code on the host CPU (unlike the figure
+//! benches, which measure the simulated PM system). Timed with the
+//! in-tree harness (`dialga_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dialga::encoder::{Dialga, DialgaOptions};
 use dialga::operator::build_prefetch_ptrs;
+use dialga_bench::harness::group;
 use dialga_ec::xor::{XorCode, XorFlavor};
 use dialga_ec::ReedSolomon;
 use dialga_gf::slice::{mul_add_slice, mul_slice, xor_slice};
@@ -20,24 +21,23 @@ fn data(k: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn bench_gf_kernels(c: &mut Criterion) {
+fn bench_gf_kernels() {
     let src = data(1, BLOCK).pop().unwrap();
     let mut dst = vec![0u8; BLOCK];
-    let mut g = c.benchmark_group("gf_kernels");
-    g.throughput(Throughput::Bytes(BLOCK as u64));
-    g.bench_function("mul_slice", |b| {
-        b.iter(|| mul_slice(black_box(0x57), black_box(&src), black_box(&mut dst)))
+    let mut g = group("gf_kernels");
+    g.throughput_bytes(BLOCK as u64);
+    g.bench("mul_slice", || {
+        mul_slice(black_box(0x57), black_box(&src), black_box(&mut dst))
     });
-    g.bench_function("mul_add_slice", |b| {
-        b.iter(|| mul_add_slice(black_box(0x57), black_box(&src), black_box(&mut dst)))
+    g.bench("mul_add_slice", || {
+        mul_add_slice(black_box(0x57), black_box(&src), black_box(&mut dst))
     });
-    g.bench_function("xor_slice", |b| {
-        b.iter(|| xor_slice(black_box(&src), black_box(&mut dst)))
+    g.bench("xor_slice", || {
+        xor_slice(black_box(&src), black_box(&mut dst))
     });
-    g.finish();
 }
 
-fn bench_rs_encode(c: &mut Criterion) {
+fn bench_rs_encode() {
     let (k, m) = (12, 4);
     let blocks = data(k, BLOCK);
     let refs: Vec<&[u8]> = blocks.iter().map(|d| d.as_slice()).collect();
@@ -52,36 +52,28 @@ fn bench_rs_encode(c: &mut Criterion) {
         },
     )
     .unwrap();
-    let mut g = c.benchmark_group("encode_rs12_4_64k");
-    g.throughput(Throughput::Bytes((k * BLOCK) as u64));
-    g.bench_function("isal_style", |b| b.iter(|| rs.encode_vec(black_box(&refs))));
-    g.bench_function("dialga_pipelined", |b| {
-        b.iter(|| dialga.encode_vec(black_box(&refs)))
+    let mut g = group("encode_rs12_4_64k");
+    g.throughput_bytes((k * BLOCK) as u64);
+    g.bench("isal_style", || rs.encode_vec(black_box(&refs)));
+    g.bench("dialga_pipelined", || dialga.encode_vec(black_box(&refs)));
+    g.bench("dialga_shuffled", || {
+        dialga_shuffled.encode_vec(black_box(&refs))
     });
-    g.bench_function("dialga_shuffled", |b| {
-        b.iter(|| dialga_shuffled.encode_vec(black_box(&refs)))
-    });
-    g.finish();
 }
 
-fn bench_xor_encode(c: &mut Criterion) {
+fn bench_xor_encode() {
     let (k, m) = (8, 4);
     let blocks = data(k, 8192);
     let refs: Vec<&[u8]> = blocks.iter().map(|d| d.as_slice()).collect();
     let plain = XorCode::new(k, m, XorFlavor::Plain).unwrap();
     let cerasure = XorCode::new(k, m, XorFlavor::Cerasure).unwrap();
-    let mut g = c.benchmark_group("encode_xor8_4_8k");
-    g.throughput(Throughput::Bytes((k * 8192) as u64));
-    g.bench_function("jerasure_style", |b| {
-        b.iter(|| plain.encode_vec(black_box(&refs)))
-    });
-    g.bench_function("cerasure_style", |b| {
-        b.iter(|| cerasure.encode_vec(black_box(&refs)))
-    });
-    g.finish();
+    let mut g = group("encode_xor8_4_8k");
+    g.throughput_bytes((k * 8192) as u64);
+    g.bench("jerasure_style", || plain.encode_vec(black_box(&refs)));
+    g.bench("cerasure_style", || cerasure.encode_vec(black_box(&refs)));
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let (k, m) = (12, 4);
     let blocks = data(k, 8192);
     let refs: Vec<&[u8]> = blocks.iter().map(|d| d.as_slice()).collect();
@@ -93,46 +85,35 @@ fn bench_decode(c: &mut Criterion) {
         .map(Some)
         .chain(parity.into_iter().map(Some))
         .collect();
-    let mut g = c.benchmark_group("decode_rs12_4_8k");
-    g.throughput(Throughput::Bytes((k * 8192) as u64));
-    g.bench_function("repair_2_data", |b| {
-        b.iter_batched(
-            || {
-                let mut s = shards.clone();
-                s[1] = None;
-                s[5] = None;
-                s
-            },
-            |mut s| dialga.decode(black_box(&mut s)).unwrap(),
-            BatchSize::SmallInput,
-        )
+    let mut g = group("decode_rs12_4_8k");
+    g.throughput_bytes((k * 8192) as u64);
+    g.bench("repair_2_data", || {
+        let mut s = shards.clone();
+        s[1] = None;
+        s[5] = None;
+        dialga.decode(black_box(&mut s)).unwrap();
+        s
     });
-    g.finish();
 }
 
-fn bench_operator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("operator");
-    g.bench_function("shuffle_row_64", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for r in 0..64u64 {
-                acc ^= shuffle_row(black_box(r), 64);
-            }
-            acc
-        })
+fn bench_operator() {
+    let mut g = group("operator");
+    g.bench("shuffle_row_64", || {
+        let mut acc = 0u64;
+        for r in 0..64u64 {
+            acc ^= shuffle_row(black_box(r), 64);
+        }
+        acc
     });
-    g.bench_function("build_prefetch_ptrs_k28", |b| {
-        b.iter(|| build_prefetch_ptrs(black_box(7), 28, 64, 56, true))
+    g.bench("build_prefetch_ptrs_k28", || {
+        build_prefetch_ptrs(black_box(7), 28, 64, 56, true)
     });
-    g.finish();
 }
 
-criterion_group!(
-    kernels,
-    bench_gf_kernels,
-    bench_rs_encode,
-    bench_xor_encode,
-    bench_decode,
-    bench_operator
-);
-criterion_main!(kernels);
+fn main() {
+    bench_gf_kernels();
+    bench_rs_encode();
+    bench_xor_encode();
+    bench_decode();
+    bench_operator();
+}

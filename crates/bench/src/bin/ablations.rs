@@ -116,7 +116,12 @@ fn main() {
     // distance's buffer footprint.)
     let mut t = Table::new(
         "ablation_eq1",
-        &["policy", "throughput_gbs", "media_amp", "buffer_evicted_unused"],
+        &[
+            "policy",
+            "throughput_gbs",
+            "media_amp",
+            "buffer_evicted_unused",
+        ],
     );
     {
         let threads = 14;
@@ -168,7 +173,10 @@ fn main() {
         let mut adaptive = DialgaSource::with_variant(layout1, cost, 1, &cfg, Variant::Adaptive);
         adaptive.set_sample_interval(50_000.0);
         let r = run_source(&cfg, 1, &mut adaptive);
-        t.row(vec!["hill-climbed (DIALGA)".into(), gbs(r.throughput_gbs())]);
+        t.row(vec![
+            "hill-climbed (DIALGA)".into(),
+            gbs(r.throughput_gbs()),
+        ]);
         let ratio = r.throughput_gbs() / best_fixed;
         t.row(vec![
             "adaptive / best-fixed".into(),

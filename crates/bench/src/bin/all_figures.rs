@@ -6,8 +6,25 @@ use std::process::Command;
 
 fn main() {
     let figs = [
-        "fig03", "fig04", "fig05", "fig06", "fig07", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "generality", "ablations", "update_path", "repair_path",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "generality",
+        "ablations",
+        "update_path",
+        "repair_path",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -13,7 +13,12 @@ fn main() {
     let args = Args::parse(8 << 20);
     let mut t = Table::new(
         "fig03",
-        &["source", "prefetcher", "throughput_gbs", "stall_cyc_per_load"],
+        &[
+            "source",
+            "prefetcher",
+            "throughput_gbs",
+            "stall_cyc_per_load",
+        ],
     );
     let base = MachineConfig::pm();
     for (label, dram) in [("PM", false), ("DRAM", true)] {

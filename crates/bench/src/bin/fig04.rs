@@ -14,7 +14,13 @@ fn main() {
     let args = Args::parse(8 << 20);
     let mut t = Table::new(
         "fig04",
-        &["freq_ghz", "pm_avx512", "pm_avx256", "dram_avx512", "dram_avx256"],
+        &[
+            "freq_ghz",
+            "pm_avx512",
+            "pm_avx256",
+            "dram_avx512",
+            "dram_avx256",
+        ],
     );
     for freq10 in [10u32, 14, 18, 22, 26, 30, 33] {
         let freq = freq10 as f64 / 10.0;

@@ -14,7 +14,13 @@ fn main() {
     let args = Args::parse(8 << 20);
     let mut t = Table::new(
         "fig05",
-        &["k", "throughput_gbs", "useless_pf_ratio", "l2_pf_ratio", "stream_evictions"],
+        &[
+            "k",
+            "throughput_gbs",
+            "useless_pf_ratio",
+            "l2_pf_ratio",
+            "stream_evictions",
+        ],
     );
     for k in [4usize, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56, 64] {
         let spec = Spec::new(k, 4, 4096, 1, args.bytes_per_thread);

@@ -13,7 +13,13 @@ fn main() {
     let args = Args::parse(8 << 20);
     let mut t = Table::new(
         "fig06",
-        &["block", "pf_on_gbs", "pf_off_gbs", "media_amp_on", "media_amp_off"],
+        &[
+            "block",
+            "pf_on_gbs",
+            "pf_off_gbs",
+            "media_amp_on",
+            "media_amp_off",
+        ],
     );
     for block in [256u64, 512, 1024, 2048, 3072, 4096, 5120] {
         let spec = Spec::new(28, 24, block, 1, args.bytes_per_thread);

@@ -14,7 +14,13 @@ fn main() {
     let args = Args::parse(2 << 20);
     let mut t = Table::new(
         "fig07",
-        &["threads", "pf_on_gbs", "pf_off_gbs", "amp_on", "buffer_hit_on"],
+        &[
+            "threads",
+            "pf_on_gbs",
+            "pf_off_gbs",
+            "amp_on",
+            "buffer_hit_on",
+        ],
     );
     for threads in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18] {
         let spec = Spec::new(28, 24, 4096, threads, args.bytes_per_thread);

@@ -20,7 +20,9 @@ fn main() {
     ];
     let mut t = Table::new(
         "fig11",
-        &["k", "m", "Zerasure", "Cerasure", "ISA-L", "ISA-L-D", "DIALGA"],
+        &[
+            "k", "m", "Zerasure", "Cerasure", "ISA-L", "ISA-L-D", "DIALGA",
+        ],
     );
     for k in [12usize, 28, 48] {
         for m in [2usize, 3, 4] {

@@ -21,7 +21,15 @@ fn main() {
     ];
     let mut t = Table::new(
         "fig12",
-        &["code", "block", "Zerasure", "Cerasure", "ISA-L", "ISA-L-noPF", "DIALGA"],
+        &[
+            "code",
+            "block",
+            "Zerasure",
+            "Cerasure",
+            "ISA-L",
+            "ISA-L-noPF",
+            "DIALGA",
+        ],
     );
     for (k, m) in [(12usize, 8usize), (28, 24)] {
         for block in [256u64, 512, 1024, 2048, 4096, 5120] {

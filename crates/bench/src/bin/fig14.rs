@@ -18,10 +18,7 @@ fn main() {
         System::Isal,
         System::Dialga,
     ];
-    let mut t = Table::new(
-        "fig14",
-        &["k", "Zerasure", "Cerasure", "ISA-L", "DIALGA"],
-    );
+    let mut t = Table::new("fig14", &["k", "Zerasure", "Cerasure", "ISA-L", "DIALGA"]);
     for k in [12usize, 20, 28, 48] {
         let spec = Spec::new(k, 4, 1024, 1, args.bytes_per_thread);
         let mut row = vec![k.to_string()];

@@ -12,18 +12,12 @@ use dialga_pipeline::cost::Simd;
 
 fn main() {
     let args = Args::parse(4 << 20);
-    let mut t = Table::new(
-        "fig15",
-        &["code", "simd", "Cerasure", "ISA-L", "DIALGA"],
-    );
+    let mut t = Table::new("fig15", &["code", "simd", "Cerasure", "ISA-L", "DIALGA"]);
     for (k, m) in [(12usize, 8usize), (28, 24)] {
         for simd in [Simd::Avx512, Simd::Avx256] {
             let mut spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
             spec.simd = simd;
-            let mut row = vec![
-                format!("RS({},{})", k + m, k),
-                format!("{simd:?}"),
-            ];
+            let mut row = vec![format!("RS({},{})", k + m, k), format!("{simd:?}")];
             for sys in [System::Cerasure, System::Isal, System::Dialga] {
                 row.push(match dialga_bench::systems::encode_report(sys, &spec) {
                     Some(r) => gbs(r.throughput_gbs()),

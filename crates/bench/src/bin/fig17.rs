@@ -11,10 +11,7 @@ use dialga_memsim::MachineConfig;
 
 fn main() {
     let args = Args::parse(4 << 20);
-    let mut t = Table::new(
-        "fig17",
-        &["code", "ISA-L", "ISA-L-D", "DIALGA"],
-    );
+    let mut t = Table::new("fig17", &["code", "ISA-L", "ISA-L-D", "DIALGA"]);
     for (k, m) in [(12usize, 8usize), (28, 24), (48, 4)] {
         let spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
         let mut row = vec![format!("RS({},{})", k + m, k)];

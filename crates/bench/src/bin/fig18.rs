@@ -12,16 +12,17 @@ use dialga_memsim::MachineConfig;
 
 fn main() {
     let args = Args::parse(4 << 20);
-    let mut t = Table::new(
-        "fig18",
-        &["code", "Vanilla", "+SW", "+HW", "+BF"],
-    );
+    let mut t = Table::new("fig18", &["code", "Vanilla", "+SW", "+HW", "+BF"]);
     for (k, m) in [(12usize, 8usize), (28, 24), (48, 4)] {
         let spec = Spec::new(k, m, 1024, 1, args.bytes_per_thread);
         let mut row = vec![format!("RS({},{})", k + m, k)];
-        for v in [Variant::Vanilla, Variant::Sw, Variant::SwHw, Variant::SwHwBf] {
-            let r = dialga_bench::systems::encode_report(System::DialgaVariant(v), &spec)
-                .unwrap();
+        for v in [
+            Variant::Vanilla,
+            Variant::Sw,
+            Variant::SwHw,
+            Variant::SwHwBf,
+        ] {
+            let r = dialga_bench::systems::encode_report(System::DialgaVariant(v), &spec).unwrap();
             row.push(gbs(r.throughput_gbs()));
         }
         t.row(row);

@@ -16,7 +16,14 @@ fn main() {
     let args = Args::parse(2 << 20);
     let mut t = Table::new(
         "fig19",
-        &["threads", "system", "throughput_gbs", "encode_norm", "imc_norm", "media_norm"],
+        &[
+            "threads",
+            "system",
+            "throughput_gbs",
+            "encode_norm",
+            "imc_norm",
+            "media_norm",
+        ],
     );
     for threads in [1usize, 18] {
         for sys in [System::Isal, System::Dialga] {

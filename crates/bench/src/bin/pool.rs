@@ -1,0 +1,38 @@
+//! Dispatch ablation for the persistent encode pool (real host, real
+//! bytes): per-stripe cost of [`dialga::pool::EncodePool`] versus spawning
+//! a fresh set of scoped threads per stripe, at the paper's default 4 KiB
+//! block size across thread counts. Both sides chunk and encode
+//! identically, so the difference is dispatch overhead alone — the cost
+//! the pool exists to remove.
+
+use dialga_bench::systems::dispatch_ablation;
+use dialga_bench::{Args, Table};
+
+fn main() {
+    // `--bytes` rescales the number of stripes timed per point.
+    let args = Args::parse(64 << 20);
+    let (k, m, block) = (12usize, 4usize, 4096usize);
+    let stripes = (args.bytes_per_thread / (k as u64 * block as u64)).max(10);
+    let mut t = Table::new(
+        "pool",
+        &[
+            "threads",
+            "pool_ns_per_stripe",
+            "spawn_ns_per_stripe",
+            "speedup",
+        ],
+    );
+    for threads in [2usize, 4, 8, 16] {
+        let r = dispatch_ablation(k, m, block, threads, stripes);
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.0}", r.pool_ns_per_stripe),
+            format!("{:.0}", r.spawn_ns_per_stripe),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.finish(
+        &format!("RS({k},{m}) block={block} stripes={stripes} per point"),
+        args.csv,
+    );
+}

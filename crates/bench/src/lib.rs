@@ -7,6 +7,7 @@
 //! systems-under-test constructors ([`systems`]) and the output helpers
 //! ([`table`]).
 
+pub mod harness;
 pub mod systems;
 pub mod table;
 

@@ -13,7 +13,9 @@
 //!   pattern with XOR-derived compute costs — see DESIGN.md).
 //! * **DIALGA** — the adaptive scheduler (or a pinned Fig. 18 variant).
 
+use dialga::pool::{split_ranges, EncodePool};
 use dialga::source::{DialgaSource, Variant};
+use dialga::Dialga;
 use dialga_ec::xor::{XorCode, XorFlavor};
 use dialga_memsim::{MachineConfig, RunReport};
 use dialga_pipeline::cost::{CostModel, Simd};
@@ -175,16 +177,14 @@ pub fn encode_report(system: System, spec: &Spec) -> Option<RunReport> {
             // Zerasure and Cerasure only support AVX256 (§5.1).
             let cost = CostModel::new(Simd::Avx256);
             let code = xor_code(spec.k, spec.m, XorFlavor::Zerasure);
-            let mut src =
-                XorSource::new(layout, cost, code.schedule().clone(), spec.threads);
+            let mut src = XorSource::new(layout, cost, code.schedule().clone(), spec.threads);
             Some(run_source(&spec.cfg, spec.threads, &mut src))
         }
         System::Cerasure => {
             if spec.k <= 32 {
                 let cost = CostModel::new(Simd::Avx256);
                 let code = xor_code(spec.k, spec.m, XorFlavor::Cerasure);
-                let mut src =
-                    XorSource::new(layout, cost, code.schedule().clone(), spec.threads);
+                let mut src = XorSource::new(layout, cost, code.schedule().clone(), spec.threads);
                 Some(run_source(&spec.cfg, spec.threads, &mut src))
             } else {
                 // Wide stripe: decompose into SUB_K-wide XOR sub-encodes.
@@ -200,8 +200,7 @@ pub fn encode_report(system: System, spec: &Spec) -> Option<RunReport> {
             Some(run_source(&spec.cfg, spec.threads, &mut src))
         }
         System::DialgaVariant(v) => {
-            let mut src =
-                DialgaSource::with_variant(layout, cost, spec.threads, &spec.cfg, v);
+            let mut src = DialgaSource::with_variant(layout, cost, spec.threads, &spec.cfg, v);
             src.set_sample_interval(FIG_SAMPLE_NS);
             Some(run_source(&spec.cfg, spec.threads, &mut src))
         }
@@ -258,8 +257,7 @@ pub fn decode_report(system: System, spec: &Spec, lost: usize) -> Option<RunRepo
 /// Run an LRC(k, m, l) encode (Fig. 16). DIALGA applies its pipelined
 /// software prefetching to the LRC pattern; the baselines run it plain.
 pub fn lrc_report(system: System, spec: &Spec, l: usize) -> Option<RunReport> {
-    let layout =
-        StripeLayout::sized_for(spec.k, spec.m + l, spec.block, spec.bytes_per_thread);
+    let layout = StripeLayout::sized_for(spec.k, spec.m + l, spec.block, spec.bytes_per_thread);
     let cost = spec.cost();
     let knobs = match system {
         System::Dialga => Knobs {
@@ -277,6 +275,96 @@ pub fn lrc_report(system: System, spec: &Spec, l: usize) -> Option<RunReport> {
     }
     let mut src = LrcSource::new(layout, cost, spec.m, l, knobs, spec.threads);
     Some(run_source(&cfg, spec.threads, &mut src))
+}
+
+/// Real-host dispatch ablation: per-stripe cost of the persistent encode
+/// pool versus spawning (and joining) a fresh set of scoped threads per
+/// stripe — the pre-pool design. Both sides run the identical chunking
+/// ([`split_ranges`]) and the identical kernel, so the difference is pure
+/// dispatch overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Stripes encoded per side.
+    pub stripes: u64,
+    /// Persistent-pool nanoseconds per stripe.
+    pub pool_ns_per_stripe: f64,
+    /// Spawn-per-stripe nanoseconds per stripe.
+    pub spawn_ns_per_stripe: f64,
+}
+
+impl DispatchReport {
+    /// Spawn-per-stripe cost relative to the pool (>1 means the pool wins).
+    pub fn speedup(&self) -> f64 {
+        self.spawn_ns_per_stripe / self.pool_ns_per_stripe
+    }
+}
+
+/// Encode one stripe by spawning a scoped thread per chunk (the old
+/// per-call dispatch), with the same chunk boundaries the pool uses.
+fn spawn_encode(coder: &Dialga, data: &[&[u8]], parity: &mut [&mut [u8]], threads: usize) {
+    let len = data.first().map_or(0, |d| d.len());
+    let ranges = split_ranges(len, threads);
+    if ranges.len() <= 1 {
+        coder.encode(data, parity).expect("encode");
+        return;
+    }
+    let mut parity_chunks: Vec<Vec<&mut [u8]>> = ranges.iter().map(|_| Vec::new()).collect();
+    for p in parity.iter_mut() {
+        let mut rest: &mut [u8] = p;
+        for (i, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.len().min(rest.len()));
+            parity_chunks[i].push(head);
+            rest = tail;
+        }
+    }
+    std::thread::scope(|scope| {
+        for (range, mut chunk) in ranges.iter().cloned().zip(parity_chunks) {
+            let data_slices: Vec<&[u8]> = data.iter().map(|d| &d[range.clone()]).collect();
+            scope.spawn(move || coder.encode(&data_slices, &mut chunk).expect("encode"));
+        }
+    });
+}
+
+/// Measure pool vs spawn-per-stripe dispatch at one (k, m, block, threads)
+/// point, `stripes` stripes per side.
+pub fn dispatch_ablation(
+    k: usize,
+    m: usize,
+    block: usize,
+    threads: usize,
+    stripes: u64,
+) -> DispatchReport {
+    let coder = Dialga::new(k, m).expect("geometry");
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..block).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let mut parity = vec![vec![0u8; block]; m];
+
+    let pool = EncodePool::new(threads);
+    let mut time_side = |encode: &mut dyn FnMut(&mut [&mut [u8]])| {
+        let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        encode(&mut prefs); // warm up (pool spin-up, page faults)
+        let t = std::time::Instant::now();
+        for _ in 0..stripes {
+            encode(&mut prefs);
+        }
+        t.elapsed().as_nanos() as f64 / stripes as f64
+    };
+    let pool_ns = time_side(&mut |prefs| {
+        pool.encode(&coder, &refs, prefs).expect("encode");
+    });
+    let spawn_ns = time_side(&mut |prefs| {
+        spawn_encode(&coder, &refs, prefs, threads);
+    });
+    DispatchReport {
+        threads,
+        stripes,
+        pool_ns_per_stripe: pool_ns,
+        spawn_ns_per_stripe: spawn_ns,
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +414,15 @@ mod tests {
             let r = decode_report(sys, &spec(8, 4), 2).expect("decode result");
             assert!(r.throughput_gbs() > 0.0, "{sys:?}");
         }
+    }
+
+    #[test]
+    fn dispatch_ablation_times_both_sides() {
+        let r = dispatch_ablation(6, 2, 4096, 2, 10);
+        assert_eq!(r.threads, 2);
+        assert!(r.pool_ns_per_stripe > 0.0);
+        assert!(r.spawn_ns_per_stripe > 0.0);
+        assert!(r.speedup() > 0.0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::hillclimb::HillClimber;
 use dialga_memsim::{Counters, MachineConfig};
 use dialga_pipeline::Knobs;
+use std::collections::VecDeque;
 
 /// Latency threshold: contention is declared when the interval's average
 /// load latency exceeds 110 % of the low-pressure baseline (§4.1, after
@@ -81,24 +82,19 @@ pub struct Coordinator {
     climber: HillClimber,
     policy: Policy,
     samples: u64,
-    /// Timestamped policy changes (bounded), for tracing/telemetry.
-    log: Vec<(f64, Policy)>,
+    /// Timestamped policy changes (ring buffer of the most recent
+    /// [`LOG_CAP`]), for tracing/telemetry.
+    log: VecDeque<(f64, Policy)>,
 }
 
-/// Maximum retained policy-log entries.
-const LOG_CAP: usize = 4096;
+/// Maximum retained policy-log entries (oldest are evicted first).
+pub const LOG_CAP: usize = 4096;
 
 impl Coordinator {
     /// Build a coordinator for one encoding configuration. The static
     /// I/O-pattern rules of §4.1 pick the initial policy; sampling then
     /// adapts it.
-    pub fn new(
-        k: usize,
-        _m: usize,
-        block_bytes: u64,
-        threads: usize,
-        cfg: &MachineConfig,
-    ) -> Self {
+    pub fn new(k: usize, _m: usize, block_bytes: u64, threads: usize, cfg: &MachineConfig) -> Self {
         let wide_stripe = k > cfg.prefetcher.streams;
         let small_block = block_bytes < 4096;
         let high_threads = threads > THREAD_THRESHOLD;
@@ -146,7 +142,7 @@ impl Coordinator {
                 pressure: PressureState::default(),
             },
             samples: 0,
-            log: Vec::new(),
+            log: VecDeque::new(),
         }
     }
 
@@ -247,16 +243,24 @@ impl Coordinator {
             hw_suppressed,
             pressure,
         };
-        if changed && self.log.len() < LOG_CAP {
-            self.log.push((now_ns, self.policy));
+        if changed {
+            // Ring buffer: retain the newest LOG_CAP entries. (The old
+            // `len() < LOG_CAP` guard silently stopped recording once the
+            // log filled, so long runs lost exactly the changes an operator
+            // would be debugging.)
+            if self.log.len() == LOG_CAP {
+                self.log.pop_front();
+            }
+            self.log.push_back((now_ns, self.policy));
         }
         changed.then_some(knobs)
     }
 
-    /// Timestamped policy changes recorded so far (what the scheduler did
-    /// and when — the observability surface for operators).
-    pub fn policy_log(&self) -> &[(f64, Policy)] {
-        &self.log
+    /// Timestamped policy changes recorded so far, oldest first (what the
+    /// scheduler did and when — the observability surface for operators).
+    /// Retains the most recent [`LOG_CAP`] changes.
+    pub fn policy_log(&self) -> Vec<(f64, Policy)> {
+        self.log.iter().copied().collect()
     }
 }
 
@@ -282,9 +286,24 @@ mod tests {
         // Single thread: plenty of headroom.
         assert!(eq1_max_distance(1, 28, buffer, 256) >= 13 * 28);
         // Larger-granularity devices tighten the bound proportionally.
-        assert!(
-            eq1_max_distance(4, 28, buffer, 1024) < eq1_max_distance(4, 28, buffer, 256)
-        );
+        assert!(eq1_max_distance(4, 28, buffer, 1024) < eq1_max_distance(4, 28, buffer, 256));
+    }
+
+    #[test]
+    fn eq1_bound_edge_cases() {
+        // Degenerate wave size (threads = 0, k = 0, or unit_bytes = 0):
+        // nothing constrains the distance, so the bound is unbounded rather
+        // than a divide-by-zero.
+        assert_eq!(eq1_max_distance(0, 28, 96 * 1024, 256), u32::MAX);
+        assert_eq!(eq1_max_distance(4, 0, 96 * 1024, 256), u32::MAX);
+        assert_eq!(eq1_max_distance(4, 28, 96 * 1024, 0), u32::MAX);
+        // Buffer smaller than one wave: zero waves, clamped to the d = k
+        // floor instead of zero.
+        let per_wave = 4u64 * 28 * 256;
+        assert_eq!(eq1_max_distance(4, 28, per_wave - 1, 256), 28);
+        assert_eq!(eq1_max_distance(4, 28, 0, 256), 28);
+        // Huge buffer: the 4096 ceiling holds.
+        assert_eq!(eq1_max_distance(1, 28, u64::MAX, 256), 4096);
     }
 
     #[test]
@@ -320,13 +339,14 @@ mod tests {
         let mut c = Coordinator::new(12, 4, 1024, 4, &cfg());
         c.sample_interval_ns = 1000.0;
         c.next_sample_ns = 1000.0;
-        let mut ctr = Counters::default();
-
-        // Baseline interval: calm.
-        ctr.loads = 1000;
-        ctr.demand_stall_ns = 100_000.0; // 100ns/load
-        ctr.useless_prefetches = 10;
-        assert!(c.on_tick(1500.0, &ctr).is_none() || true);
+        // Baseline interval: calm (100 ns/load).
+        let mut ctr = Counters {
+            loads: 1000,
+            demand_stall_ns: 100_000.0,
+            useless_prefetches: 10,
+            ..Default::default()
+        };
+        c.on_tick(1500.0, &ctr);
 
         // Pressure interval: latency x2, useless x10.
         ctr.loads += 1000;
@@ -366,9 +386,11 @@ mod tests {
     fn policy_log_records_changes_with_timestamps() {
         let mut c = Coordinator::new(12, 4, 1024, 4, &cfg());
         c.set_sample_interval(1000.0);
-        let mut ctr = Counters::default();
-        ctr.loads = 1000;
-        ctr.demand_stall_ns = 100_000.0;
+        let mut ctr = Counters {
+            loads: 1000,
+            demand_stall_ns: 100_000.0,
+            ..Default::default()
+        };
         c.on_tick(1500.0, &ctr);
         ctr.loads += 1000;
         ctr.demand_stall_ns += 400_000.0;
@@ -381,6 +403,44 @@ mod tests {
             assert!(w[0].0 <= w[1].0, "log out of order");
         }
         assert_eq!(log.last().unwrap().1, c.policy());
+    }
+
+    #[test]
+    fn policy_log_retains_newest_past_capacity() {
+        let mut c = Coordinator::new(12, 4, 1024, 4, &cfg());
+        c.set_sample_interval(1000.0);
+        let mut ctr = Counters::default();
+        let mut now = 0.0;
+        // Alternate calm and pressured intervals so every sample flips the
+        // policy; run well past LOG_CAP changes.
+        let mut changes = 0usize;
+        let mut last_change_ns = 0.0;
+        for i in 0.. {
+            now += 1500.0;
+            ctr.loads += 1000;
+            if i % 2 == 0 {
+                ctr.demand_stall_ns += 100_000.0;
+                ctr.useless_prefetches += 10;
+            } else {
+                ctr.demand_stall_ns += 400_000.0;
+                ctr.useless_prefetches += 500;
+            }
+            if c.on_tick(now, &ctr).is_some() {
+                changes += 1;
+                last_change_ns = now;
+            }
+            if changes >= LOG_CAP + 50 {
+                break;
+            }
+            assert!(i < 100_000, "policy stopped changing; test stuck");
+        }
+        let log = c.policy_log();
+        assert_eq!(log.len(), LOG_CAP, "ring buffer caps retention");
+        // The newest change is retained; the evicted ones are the oldest.
+        assert_eq!(log.last().unwrap().0, last_change_ns);
+        for w in log.windows(2) {
+            assert!(w[0].0 < w[1].0, "log out of order");
+        }
     }
 
     #[test]

@@ -15,8 +15,7 @@ use dialga_gf::slice::prefetch_read;
 use dialga_gf::tables::NibbleTables;
 
 /// Scheduling options for the functional kernels.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DialgaOptions {
     /// Software prefetch distance in row-major cacheline steps
     /// (default: k, the paper's initial value).
@@ -24,7 +23,6 @@ pub struct DialgaOptions {
     /// Apply the static shuffle mapping to the row order.
     pub shuffle: bool,
 }
-
 
 /// The DIALGA erasure coder: ISA-L-style table-driven Reed–Solomon with
 /// pipelined software prefetching.
@@ -183,6 +181,24 @@ impl Dialga {
 
     /// Encode the k data blocks into the m parity blocks.
     pub fn encode(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
+        self.encode_with(data, parity, self.d, self.shuffle)
+    }
+
+    /// Encode with explicit scheduling overrides, ignoring the distance and
+    /// shuffle the coder was built with.
+    ///
+    /// This is the entry point the persistent encode pool uses: the
+    /// coordinator retunes `d`/`shuffle` at its sampling interval and
+    /// workers pick up the current values per chunk, without rebuilding the
+    /// coder (the tables only depend on the code, not the schedule).
+    /// Scheduling never changes the bytes produced.
+    pub fn encode_with(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        d: u32,
+        shuffle: bool,
+    ) -> Result<(), EcError> {
         let len = self.check(data, parity.len())?;
         for p in parity.iter() {
             if p.len() != len {
@@ -192,7 +208,7 @@ impl Dialga {
                 });
             }
         }
-        Self::pipelined_apply(&self.tables, data, parity, self.d, self.shuffle);
+        Self::pipelined_apply(&self.tables, data, parity, d, shuffle);
         Ok(())
     }
 
@@ -246,8 +262,7 @@ impl Dialga {
                 .collect();
             let mut outs = vec![vec![0u8; len]; lost_data.len()];
             {
-                let mut refs: Vec<&mut [u8]> =
-                    outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
                 Self::pipelined_apply(&tables, &srcs, &mut refs, self.d, self.shuffle);
             }
             for (&ld, out) in lost_data.iter().zip(outs) {
@@ -257,8 +272,9 @@ impl Dialga {
 
         let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
         if !lost_parity.is_empty() {
-            let data_refs: Vec<&[u8]> =
-                (0..k).map(|i| shards[i].as_ref().unwrap().as_slice()).collect();
+            let data_refs: Vec<&[u8]> = (0..k)
+                .map(|i| shards[i].as_ref().unwrap().as_slice())
+                .collect();
             let parity = self.encode_vec(&data_refs)?;
             for &lp in &lost_parity {
                 shards[lp] = Some(parity[lp - k].clone());
@@ -274,7 +290,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 89 + j * 7 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 89 + j * 7 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 

@@ -26,15 +26,22 @@
 //!   and emit real `prefetcht0` hints on x86-64;
 //! * [`source::DialgaSource`] — the *timed* coupling to the PM simulator,
 //!   used by every figure reproduction.
+//!
+//! Multi-threaded encoding goes through the persistent worker pool of
+//! [`pool::EncodePool`] (long-lived workers, per-worker queues, batch
+//! submission, live coordinator-driven knob propagation); [`parallel`]
+//! keeps the old one-call surface on top of a cached pool.
 
 pub mod coordinator;
 pub mod encoder;
 pub mod hillclimb;
 pub mod operator;
 pub mod parallel;
+pub mod pool;
 pub mod source;
 
 pub use coordinator::{Coordinator, Policy, PressureState};
 pub use encoder::Dialga;
 pub use parallel::{encode_parallel, encode_parallel_vec};
+pub use pool::{EncodePool, PoolStats, StripeJob};
 pub use source::{DialgaSource, Variant};

@@ -115,7 +115,11 @@ mod tests {
         for (a, b) in plain.iter().zip(&shuf) {
             let (a, b) = (a.unwrap(), b.unwrap());
             assert_eq!(a.block, b.block, "block order must be preserved");
-            assert_eq!(b.row, shuffle_row(a.row, rows), "row remapped by the static map");
+            assert_eq!(
+                b.row,
+                shuffle_row(a.row, rows),
+                "row remapped by the static map"
+            );
         }
     }
 
@@ -128,7 +132,10 @@ mod tests {
         let d = 7;
         let mut seen = std::collections::HashSet::new();
         for row in 0..rows {
-            for p in build_prefetch_ptrs(row, k, rows, d, false).into_iter().flatten() {
+            for p in build_prefetch_ptrs(row, k, rows, d, false)
+                .into_iter()
+                .flatten()
+            {
                 assert!(seen.insert((p.block, p.row)), "duplicate {p:?}");
             }
         }

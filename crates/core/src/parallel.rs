@@ -1,21 +1,40 @@
 //! Multi-threaded functional encoding.
 //!
 //! The paper's evaluation encodes with up to 18 concurrent threads; this
-//! module provides the equivalent functional surface: blocks are split
-//! into horizontal chunks and encoded by a scoped thread pool. Results are
-//! bit-exact with single-threaded encoding (RS coding is independent per
-//! 64 B row, so any horizontal split is exact).
+//! module provides the equivalent functional surface. Blocks are split
+//! into horizontal chunks and encoded by the persistent worker pool of
+//! [`crate::pool`] — the old implementation spawned (and joined) a fresh
+//! scoped thread per chunk on every call, which at the paper's 4 KiB
+//! default block size cost more than the encode itself. Pools are cached
+//! per thread count and reused across calls. Results are bit-exact with
+//! single-threaded encoding (RS coding is independent per 64 B row, so any
+//! horizontal split is exact).
 
 use crate::encoder::Dialga;
+use crate::pool::{EncodePool, CHUNK_ALIGN};
 use dialga_ec::EcError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Chunks are multiples of this (keeps rows and XPLines intact).
-const CHUNK_ALIGN: usize = 256;
+/// Process-wide pool cache, one persistent pool per requested thread
+/// count. Pools live for the life of the process; their workers idle on an
+/// empty queue when unused.
+fn pool_for(threads: usize) -> Arc<EncodePool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<EncodePool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().unwrap();
+    Arc::clone(
+        pools
+            .entry(threads)
+            .or_insert_with(|| Arc::new(EncodePool::new(threads))),
+    )
+}
 
-/// Encode with `threads` OS threads, splitting the stripe horizontally.
+/// Encode with `threads` pool workers, splitting the stripe horizontally.
 ///
 /// `parity` is overwritten. Falls back to the single-threaded kernel for
-/// `threads <= 1` or short blocks.
+/// `threads <= 1` or blocks too short to give every worker an aligned
+/// chunk.
 pub fn encode_parallel(
     coder: &Dialga,
     data: &[&[u8]],
@@ -55,43 +74,7 @@ pub fn encode_parallel(
     if threads <= 1 || len < threads * CHUNK_ALIGN {
         return coder.encode(data, parity);
     }
-
-    // Split [0, len) into per-thread ranges aligned to CHUNK_ALIGN.
-    let per = (len / threads).next_multiple_of(CHUNK_ALIGN).max(CHUNK_ALIGN);
-    let mut ranges = Vec::new();
-    let mut start = 0usize;
-    while start < len {
-        let end = (start + per).min(len);
-        ranges.push(start..end);
-        start = end;
-    }
-
-    // Hand each worker its disjoint horizontal slice of every parity block.
-    // Slicing &mut [&mut [u8]] per range needs a small transpose: collect
-    // per-range mutable sub-slices up front.
-    let mut parity_chunks: Vec<Vec<&mut [u8]>> = ranges.iter().map(|_| Vec::new()).collect();
-    for p in parity.iter_mut() {
-        let mut rest: &mut [u8] = p;
-        for (i, r) in ranges.iter().enumerate() {
-            let (head, tail) = rest.split_at_mut(r.len().min(rest.len()));
-            parity_chunks[i].push(head);
-            rest = tail;
-        }
-    }
-
-    let result: Result<(), EcError> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (range, mut chunk) in ranges.iter().cloned().zip(parity_chunks) {
-            let data_slices: Vec<&[u8]> = data.iter().map(|d| &d[range.clone()]).collect();
-            handles.push(scope.spawn(move |_| coder.encode(&data_slices, &mut chunk)));
-        }
-        for h in handles {
-            h.join().expect("encode worker panicked")?;
-        }
-        Ok(())
-    })
-    .expect("scope panicked");
-    result
+    pool_for(threads).encode(coder, data, parity)
 }
 
 /// Convenience wrapper allocating the parity blocks.
@@ -130,6 +113,24 @@ mod tests {
     }
 
     #[test]
+    fn remainder_tail_is_spread_across_workers() {
+        // Regression for the old `next_multiple_of` splitter, which at
+        // len = threads * CHUNK_ALIGN + small_tail rounded the chunk size
+        // up and left several workers idle (and at larger imbalances
+        // produced wrong per-worker slices). All thread counts must still
+        // be bit-exact at exactly this shape.
+        let coder = Dialga::new(6, 3).unwrap();
+        for threads in [2usize, 4, 8] {
+            let len = threads * CHUNK_ALIGN + 52;
+            let data = make_data(6, len);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let serial = coder.encode_vec(&refs).unwrap();
+            let par = encode_parallel_vec(&coder, &refs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads} len={len}");
+        }
+    }
+
+    #[test]
     fn short_blocks_fall_back() {
         let coder = Dialga::new(4, 2).unwrap();
         let data = make_data(4, 300);
@@ -160,5 +161,15 @@ mod tests {
             encode_parallel_vec(&coder, &refs, 2),
             Err(EcError::BlockLength { .. })
         ));
+    }
+
+    #[test]
+    fn pools_are_cached_per_thread_count() {
+        let a = pool_for(3);
+        let b = pool_for(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+        let c = pool_for(5);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

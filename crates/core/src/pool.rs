@@ -1,0 +1,727 @@
+//! Persistent worker-pool encoding engine.
+//!
+//! The paper encodes with up to 18 concurrent threads (§5), and its
+//! coordinator samples counters at 1 kHz to retune the prefetcher knobs
+//! (§4.1). Neither works if every stripe pays for a fresh set of OS
+//! threads: at the paper's default 4 KiB blocks, thread spawn/join costs
+//! dwarf the encode itself, and the coordinator never sees a steady-state
+//! worker to observe. This module replaces the old scope-per-call design
+//! with long-lived workers:
+//!
+//! * **per-worker task queues** — each worker owns an MPSC receiver and
+//!   chunks are dealt round-robin, so submission never contends on a
+//!   single shared queue;
+//! * **batch submission** — [`EncodePool::encode_batch`] accepts many
+//!   stripes in one call and keeps every worker busy across stripe
+//!   boundaries;
+//! * **even chunk distribution** — [`split_ranges`] spreads the remainder
+//!   across workers (the old `next_multiple_of` rounding left workers
+//!   idle; see the module tests);
+//! * **live coordinator** — a pool built with
+//!   [`EncodePool::with_coordinator`] drives [`Coordinator::on_tick`] from
+//!   the workers themselves, and updated [`Knobs`] propagate to in-flight
+//!   workers at chunk granularity through a packed atomic cell.
+//!
+//! Results are bit-exact with serial encoding for every thread count:
+//! Reed–Solomon is independent per row, so any horizontal split is exact,
+//! and scheduling knobs never change the bytes produced.
+
+use crate::coordinator::Coordinator;
+use crate::encoder::Dialga;
+use dialga_ec::EcError;
+use dialga_memsim::Counters;
+use dialga_pipeline::Knobs;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Chunk boundaries are multiples of this (keeps rows and XPLines intact).
+pub const CHUNK_ALIGN: usize = 256;
+
+/// Split `[0, len)` into at most `parts` ranges whose boundaries are
+/// multiples of [`CHUNK_ALIGN`], sized as evenly as the alignment allows:
+/// every range length differs from every other by at most `CHUNK_ALIGN`
+/// bytes.
+///
+/// The old splitter rounded `len / parts` *up* to the alignment, which
+/// starves the tail: `len = 2100, parts = 8` produced chunks of 512 bytes
+/// and left three of eight workers idle. Here the surplus alignment units
+/// go to the *last* ranges, so the sub-unit tail shortfall offsets one of
+/// them instead of compounding the imbalance.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let units = len.div_ceil(CHUNK_ALIGN);
+    let n = parts.min(units);
+    let base = units / n;
+    let extra = units % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for i in 0..n {
+        // The last `extra` ranges carry one surplus unit each.
+        let units_here = base + usize::from(i >= n - extra);
+        let end = (start + units_here * CHUNK_ALIGN).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// One stripe of a batch submission: `k` data blocks in, `m` parity blocks
+/// out. Lengths are validated against the coder on submission.
+pub struct StripeJob<'d, 'p> {
+    /// The k data blocks (equal lengths).
+    pub data: &'d [&'d [u8]],
+    /// The m parity blocks (overwritten; same length as the data blocks).
+    pub parity: &'d mut [&'p mut [u8]],
+}
+
+/// Sentinel meaning "no distance override" in the packed knob cell.
+const KNOB_NONE: u64 = 0xFFFF;
+
+/// Raw (pointer, length) views of one chunk's data and parity slices.
+type RawChunk = (Vec<(*const u8, usize)>, Vec<(*mut u8, usize)>);
+
+fn pack_knobs(k: &Knobs) -> u64 {
+    let sw = k
+        .sw_distance
+        .map_or(KNOB_NONE, |d| (d as u64).min(KNOB_NONE - 1));
+    let bf = k
+        .bf_first_distance
+        .map_or(KNOB_NONE, |d| (d as u64).min(KNOB_NONE - 1));
+    sw | (bf << 16) | ((k.shuffle as u64) << 32) | ((k.xpline_expand as u64) << 33)
+}
+
+fn unpack_knobs(v: u64) -> Knobs {
+    let sw = v & 0xFFFF;
+    let bf = (v >> 16) & 0xFFFF;
+    Knobs {
+        sw_distance: (sw != KNOB_NONE).then_some(sw as u32),
+        bf_first_distance: (bf != KNOB_NONE).then_some(bf as u32),
+        shuffle: v & (1 << 32) != 0,
+        xpline_expand: v & (1 << 33) != 0,
+    }
+}
+
+/// Live counters the pool accumulates; the coordinator samples these the
+/// way the paper samples PMU counters.
+#[derive(Default)]
+struct PoolCounters {
+    /// Row-major 64 B steps encoded (one "load" per source row read).
+    loads: AtomicU64,
+    /// Nanoseconds workers spent inside encode kernels.
+    busy_ns: AtomicU64,
+    /// Chunks executed.
+    chunks: AtomicU64,
+    /// Stripes submitted.
+    stripes: AtomicU64,
+    /// Batch submissions.
+    dispatches: AtomicU64,
+    /// Times a worker observed a knob value different from its previous
+    /// chunk (policy changes that actually reached a worker mid-run).
+    knob_switches: AtomicU64,
+    /// Coordinator policy changes published to the knob cell.
+    policy_changes: AtomicU64,
+}
+
+/// Read-only snapshot of pool activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Row-major 64 B steps encoded.
+    pub loads: u64,
+    /// Nanoseconds workers spent inside encode kernels.
+    pub busy_ns: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Stripes submitted.
+    pub stripes: u64,
+    /// Batch submissions.
+    pub dispatches: u64,
+    /// Knob changes observed by workers between consecutive chunks.
+    pub knob_switches: u64,
+    /// Coordinator policy changes published to workers.
+    pub policy_changes: u64,
+}
+
+/// Coordinator state guarded by one lock; workers `try_lock` it so the
+/// sampling loop never blocks the encode path.
+struct CoordState {
+    coord: Coordinator,
+    last: Counters,
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// Packed current [`Knobs`] (see [`pack_knobs`]).
+    knobs: AtomicU64,
+    stats: PoolCounters,
+    coord: Option<Mutex<CoordState>>,
+    /// Wall-clock origin for coordinator timestamps.
+    origin: Instant,
+}
+
+impl PoolShared {
+    /// Synthesize a [`Counters`] view of the pool's own activity. Loads and
+    /// stall time are the two inputs the coordinator's thresholds and hill
+    /// climber consume; the prefetch counters stay zero on real hardware
+    /// (no PMU access here), which the thresholds tolerate.
+    fn counters(&self) -> Counters {
+        Counters {
+            loads: self.stats.loads.load(Ordering::Relaxed),
+            demand_stall_ns: self.stats.busy_ns.load(Ordering::Relaxed) as f64,
+            ..Default::default()
+        }
+    }
+
+    /// Drive one coordinator tick if the sampling interval elapsed. Called
+    /// by workers after each chunk; `try_lock` keeps it contention-free.
+    fn maybe_tick(&self) {
+        let Some(cell) = &self.coord else { return };
+        let Ok(mut state) = cell.try_lock() else {
+            return;
+        };
+        let now_ns = self.origin.elapsed().as_nanos() as f64;
+        let counters = self.counters();
+        state.last = counters;
+        if let Some(knobs) = state.coord.on_tick(now_ns, &counters) {
+            self.knobs.store(pack_knobs(&knobs), Ordering::Release);
+            self.stats.policy_changes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One unit of worker work: encode `data[range]` into `parity[range]` for
+/// every block of one stripe.
+///
+/// Raw pointers make the chunk `Send` without tying the pool to a borrow
+/// scope. Safety rests on the submission protocol: `submit_wait` does not
+/// return until every chunk of the batch has completed (or the pool is
+/// poisoned), so the pointed-to slices — borrowed by the caller of
+/// `encode`/`encode_batch` — strictly outlive every dereference.
+struct Chunk {
+    coder: *const Dialga,
+    data: Vec<(*const u8, usize)>,
+    parity: Vec<(*mut u8, usize)>,
+    batch: Arc<BatchState>,
+}
+
+// SAFETY: see the `Chunk` doc comment — the submitting thread blocks until
+// the batch completes, so the raw borrows never dangle, and disjoint
+// chunks never alias (each covers a distinct byte range of each block).
+unsafe impl Send for Chunk {}
+
+/// Completion latch for one submitted batch.
+struct BatchState {
+    inner: Mutex<BatchInner>,
+    done: Condvar,
+}
+
+struct BatchInner {
+    remaining: usize,
+    error: Option<EcError>,
+    panicked: bool,
+}
+
+impl BatchState {
+    fn new(chunks: usize) -> Arc<Self> {
+        Arc::new(BatchState {
+            inner: Mutex::new(BatchInner {
+                remaining: chunks,
+                error: None,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: Result<Result<(), EcError>, ()>) {
+        let mut inner = self.inner.lock().unwrap();
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => inner.error = Some(e),
+            Err(()) => inner.panicked = true,
+        }
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<(), EcError> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.remaining > 0 {
+            inner = self.done.wait(inner).unwrap();
+        }
+        if inner.panicked {
+            panic!("encode worker panicked");
+        }
+        match inner.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+enum Msg {
+    Run(Chunk),
+    Shutdown,
+}
+
+/// A persistent pool of encoding workers with per-worker task queues and
+/// an optional live [`Coordinator`].
+///
+/// # Examples
+///
+/// ```
+/// use dialga::encoder::Dialga;
+/// use dialga::pool::EncodePool;
+///
+/// let coder = Dialga::new(6, 2).unwrap();
+/// let pool = EncodePool::new(4);
+/// let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 8192]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+/// let parity = pool.encode_vec(&coder, &refs).unwrap();
+/// assert_eq!(parity, coder.encode_vec(&refs).unwrap());
+/// ```
+pub struct EncodePool {
+    shared: Arc<PoolShared>,
+    senders: Vec<Sender<Msg>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin cursor so consecutive small submissions spread over
+    /// different workers.
+    next_worker: AtomicU64,
+}
+
+impl EncodePool {
+    /// Spawn a pool of `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// Spawn a pool whose workers drive `coordinator` ticks: knob updates
+    /// published by the coordinator reach workers on their next chunk.
+    pub fn with_coordinator(threads: usize, coordinator: Coordinator) -> Self {
+        Self::build(threads, Some(coordinator))
+    }
+
+    fn build(threads: usize, coordinator: Option<Coordinator>) -> Self {
+        let threads = threads.max(1);
+        let initial = coordinator.as_ref().map_or_else(
+            || pack_knobs(&Knobs::default()),
+            |c| pack_knobs(&c.policy().knobs),
+        );
+        let shared = Arc::new(PoolShared {
+            knobs: AtomicU64::new(initial),
+            stats: PoolCounters::default(),
+            coord: coordinator.map(|coord| {
+                Mutex::new(CoordState {
+                    coord,
+                    last: Counters::default(),
+                })
+            }),
+            origin: Instant::now(),
+        });
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = channel::<Msg>();
+            let sh = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dialga-enc-{i}"))
+                    .spawn(move || worker_loop(rx, sh))
+                    .expect("spawn encode worker"),
+            );
+            senders.push(tx);
+        }
+        EncodePool {
+            shared,
+            senders,
+            workers,
+            next_worker: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Snapshot of pool activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.shared.stats;
+        PoolStats {
+            loads: s.loads.load(Ordering::Relaxed),
+            busy_ns: s.busy_ns.load(Ordering::Relaxed),
+            chunks: s.chunks.load(Ordering::Relaxed),
+            stripes: s.stripes.load(Ordering::Relaxed),
+            dispatches: s.dispatches.load(Ordering::Relaxed),
+            knob_switches: s.knob_switches.load(Ordering::Relaxed),
+            policy_changes: s.policy_changes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The knobs workers currently apply.
+    pub fn current_knobs(&self) -> Knobs {
+        unpack_knobs(self.shared.knobs.load(Ordering::Acquire))
+    }
+
+    /// Samples the coordinator has taken (0 without a coordinator).
+    pub fn coordinator_samples(&self) -> u64 {
+        self.shared
+            .coord
+            .as_ref()
+            .map_or(0, |c| c.lock().unwrap().coord.samples())
+    }
+
+    /// Timestamped policy changes the coordinator recorded (empty without a
+    /// coordinator).
+    pub fn policy_log(&self) -> Vec<(f64, crate::coordinator::Policy)> {
+        self.shared
+            .coord
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.lock().unwrap().coord.policy_log())
+    }
+
+    /// Encode one stripe across the pool. Blocks until the stripe is done;
+    /// bit-exact with [`Dialga::encode`].
+    pub fn encode(
+        &self,
+        coder: &Dialga,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        let mut stripes = [StripeJob { data, parity }];
+        self.encode_batch(coder, &mut stripes)
+    }
+
+    /// Encode a batch of stripes across the pool in one submission.
+    ///
+    /// All stripes are validated up front (nothing is enqueued when any
+    /// stripe is malformed), then chunked with [`split_ranges`] and dealt
+    /// round-robin to the per-worker queues. Blocks until the whole batch
+    /// completes.
+    pub fn encode_batch(
+        &self,
+        coder: &Dialga,
+        stripes: &mut [StripeJob<'_, '_>],
+    ) -> Result<(), EcError> {
+        let params = coder.params();
+        for s in stripes.iter() {
+            if s.data.len() != params.k {
+                return Err(EcError::BlockCount {
+                    expected: params.k,
+                    got: s.data.len(),
+                });
+            }
+            if s.parity.len() != params.m {
+                return Err(EcError::BlockCount {
+                    expected: params.m,
+                    got: s.parity.len(),
+                });
+            }
+            let len = s.data.first().map_or(0, |d| d.len());
+            for d in s.data.iter() {
+                if d.len() != len {
+                    return Err(EcError::BlockLength {
+                        expected: len,
+                        got: d.len(),
+                    });
+                }
+            }
+            for p in s.parity.iter() {
+                if p.len() != len {
+                    return Err(EcError::BlockLength {
+                        expected: len,
+                        got: p.len(),
+                    });
+                }
+            }
+        }
+
+        // Chunk every stripe and count first so the latch starts exact.
+        let mut chunks: Vec<RawChunk> = Vec::new();
+        for s in stripes.iter_mut() {
+            let len = s.data.first().map_or(0, |d| d.len());
+            if len == 0 {
+                // Zero-length blocks: nothing to encode, nothing to queue.
+                continue;
+            }
+            for r in split_ranges(len, self.threads()) {
+                let data: Vec<(*const u8, usize)> = s
+                    .data
+                    .iter()
+                    .map(|d| (d[r.clone()].as_ptr(), r.len()))
+                    .collect();
+                let parity: Vec<(*mut u8, usize)> = s
+                    .parity
+                    .iter_mut()
+                    .map(|p| (p[r.clone()].as_mut_ptr(), r.len()))
+                    .collect();
+                chunks.push((data, parity));
+            }
+        }
+        self.shared
+            .stats
+            .stripes
+            .fetch_add(stripes.len() as u64, Ordering::Relaxed);
+        self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        if chunks.is_empty() {
+            return Ok(());
+        }
+
+        let batch = BatchState::new(chunks.len());
+        let start = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
+        for (i, (data, parity)) in chunks.into_iter().enumerate() {
+            let chunk = Chunk {
+                coder: coder as *const Dialga,
+                data,
+                parity,
+                batch: Arc::clone(&batch),
+            };
+            let w = (start + i) % self.senders.len();
+            self.senders[w]
+                .send(Msg::Run(chunk))
+                .expect("encode worker queue closed");
+        }
+        batch.wait()
+    }
+
+    /// Convenience wrapper allocating the parity blocks.
+    pub fn encode_vec(&self, coder: &Dialga, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        let len = data.first().map_or(0, |d| d.len());
+        let mut parity = vec![vec![0u8; len]; coder.params().m];
+        let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        self.encode(coder, data, &mut refs)?;
+        Ok(parity)
+    }
+}
+
+impl Drop for EncodePool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // A worker that already exited (or panicked) has dropped its
+            // receiver; nothing to signal then.
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
+    let mut last_knobs = shared.knobs.load(Ordering::Acquire);
+    while let Ok(Msg::Run(chunk)) = rx.recv() {
+        let packed = shared.knobs.load(Ordering::Acquire);
+        if packed != last_knobs {
+            shared.stats.knob_switches.fetch_add(1, Ordering::Relaxed);
+            last_knobs = packed;
+        }
+        let knobs = unpack_knobs(packed);
+
+        let started = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: the submitting thread blocks in `BatchState::wait`
+            // until this chunk (and its whole batch) completes, so the
+            // coder and all slices are live; chunks never alias.
+            let coder: &Dialga = unsafe { &*chunk.coder };
+            let data: Vec<&[u8]> = chunk
+                .data
+                .iter()
+                .map(|&(p, l)| unsafe { std::slice::from_raw_parts(p, l) })
+                .collect();
+            let mut parity: Vec<&mut [u8]> = chunk
+                .parity
+                .iter()
+                .map(|&(p, l)| unsafe { std::slice::from_raw_parts_mut(p, l) })
+                .collect();
+            let d = knobs
+                .sw_distance
+                .unwrap_or_else(|| coder.prefetch_distance());
+            coder.encode_with(&data, &mut parity, d, knobs.shuffle)
+        }));
+
+        let len = chunk.data.first().map_or(0, |&(_, l)| l);
+        let rows = (len / 64) as u64 * chunk.data.len() as u64;
+        let s = &shared.stats;
+        s.loads.fetch_add(rows, Ordering::Relaxed);
+        s.busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        s.chunks.fetch_add(1, Ordering::Relaxed);
+
+        chunk.batch.complete(result.map_err(|_| ()));
+        shared.maybe_tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 37 + j * 11) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn knob_packing_roundtrips() {
+        for knobs in [
+            Knobs::default(),
+            Knobs {
+                sw_distance: Some(0),
+                bf_first_distance: Some(4096),
+                shuffle: true,
+                xpline_expand: false,
+            },
+            Knobs {
+                sw_distance: Some(12),
+                bf_first_distance: None,
+                shuffle: false,
+                xpline_expand: true,
+            },
+        ] {
+            assert_eq!(unpack_knobs(pack_knobs(&knobs)), knobs);
+        }
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly_and_evenly() {
+        for (len, parts) in [
+            (2100usize, 8usize),
+            (256, 1),
+            (256, 8),
+            (257, 8),
+            (1 << 20, 7),
+            (3 * 256 + 1, 3),
+            (64 * 1024 + 192, 5),
+        ] {
+            let ranges = split_ranges(len, parts);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap in {len}/{parts}");
+            }
+            for r in &ranges[..ranges.len() - 1] {
+                assert_eq!(r.start % CHUNK_ALIGN, 0, "unaligned chunk in {len}/{parts}");
+            }
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            assert!(
+                max - min <= CHUNK_ALIGN,
+                "uneven split for len={len} parts={parts}: min={min} max={max}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_ranges_uses_all_workers_with_remainder_tail() {
+        // The old `next_multiple_of` splitter left 3 of 8 workers idle
+        // here (chunks of 512 B); every worker must now get a chunk.
+        let threads = 8;
+        let len = threads * CHUNK_ALIGN + 52; // small unaligned tail
+        let ranges = split_ranges(len, threads);
+        assert_eq!(ranges.len(), threads, "all workers busy");
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn split_ranges_degenerate_inputs() {
+        assert!(split_ranges(0, 4).is_empty());
+        assert!(split_ranges(100, 0).is_empty());
+        assert_eq!(split_ranges(100, 4), vec![0..100]);
+    }
+
+    #[test]
+    fn pool_matches_serial_encode() {
+        let coder = Dialga::new(12, 4).unwrap();
+        let data = make_data(12, 64 * 1024 + 192); // unaligned tail
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = coder.encode_vec(&refs).unwrap();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = EncodePool::new(threads);
+            let par = pool.encode_vec(&coder, &refs).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_batch_matches_serial() {
+        let coder = Dialga::new(6, 3).unwrap();
+        let pool = EncodePool::new(4);
+        let stripes_data: Vec<Vec<Vec<u8>>> =
+            (0..5).map(|s| make_data(6, 4096 + s * 300)).collect();
+        let mut expected = Vec::new();
+        let mut parity: Vec<Vec<Vec<u8>>> = Vec::new();
+        for sd in &stripes_data {
+            let refs: Vec<&[u8]> = sd.iter().map(|d| d.as_slice()).collect();
+            expected.push(coder.encode_vec(&refs).unwrap());
+            parity.push(vec![vec![0u8; sd[0].len()]; 3]);
+        }
+        {
+            let data_refs: Vec<Vec<&[u8]>> = stripes_data
+                .iter()
+                .map(|sd| sd.iter().map(|d| d.as_slice()).collect())
+                .collect();
+            let mut parity_refs: Vec<Vec<&mut [u8]>> = parity
+                .iter_mut()
+                .map(|sp| sp.iter_mut().map(|p| p.as_mut_slice()).collect())
+                .collect();
+            let mut jobs: Vec<StripeJob<'_, '_>> = data_refs
+                .iter()
+                .zip(parity_refs.iter_mut())
+                .map(|(d, p)| StripeJob {
+                    data: d.as_slice(),
+                    parity: p.as_mut_slice(),
+                })
+                .collect();
+            pool.encode_batch(&coder, &mut jobs).unwrap();
+        }
+        assert_eq!(parity, expected);
+        assert_eq!(pool.stats().stripes, 5);
+        assert_eq!(pool.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn pool_rejects_bad_geometry_before_enqueue() {
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(2);
+        let data = make_data(3, 4096); // wrong k
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert!(matches!(
+            pool.encode_vec(&coder, &refs),
+            Err(EcError::BlockCount { .. })
+        ));
+        assert_eq!(pool.stats().chunks, 0, "nothing must reach the queues");
+    }
+
+    #[test]
+    fn pool_handles_zero_length_blocks() {
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(2);
+        let data = vec![vec![]; 4];
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = pool.encode_vec(&coder, &refs).unwrap();
+        assert_eq!(parity, vec![Vec::<u8>::new(); 2]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_submissions() {
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(3);
+        let data = make_data(4, 4096);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expected = coder.encode_vec(&refs).unwrap();
+        for _ in 0..50 {
+            assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), expected);
+        }
+        assert_eq!(pool.stats().dispatches, 50);
+    }
+}

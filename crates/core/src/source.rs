@@ -65,12 +65,7 @@ pub struct DialgaSource {
 
 impl DialgaSource {
     /// Build the full adaptive scheduler for a workload.
-    pub fn new(
-        layout: StripeLayout,
-        cost: CostModel,
-        threads: usize,
-        cfg: &MachineConfig,
-    ) -> Self {
+    pub fn new(layout: StripeLayout, cost: CostModel, threads: usize, cfg: &MachineConfig) -> Self {
         Self::with_variant(layout, cost, threads, cfg, Variant::Adaptive)
     }
 
@@ -84,8 +79,7 @@ impl DialgaSource {
     ) -> Self {
         match variant {
             Variant::Adaptive => {
-                let coord =
-                    Coordinator::new(layout.k, layout.m, layout.block_bytes, threads, cfg);
+                let coord = Coordinator::new(layout.k, layout.m, layout.block_bytes, threads, cfg);
                 let inner = IsalSource::new(layout, cost, coord.policy().knobs, threads);
                 DialgaSource {
                     inner,
@@ -174,9 +168,18 @@ mod tests {
         let swhw = run(Variant::SwHw, k, m, block, 1);
         let full = run(Variant::SwHwBf, k, m, block, 1);
         assert!(sw > 1.1 * vanilla, "+SW: {sw:.2} vs {vanilla:.2}");
-        assert!(swhw > sw * 0.98, "+HW must not regress: {swhw:.2} vs {sw:.2}");
-        assert!(full >= swhw * 0.98, "+BF must not regress: {full:.2} vs {swhw:.2}");
-        assert!(full > 1.3 * vanilla, "full stack: {full:.2} vs {vanilla:.2}");
+        assert!(
+            swhw > sw * 0.98,
+            "+HW must not regress: {swhw:.2} vs {sw:.2}"
+        );
+        assert!(
+            full >= swhw * 0.98,
+            "+BF must not regress: {full:.2} vs {swhw:.2}"
+        );
+        assert!(
+            full > 1.3 * vanilla,
+            "full stack: {full:.2} vs {vanilla:.2}"
+        );
     }
 
     /// The adaptive scheduler must beat plain ISA-L (the headline claim)
@@ -223,12 +226,7 @@ mod tests {
     #[test]
     fn adaptive_suppresses_hw_under_high_concurrency() {
         let cfg = MachineConfig::pm();
-        let mut src = DialgaSource::new(
-            layout(28, 4, 1024),
-            CostModel::default(),
-            16,
-            &cfg,
-        );
+        let mut src = DialgaSource::new(layout(28, 4, 1024), CostModel::default(), 16, &cfg);
         assert!(src.knobs().shuffle, "initial policy at 16 threads shuffles");
         assert!(src.knobs().xpline_expand);
         let r = run_source(&cfg, 16, &mut src);
@@ -239,8 +237,7 @@ mod tests {
     #[test]
     fn coordinator_samples_during_run() {
         let cfg = MachineConfig::pm();
-        let mut src =
-            DialgaSource::new(layout(12, 4, 1024), CostModel::default(), 1, &cfg);
+        let mut src = DialgaSource::new(layout(12, 4, 1024), CostModel::default(), 1, &cfg);
         src.set_sample_interval(20_000.0);
         let _ = run_source(&cfg, 1, &mut src);
         assert!(

@@ -1,40 +1,45 @@
-//! Property-based tests for the scheduler: the hill climber, the Eq. (1)
-//! bound, the prefetch-pointer construction and the coordinator must be
-//! robust to arbitrary inputs.
+//! Property-based tests for the scheduler and the persistent encode pool:
+//! the hill climber, the Eq. (1) bound, the prefetch-pointer construction
+//! and the coordinator must be robust to arbitrary inputs, and pool
+//! encoding must be bit-exact with serial encoding for every geometry.
+//!
+//! Randomized with the in-tree deterministic harness (`dialga-testkit`).
 
 use dialga::coordinator::{eq1_max_distance, Coordinator};
+use dialga::encoder::Dialga;
 use dialga::hillclimb::HillClimber;
 use dialga::operator::build_prefetch_ptrs;
+use dialga::pool::{split_ranges, EncodePool, StripeJob, CHUNK_ALIGN};
 use dialga_memsim::{Counters, MachineConfig};
-use proptest::prelude::*;
+use dialga_testkit::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The climber's candidate never leaves its bounds, for any objective.
-    #[test]
-    fn hillclimber_stays_in_bounds(
-        init in 1u32..500,
-        min in 1u32..100,
-        span in 0u32..400,
-        scores in proptest::collection::vec(0.0f64..1e6, 1..120),
-    ) {
-        let max = min + span;
+/// The climber's candidate never leaves its bounds, for any objective.
+#[test]
+fn hillclimber_stays_in_bounds() {
+    run_cases(64, |rng| {
+        let init = rng.range_u32(1, 500);
+        let min = rng.range_u32(1, 100);
+        let max = min + rng.range_u32(0, 400);
+        let n = rng.range(1, 120);
         let mut hc = HillClimber::new(init, min, max);
-        for s in scores {
+        for _ in 0..n {
             let d = hc.current();
-            prop_assert!((min..=max).contains(&d), "candidate {} out of [{}, {}]", d, min, max);
-            hc.observe(s);
+            assert!(
+                (min..=max).contains(&d),
+                "candidate {d} out of [{min}, {max}]"
+            );
+            hc.observe(rng.range_f64(0.0, 1e6));
         }
-    }
+    });
+}
 
-    /// On a deterministic objective the climber settles in bounded time,
-    /// at a point no worse than its start.
-    #[test]
-    fn hillclimber_settles_and_never_regresses(
-        init in 1u32..256,
-        opt in 1u32..256,
-    ) {
+/// On a deterministic objective the climber settles in bounded time, at a
+/// point no worse than its start.
+#[test]
+fn hillclimber_settles_and_never_regresses() {
+    run_cases(64, |rng| {
+        let init = rng.range_u32(1, 256);
+        let opt = rng.range_u32(1, 256);
         let f = |d: u32| {
             let x = d as f64 - opt as f64;
             10.0 + x * x
@@ -48,81 +53,263 @@ proptest! {
             let d = hc.current();
             hc.observe(f(d));
         }
-        prop_assert!(hc.settled(), "no convergence from {} toward {}", init, opt);
-        prop_assert!(f(hc.current()) <= start_score + 1e-9);
-    }
+        assert!(hc.settled(), "no convergence from {init} toward {opt}");
+        assert!(f(hc.current()) <= start_score + 1e-9);
+    });
+}
 
-    /// Eq. (1): monotone non-increasing in threads, k, and unit size; never
-    /// below its floor (k); always a sane value.
-    #[test]
-    fn eq1_bound_monotone(
-        threads in 1usize..32,
-        k in 1usize..128,
-        buffer_kib in 1u64..1024,
-        unit in prop_oneof![Just(256u64), Just(512), Just(1024)],
-    ) {
-        let buffer = buffer_kib * 1024;
+/// Eq. (1): monotone non-increasing in threads and unit size; never below
+/// its floor (k); always a sane value.
+#[test]
+fn eq1_bound_monotone() {
+    run_cases(64, |rng| {
+        let threads = rng.range(1, 32);
+        let k = rng.range(1, 128);
+        let buffer = rng.range_u64(1, 1024) * 1024;
+        let unit = [256u64, 512, 1024][rng.range(0, 3)];
         let d = eq1_max_distance(threads, k, buffer, unit);
-        prop_assert!(d >= k.min(4096) as u32);
-        prop_assert!(d <= 4096);
-        let d_more_threads = eq1_max_distance(threads + 1, k, buffer, unit);
-        prop_assert!(d_more_threads <= d);
-        let d_bigger_unit = eq1_max_distance(threads, k, buffer, unit * 2);
-        prop_assert!(d_bigger_unit <= d);
-    }
+        assert!(d >= k.min(4096) as u32);
+        assert!(d <= 4096);
+        assert!(eq1_max_distance(threads + 1, k, buffer, unit) <= d);
+        assert!(eq1_max_distance(threads, k, buffer, unit * 2) <= d);
+    });
+}
 
-    /// Prefetch-pointer coverage: over a whole stripe, every step except
-    /// the d-length warm-up is targeted exactly once, in bounds, for any
-    /// (k, rows, d, shuffle).
-    #[test]
-    fn prefetch_ptrs_cover_exactly_once(
-        k in 1usize..32,
-        rows_pow in 0u32..7, // rows = 2^pow (1..64)
-        d in 1u32..300,
-        shuffled in any::<bool>(),
-    ) {
-        let rows = 1u64 << rows_pow;
+/// Prefetch-pointer coverage: over a whole stripe, every step except the
+/// d-length warm-up is targeted exactly once, in bounds, for any
+/// (k, rows, d, shuffle).
+#[test]
+fn prefetch_ptrs_cover_exactly_once() {
+    run_cases(64, |rng| {
+        let k = rng.range(1, 32);
+        let rows = 1u64 << rng.range(0, 7);
+        let d = rng.range_u32(1, 300);
+        let shuffled = rng.bool();
         let total = rows * k as u64;
         let mut seen = std::collections::HashSet::new();
         for row in 0..rows {
-            for p in build_prefetch_ptrs(row, k, rows, d, shuffled).into_iter().flatten() {
-                prop_assert!(p.block < k);
-                prop_assert!(p.row < rows);
-                prop_assert!(seen.insert((p.block, p.row)), "duplicate {:?}", p);
+            for p in build_prefetch_ptrs(row, k, rows, d, shuffled)
+                .into_iter()
+                .flatten()
+            {
+                assert!(p.block < k);
+                assert!(p.row < rows);
+                assert!(seen.insert((p.block, p.row)), "duplicate {p:?}");
             }
         }
-        prop_assert_eq!(seen.len() as u64, total.saturating_sub(d as u64));
-    }
+        assert_eq!(seen.len() as u64, total.saturating_sub(d as u64));
+    });
+}
 
-    /// The coordinator never panics and never violates the Eq. (1) bound
-    /// for arbitrary counter streams.
-    #[test]
-    fn coordinator_robust_to_arbitrary_counters(
-        k in 1usize..64,
-        m in 1usize..8,
-        threads in 1usize..20,
-        steps in proptest::collection::vec((1u64..10_000, 0.0f64..1e7, 0u64..5_000), 1..40),
-    ) {
+/// `build_prefetch_ptrs` past the end of the stripe: when the distance
+/// exceeds the remaining steps (including d > rows * k, where the warm-up
+/// swallows the whole stripe), the pointers must be empty rather than out
+/// of bounds.
+#[test]
+fn prefetch_ptrs_beyond_stripe_are_empty() {
+    run_cases(64, |rng| {
+        let k = rng.range(1, 16);
+        let rows = rng.range_u64(1, 32);
+        let total = rows * k as u64;
+        // Distances at and beyond the stripe total.
+        let d = total as u32 + rng.range_u32(0, 1000);
+        let shuffled = rng.bool();
+        for row in 0..rows {
+            let ptrs = build_prefetch_ptrs(row, k, rows, d, shuffled);
+            assert!(
+                ptrs.into_iter().flatten().next().is_none(),
+                "d={d} >= total={total} must prefetch nothing (row {row})"
+            );
+        }
+    });
+}
+
+/// The coordinator never panics and never violates the Eq. (1) bound for
+/// arbitrary counter streams.
+#[test]
+fn coordinator_robust_to_arbitrary_counters() {
+    run_cases(64, |rng| {
+        let k = rng.range(1, 64);
+        let m = rng.range(1, 8);
+        let threads = rng.range(1, 20);
+        let steps = rng.range(1, 40);
         let cfg = MachineConfig::pm();
         let mut coord = Coordinator::new(k, m, 1024, threads, &cfg);
         coord.set_sample_interval(100.0);
         let mut ctr = Counters::default();
         let mut now = 0.0;
-        for (loads, stall, useless) in steps {
-            ctr.loads += loads;
-            ctr.demand_stall_ns += stall;
+        for _ in 0..steps {
+            ctr.loads += rng.range_u64(1, 10_000);
+            ctr.demand_stall_ns += rng.range_f64(0.0, 1e7);
+            let useless = rng.range_u64(0, 5_000);
             ctr.useless_prefetches += useless;
             ctr.hw_prefetches += useless + 1;
             now += 150.0;
             coord.on_tick(now, &ctr);
             let p = coord.policy();
             if let Some(d) = p.knobs.sw_distance {
-                prop_assert!(d <= coord.d_max(), "d {} > bound {}", d, coord.d_max());
+                assert!(d <= coord.d_max(), "d {} > bound {}", d, coord.d_max());
             }
             // BF split and shuffle are mutually exclusive by construction.
             if p.knobs.shuffle {
-                prop_assert!(p.knobs.bf_first_distance.is_none());
+                assert!(p.knobs.bf_first_distance.is_none());
             }
         }
+    });
+}
+
+/// `split_ranges` partitions exactly, aligned, and evenly for arbitrary
+/// lengths and worker counts.
+#[test]
+fn split_ranges_partitions_evenly() {
+    run_cases(128, |rng| {
+        let len = rng.range(1, 1 << 20);
+        let parts = rng.range(1, 33);
+        let ranges = split_ranges(len, parts);
+        assert!(!ranges.is_empty());
+        assert!(ranges.len() <= parts);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, len);
+        for w in ranges.windows(2) {
+            assert_eq!(
+                w[0].end, w[1].start,
+                "gap/overlap at len={len} parts={parts}"
+            );
+        }
+        for r in &ranges[..ranges.len() - 1] {
+            assert_eq!(r.end % CHUNK_ALIGN, 0, "interior boundary unaligned");
+        }
+        let min = ranges.iter().map(|r| r.len()).min().unwrap();
+        let max = ranges.iter().map(|r| r.len()).max().unwrap();
+        assert!(
+            max - min <= CHUNK_ALIGN,
+            "uneven split len={len} parts={parts}: min={min} max={max}"
+        );
+    });
+}
+
+/// Pool encoding is bit-exact with serial encoding for arbitrary
+/// (k, m, block length, thread count), including unaligned tails, both for
+/// single-stripe and batched submission.
+#[test]
+fn pool_encode_bit_exact_with_serial() {
+    run_cases(24, |rng| {
+        let k = rng.range(2, 17);
+        let m = rng.range(1, 5);
+        let threads = rng.range(1, 9);
+        // Lengths around chunk boundaries, plus random unaligned tails.
+        let len = rng.range(1, 9) * CHUNK_ALIGN + rng.range(0, 260);
+        let coder = Dialga::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|_| rng.bytes(len)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = coder.encode_vec(&refs).unwrap();
+
+        let pool = EncodePool::new(threads);
+        assert_eq!(
+            pool.encode_vec(&coder, &refs).unwrap(),
+            serial,
+            "k={k} m={m} len={len} threads={threads}"
+        );
+
+        // Batched: several stripes of differing lengths in one submission.
+        let n_stripes = rng.range(1, 4);
+        let stripes_data: Vec<Vec<Vec<u8>>> = (0..n_stripes)
+            .map(|_| {
+                let l = rng.range(1, 5) * CHUNK_ALIGN + rng.range(0, 300);
+                (0..k).map(|_| rng.bytes(l)).collect()
+            })
+            .collect();
+        let expected: Vec<Vec<Vec<u8>>> = stripes_data
+            .iter()
+            .map(|sd| {
+                let r: Vec<&[u8]> = sd.iter().map(|d| d.as_slice()).collect();
+                coder.encode_vec(&r).unwrap()
+            })
+            .collect();
+        let mut parity: Vec<Vec<Vec<u8>>> = stripes_data
+            .iter()
+            .map(|sd| vec![vec![0u8; sd[0].len()]; m])
+            .collect();
+        {
+            let data_refs: Vec<Vec<&[u8]>> = stripes_data
+                .iter()
+                .map(|sd| sd.iter().map(|d| d.as_slice()).collect())
+                .collect();
+            let mut parity_refs: Vec<Vec<&mut [u8]>> = parity
+                .iter_mut()
+                .map(|sp| sp.iter_mut().map(|p| p.as_mut_slice()).collect())
+                .collect();
+            let mut jobs: Vec<StripeJob<'_, '_>> = data_refs
+                .iter()
+                .zip(parity_refs.iter_mut())
+                .map(|(d, p)| StripeJob {
+                    data: d.as_slice(),
+                    parity: p.as_mut_slice(),
+                })
+                .collect();
+            pool.encode_batch(&coder, &mut jobs).unwrap();
+        }
+        assert_eq!(parity, expected, "batch k={k} m={m} threads={threads}");
+    });
+}
+
+/// A pool built with a live coordinator drives `on_tick` from the workers:
+/// the coordinator samples, at least one policy change is published, and
+/// at least one in-flight worker observes the knob switch mid-run.
+#[test]
+fn pool_coordinator_propagates_policy_changes_to_workers() {
+    let (k, m, threads) = (12usize, 4, 2);
+    let cfg = MachineConfig::pm();
+    let mut coord = Coordinator::new(k, m, 4096, threads, &cfg);
+    // Sample (wall-clock ns here) aggressively so a short run takes many
+    // samples; the hill climber's Reference -> Probing transition then
+    // changes sw_distance deterministically within a few samples.
+    coord.set_sample_interval(10_000.0); // 10 us
+    let pool = EncodePool::with_coordinator(threads, coord);
+
+    let coder = Dialga::new(k, m).unwrap();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            (0..64 * 1024)
+                .map(|j| ((i * 31 + j * 7) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let serial = coder.encode_vec(&refs).unwrap();
+
+    let initial = pool.current_knobs();
+    let mut submissions = 0u64;
+    while submissions < 3000 {
+        assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), serial);
+        submissions += 1;
+        let stats = pool.stats();
+        if stats.policy_changes >= 1 && stats.knob_switches >= 1 {
+            break;
+        }
     }
+    let stats = pool.stats();
+    assert!(
+        pool.coordinator_samples() > 0,
+        "workers never drove a coordinator sample"
+    );
+    assert!(
+        stats.policy_changes >= 1,
+        "no policy change published after {submissions} submissions"
+    );
+    assert!(
+        stats.knob_switches >= 1,
+        "no worker observed a knob switch mid-run"
+    );
+    assert_ne!(
+        pool.current_knobs(),
+        initial,
+        "published knobs should differ from the initial policy"
+    );
+    assert!(
+        !pool.policy_log().is_empty(),
+        "policy log records the change"
+    );
+    // Adaptation never perturbs correctness.
+    assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), serial);
 }

@@ -105,7 +105,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 1) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -116,7 +120,10 @@ mod tests {
             let dec = DecomposedRs::new(rs.clone(), sub_k).unwrap();
             let data = make_data(k, 64);
             let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-            assert_eq!(dec.encode_vec(&refs).unwrap(), rs.encode_vec(&refs).unwrap());
+            assert_eq!(
+                dec.encode_vec(&refs).unwrap(),
+                rs.encode_vec(&refs).unwrap()
+            );
         }
     }
 

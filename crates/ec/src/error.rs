@@ -64,7 +64,10 @@ impl fmt::Display for EcError {
             }
             EcError::SingularMatrix => write!(f, "singular decode matrix"),
             EcError::InvalidGroups { l, k } => {
-                write!(f, "invalid LRC groups: l={l} must divide k={k} and be positive")
+                write!(
+                    f,
+                    "invalid LRC groups: l={l} must divide k={k} and be positive"
+                )
             }
         }
     }

@@ -173,8 +173,7 @@ impl Lrc {
 
         // Pass 2: global decode for whatever data/global-parity is missing.
         {
-            let mut global_shards: Vec<Option<Vec<u8>>> =
-                shards[..k + m].to_vec();
+            let mut global_shards: Vec<Option<Vec<u8>>> = shards[..k + m].to_vec();
             let still_lost = global_shards.iter().filter(|s| s.is_none()).count();
             if still_lost > 0 {
                 self.global.decode(&mut global_shards)?;
@@ -205,7 +204,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 53 + j * 29 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 53 + j * 29 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 

@@ -39,7 +39,11 @@ impl GfMatrix {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
         }
-        GfMatrix { rows: r, cols: c, data }
+        GfMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

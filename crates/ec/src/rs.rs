@@ -213,7 +213,10 @@ impl ReedSolomon {
         for &s in survivors {
             let l = shards[s].as_ref().unwrap().len();
             if l != len {
-                return Err(EcError::BlockLength { expected: len, got: l });
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: l,
+                });
             }
         }
         let dec = self.decode_matrix(survivors)?;
@@ -234,7 +237,11 @@ impl ReedSolomon {
             let row = lp - k;
             let mut out = vec![0u8; len];
             for j in 0..k {
-                mul_add_slice(self.parity[(row, j)].0, shards[j].as_ref().unwrap(), &mut out);
+                mul_add_slice(
+                    self.parity[(row, j)].0,
+                    shards[j].as_ref().unwrap(),
+                    &mut out,
+                );
             }
             shards[lp] = Some(out);
         }
@@ -364,7 +371,10 @@ mod tests {
         shards[2] = None;
         assert!(matches!(
             rs.decode(&mut shards),
-            Err(EcError::TooManyErasures { lost: 3, tolerance: 2 })
+            Err(EcError::TooManyErasures {
+                lost: 3,
+                tolerance: 2
+            })
         ));
     }
 

@@ -10,8 +10,7 @@
 use crate::{EcError, GfMatrix};
 use dialga_gf::bitmatrix::{BitMatrix, W};
 use dialga_gf::Gf8;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dialga_testkit::Rng;
 use std::collections::HashMap;
 
 /// Source operand of a XOR op.
@@ -91,7 +90,12 @@ impl Schedule {
                 });
             }
         }
-        Schedule { k, m, n_temps: 0, ops }
+        Schedule {
+            k,
+            m,
+            n_temps: 0,
+            ops,
+        }
     }
 
     /// Smart schedule: greedy common-subexpression elimination. Repeatedly
@@ -124,7 +128,9 @@ impl Schedule {
                     }
                 }
             }
-            let best = pair_count.into_iter().max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)));
+            let best = pair_count
+                .into_iter()
+                .max_by_key(|&(p, c)| (c, std::cmp::Reverse(p)));
             let Some(((a, b), count)) = best else { break };
             if count < 2 {
                 break;
@@ -148,19 +154,39 @@ impl Schedule {
         // terms of operands that existed when it was created).
         let mut ops = Vec::new();
         for (i, &(a, b)) in temp_defs.iter().enumerate() {
-            ops.push(XorOp { dst: Dst::Temp(i), src: a, init: true });
-            ops.push(XorOp { dst: Dst::Temp(i), src: b, init: false });
+            ops.push(XorOp {
+                dst: Dst::Temp(i),
+                src: a,
+                init: true,
+            });
+            ops.push(XorOp {
+                dst: Dst::Temp(i),
+                src: b,
+                init: false,
+            });
         }
         for (r, row) in rows.iter().enumerate() {
             let mut first = true;
             for &s in row {
-                ops.push(XorOp { dst: Dst::Parity(r), src: s, init: first });
+                ops.push(XorOp {
+                    dst: Dst::Parity(r),
+                    src: s,
+                    init: first,
+                });
                 first = false;
             }
             if first {
                 // Degenerate empty row (see from_bitmatrix).
-                ops.push(XorOp { dst: Dst::Parity(r), src: Src::Data(0), init: true });
-                ops.push(XorOp { dst: Dst::Parity(r), src: Src::Data(0), init: false });
+                ops.push(XorOp {
+                    dst: Dst::Parity(r),
+                    src: Src::Data(0),
+                    init: true,
+                });
+                ops.push(XorOp {
+                    dst: Dst::Parity(r),
+                    src: Src::Data(0),
+                    init: false,
+                });
             }
         }
         Schedule { k, m, n_temps, ops }
@@ -239,7 +265,12 @@ pub fn normalize_rows(p: &GfMatrix) -> GfMatrix {
 /// Zerasure-style matrix search: simulated annealing over the Cauchy X/Y
 /// element choice, minimizing total companion-bitmatrix ones, followed by
 /// row normalization. Deterministic for a given seed.
-pub fn anneal_xy(k: usize, m: usize, iterations: usize, seed: u64) -> Result<MatrixSearchResult, EcError> {
+pub fn anneal_xy(
+    k: usize,
+    m: usize,
+    iterations: usize,
+    seed: u64,
+) -> Result<MatrixSearchResult, EcError> {
     search_xy(k, m, SearchKind::Anneal { iterations }, seed)
 }
 
@@ -254,7 +285,12 @@ enum SearchKind {
     Greedy,
 }
 
-fn search_xy(k: usize, m: usize, kind: SearchKind, seed: u64) -> Result<MatrixSearchResult, EcError> {
+fn search_xy(
+    k: usize,
+    m: usize,
+    kind: SearchKind,
+    seed: u64,
+) -> Result<MatrixSearchResult, EcError> {
     if k == 0 || m == 0 || k + m > 255 {
         return Err(EcError::InvalidParams {
             k,
@@ -314,7 +350,7 @@ fn search_xy(k: usize, m: usize, kind: SearchKind, seed: u64) -> Result<MatrixSe
             (xs, ys)
         }
         SearchKind::Anneal { iterations } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::new(seed);
             let mut xs: Vec<u8> = (0..m).map(|i| (i + k) as u8).collect();
             let mut ys: Vec<u8> = (0..k).map(|j| j as u8).collect();
             let mut cost = cauchy_ones(&xs, &ys, &ones);
@@ -322,26 +358,26 @@ fn search_xy(k: usize, m: usize, kind: SearchKind, seed: u64) -> Result<MatrixSe
             let mut temp = cost as f64 * 0.05 + 1.0;
             for it in 0..iterations {
                 // Propose: replace one element of X or Y with an unused one.
-                let replace_x = rng.random_bool(m as f64 / (k + m) as f64);
+                let replace_x = rng.bool_with(m as f64 / (k + m) as f64);
                 let mut nxs = xs.clone();
                 let mut nys = ys.clone();
                 let cand = loop {
-                    let c: u8 = rng.random();
+                    let c: u8 = rng.u8();
                     if !nxs.contains(&c) && !nys.contains(&c) {
                         break c;
                     }
                 };
                 if replace_x {
-                    let i = rng.random_range(0..m);
+                    let i = rng.range(0, m);
                     nxs[i] = cand;
                 } else {
-                    let j = rng.random_range(0..k);
+                    let j = rng.range(0, k);
                     nys[j] = cand;
                 }
                 let ncost = cauchy_ones(&nxs, &nys, &ones);
                 let accept = ncost <= cost || {
                     let d = (ncost - cost) as f64;
-                    rng.random_bool((-d / temp).exp().clamp(0.0, 1.0))
+                    rng.bool_with((-d / temp).exp().clamp(0.0, 1.0))
                 };
                 if accept {
                     xs = nxs;

@@ -186,7 +186,11 @@ impl XorCode {
     /// generator rows) and cannot be optimized like the encode matrix — it
     /// is dense, so the schedule is long. We still apply smart scheduling,
     /// mirroring what the libraries do, but the density dominates.
-    pub fn decode_schedule(&self, survivors: &[usize], lost: &[usize]) -> Result<Schedule, EcError> {
+    pub fn decode_schedule(
+        &self,
+        survivors: &[usize],
+        lost: &[usize],
+    ) -> Result<Schedule, EcError> {
         let rs = ReedSolomon::from_parity_matrix(self.parity_matrix.clone())?;
         let dec = rs.decode_matrix(survivors)?;
         // Rows of `dec` reconstruct data blocks from survivors; select the
@@ -200,7 +204,11 @@ impl XorCode {
             .collect();
         let sub = GfMatrix::from_rows(rows);
         let bm = BitMatrix::from_gf_matrix(&sub.to_rows());
-        Ok(Schedule::smart_from_bitmatrix(&bm, self.params.k, lost.len()))
+        Ok(Schedule::smart_from_bitmatrix(
+            &bm,
+            self.params.k,
+            lost.len(),
+        ))
     }
 
     /// Reconstruct missing blocks in place (same contract as
@@ -242,8 +250,9 @@ impl XorCode {
         }
         let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
         if !lost_parity.is_empty() {
-            let data_refs: Vec<&[u8]> =
-                (0..k).map(|i| shards[i].as_ref().unwrap().as_slice()).collect();
+            let data_refs: Vec<&[u8]> = (0..k)
+                .map(|i| shards[i].as_ref().unwrap().as_slice())
+                .collect();
             let parity = self.encode_vec(&data_refs)?;
             for &lp in &lost_parity {
                 shards[lp] = Some(parity[lp - k].clone());
@@ -259,7 +268,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 7 + j * 13 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 7 + j * 13 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -293,7 +306,7 @@ mod tests {
                     let mut expect = dialga_gf::Gf8::ZERO;
                     for j in 0..k {
                         let s = symbol_at(&data[j], psize, byte, bit);
-                        expect = expect + pmat[(i, j)] * dialga_gf::Gf8(s);
+                        expect += pmat[(i, j)] * dialga_gf::Gf8(s);
                     }
                     let got = symbol_at(&parity[i], psize, byte, bit);
                     assert_eq!(

@@ -1,83 +1,96 @@
 //! Property-based tests: every code in the crate must survive arbitrary
 //! erasure patterns within its fault tolerance, on arbitrary data.
+//!
+//! Randomized with the in-tree deterministic harness (`dialga-testkit`).
 
 use dialga_ec::decompose::DecomposedRs;
 use dialga_ec::xor::XorFlavor;
 use dialga_ec::{Lrc, ReedSolomon, XorCode};
-use proptest::prelude::*;
+use dialga_testkit::run_cases;
 
-fn arb_geometry() -> impl Strategy<Value = (usize, usize)> {
-    (2usize..=20, 1usize..=6)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rs_roundtrip_any_erasure(
-        (k, m) in arb_geometry(),
-        len in (1usize..6).prop_map(|x| x * 16),
-        seed: u64,
-    ) {
+#[test]
+fn rs_roundtrip_any_erasure() {
+    run_cases(64, |rng| {
+        let k = rng.range(2, 21);
+        let m = rng.range(1, 7);
+        let len = rng.range(1, 6) * 16;
+        let seed = rng.u64();
         let rs = ReedSolomon::new(k, m).unwrap();
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..len).map(|j| ((seed as usize + i * 31 + j * 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((seed as usize + i * 31 + j * 7) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = rs.encode_vec(&refs).unwrap();
         let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter().cloned().map(Some)
+            .iter()
+            .cloned()
+            .map(Some)
             .chain(parity.into_iter().map(Some))
             .collect();
-        // Erase up to m blocks chosen by the seed.
+        // Erase up to m blocks chosen at random.
         let n = k + m;
-        let lost = (seed as usize % (m + 1)).min(n);
+        let lost = rng.range(0, m + 2).min(m);
         let mut idx: Vec<usize> = (0..n).collect();
-        // Deterministic shuffle from seed.
-        for i in 0..n {
-            let j = (seed as usize).wrapping_mul(6364136223846793005).wrapping_add(i * 104729) % n;
-            idx.swap(i, j);
-        }
+        rng.shuffle(&mut idx);
         for &e in idx.iter().take(lost) {
             shards[e] = None;
         }
         rs.decode(&mut shards).unwrap();
         for (i, d) in data.iter().enumerate() {
-            prop_assert_eq!(shards[i].as_ref().unwrap(), d);
+            assert_eq!(shards[i].as_ref().unwrap(), d);
         }
-    }
+    });
+}
 
-    #[test]
-    fn decompose_equals_full(
-        k in 4usize..40,
-        m in 1usize..5,
-        sub_k in 2usize..12,
-        seed: u64,
-    ) {
+#[test]
+fn decompose_equals_full() {
+    run_cases(64, |rng| {
+        let k = rng.range(4, 40);
+        let m = rng.range(1, 5);
+        let sub_k = rng.range(2, 12);
+        let seed = rng.u64();
         let rs = ReedSolomon::new(k, m).unwrap();
         let dec = DecomposedRs::new(rs.clone(), sub_k).unwrap();
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..32).map(|j| ((seed as usize + i * 13 + j) % 256) as u8).collect())
+            .map(|i| {
+                (0..32)
+                    .map(|j| ((seed as usize + i * 13 + j) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        prop_assert_eq!(dec.encode_vec(&refs).unwrap(), rs.encode_vec(&refs).unwrap());
-    }
+        assert_eq!(
+            dec.encode_vec(&refs).unwrap(),
+            rs.encode_vec(&refs).unwrap()
+        );
+    });
+}
 
-    #[test]
-    fn xor_roundtrip_data_erasures(
-        k in 3usize..10,
-        m in 1usize..4,
-        seed: u64,
-    ) {
+#[test]
+fn xor_roundtrip_data_erasures() {
+    run_cases(64, |rng| {
+        let k = rng.range(3, 10);
+        let m = rng.range(1, 4);
+        let seed = rng.u64();
         let xc = XorCode::new(k, m, XorFlavor::Cerasure).unwrap();
         let len = 64usize;
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..len).map(|j| ((seed as usize ^ (i * 97 + j * 3)) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((seed as usize ^ (i * 97 + j * 3)) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = xc.encode_vec(&refs).unwrap();
         let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter().cloned().map(Some)
+            .iter()
+            .cloned()
+            .map(Some)
             .chain(parity.into_iter().map(Some))
             .collect();
         let lost = 1 + (seed as usize % m);
@@ -86,23 +99,27 @@ proptest! {
         }
         xc.decode(&mut shards).unwrap();
         for (i, d) in data.iter().enumerate() {
-            prop_assert_eq!(shards[i].as_ref().unwrap(), d, "block {}", i);
+            assert_eq!(shards[i].as_ref().unwrap(), d, "block {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lrc_local_repair_any_block(
-        gs in 2usize..6,
-        l in 1usize..4,
-        m in 1usize..4,
-        lost_block in 0usize..24,
-        seed: u64,
-    ) {
+#[test]
+fn lrc_local_repair_any_block() {
+    run_cases(64, |rng| {
+        let gs = rng.range(2, 6);
+        let l = rng.range(1, 4);
+        let m = rng.range(1, 4);
+        let seed = rng.u64();
         let k = gs * l;
-        let lost = lost_block % k;
+        let lost = rng.range(0, k);
         let lrc = Lrc::new(k, m, l).unwrap();
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..32).map(|j| ((seed as usize + i * 11 + j * 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..32)
+                    .map(|j| ((seed as usize + i * 11 + j * 5) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = lrc.encode_vec(&refs).unwrap();
@@ -112,20 +129,21 @@ proptest! {
             .map(|i| refs[i])
             .collect();
         let repaired = lrc.repair_local(lost, &peers, &parity[m + g]).unwrap();
-        prop_assert_eq!(repaired, data[lost].clone());
-    }
+        assert_eq!(repaired, data[lost].clone());
+    });
+}
 
-    #[test]
-    fn smart_schedule_equals_naive_schedule(
-        k in 2usize..9,
-        m in 1usize..4,
-        seed: u64,
-    ) {
+#[test]
+fn smart_schedule_equals_naive_schedule() {
+    run_cases(64, |rng| {
+        let k = rng.range(2, 9);
+        let m = rng.range(1, 4);
+        let seed = rng.u64();
         // The CSE-optimized schedule must compute exactly the same parity
         // as the naive one, for arbitrary Cauchy matrices and data.
+        use dialga_ec::GfMatrix;
         use dialga_ec::Schedule;
         use dialga_gf::bitmatrix::BitMatrix;
-        use dialga_ec::GfMatrix;
 
         let p = GfMatrix::cauchy_parity(k, m);
         let bm = BitMatrix::from_gf_matrix(&p.to_rows());
@@ -133,20 +151,20 @@ proptest! {
         let smart = Schedule::smart_from_bitmatrix(&bm, k, m);
 
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..64).map(|j| ((seed as usize ^ (i * 131 + j * 7)) % 256) as u8).collect())
+            .map(|i| {
+                (0..64)
+                    .map(|j| ((seed as usize ^ (i * 131 + j * 7)) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
 
-        // Execute both schedules through the XorCode machinery by building
-        // codes that share the matrix but differ in schedule: use the
-        // public execute path via encode on hand-built codes is private, so
-        // run both schedules with a minimal interpreter here.
-        fn run(schedule: &Schedule, refs: &[&[u8]], k: usize, m: usize, len: usize) -> Vec<Vec<u8>> {
+        // Run both schedules with a minimal interpreter.
+        fn run(schedule: &Schedule, refs: &[&[u8]], m: usize, len: usize) -> Vec<Vec<u8>> {
             use dialga_ec::schedule::{Dst, Src};
             let psize = len / 8;
             let mut parity = vec![vec![0u8; len]; m];
             let mut temps = vec![vec![0u8; psize]; schedule.n_temps];
-            let _ = k;
             for op in &schedule.ops {
                 let src: Vec<u8> = match op.src {
                     Src::Data(c) => refs[c / 8][(c % 8) * psize..(c % 8 + 1) * psize].to_vec(),
@@ -167,33 +185,40 @@ proptest! {
             }
             parity
         }
-        let a = run(&naive, &refs, k, m, 64);
-        let b = run(&smart, &refs, k, m, 64);
-        prop_assert_eq!(a, b, "schedules diverge for k={} m={}", k, m);
-    }
+        let a = run(&naive, &refs, m, 64);
+        let b = run(&smart, &refs, m, 64);
+        assert_eq!(a, b, "schedules diverge for k={k} m={m}");
+    });
+}
 
-    #[test]
-    fn update_parity_equals_reencode(
-        k in 2usize..10,
-        m in 1usize..5,
-        idx_raw in 0usize..10,
-        seed: u64,
-    ) {
-        let idx = idx_raw % k;
+#[test]
+fn update_parity_equals_reencode() {
+    run_cases(64, |rng| {
+        let k = rng.range(2, 10);
+        let m = rng.range(1, 5);
+        let seed = rng.u64();
+        let idx = rng.range(0, k);
         let rs = ReedSolomon::new(k, m).unwrap();
         let mut data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..48).map(|j| ((seed as usize + i + j * 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..48)
+                    .map(|j| ((seed as usize + i + j * 3) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let mut parity = rs.encode_vec(&refs).unwrap();
         let old = data[idx].clone();
-        let new: Vec<u8> = old.iter().map(|b| b.wrapping_mul(3).wrapping_add(seed as u8)).collect();
+        let new: Vec<u8> = old
+            .iter()
+            .map(|b| b.wrapping_mul(3).wrapping_add(seed as u8))
+            .collect();
         {
             let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
             rs.update_parity(idx, &old, &new, &mut prefs).unwrap();
         }
         data[idx] = new;
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        prop_assert_eq!(parity, rs.encode_vec(&refs).unwrap());
-    }
+        assert_eq!(parity, rs.encode_vec(&refs).unwrap());
+    });
 }

@@ -304,10 +304,7 @@ mod tests {
 
     #[test]
     fn block_submatrix_extracts_blocks() {
-        let m = BitMatrix::from_gf_matrix(&[
-            vec![Gf8(1), Gf8(2)],
-            vec![Gf8(3), Gf8(4)],
-        ]);
+        let m = BitMatrix::from_gf_matrix(&[vec![Gf8(1), Gf8(2)], vec![Gf8(3), Gf8(4)]]);
         let sub = m.block_submatrix(&[1], &[0]);
         let expect = BitMatrix::from_gf_matrix(&[vec![Gf8(3)]]);
         assert_eq!(sub, expect);

@@ -69,7 +69,10 @@ unsafe fn mul_add_ssse3(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
         let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
         let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, lo), _mm_shuffle_epi8(hi_tab, hi));
         let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
-        _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, _mm_xor_si128(d, prod));
+        _mm_storeu_si128(
+            dst.as_mut_ptr().add(i) as *mut __m128i,
+            _mm_xor_si128(d, prod),
+        );
         i += 16;
     }
     if n < src.len() {

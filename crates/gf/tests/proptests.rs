@@ -1,84 +1,138 @@
 //! Property-based tests for GF(2^8) field axioms and kernel equivalence.
+//!
+//! Randomized with the in-tree deterministic harness (`dialga-testkit`);
+//! each property runs over many seeded cases and failures print the seed
+//! to replay.
 
 use dialga_gf::bitmatrix::BitMatrix;
 use dialga_gf::slice::{mul_add_slice, mul_slice, xor_slice};
 use dialga_gf::tables::mul_notable;
 use dialga_gf::Gf8;
-use proptest::prelude::*;
+use dialga_testkit::run_cases;
 
-proptest! {
-    #[test]
-    fn add_commutative(a: u8, b: u8) {
-        prop_assert_eq!(Gf8(a) + Gf8(b), Gf8(b) + Gf8(a));
+#[test]
+fn add_commutative() {
+    run_cases(256, |rng| {
+        let (a, b) = (rng.u8(), rng.u8());
+        assert_eq!(Gf8(a) + Gf8(b), Gf8(b) + Gf8(a));
+    });
+}
+
+#[test]
+fn mul_commutative() {
+    run_cases(256, |rng| {
+        let (a, b) = (rng.u8(), rng.u8());
+        assert_eq!(Gf8(a) * Gf8(b), Gf8(b) * Gf8(a));
+    });
+}
+
+#[test]
+fn mul_associative() {
+    run_cases(256, |rng| {
+        let (a, b, c) = (rng.u8(), rng.u8(), rng.u8());
+        assert_eq!((Gf8(a) * Gf8(b)) * Gf8(c), Gf8(a) * (Gf8(b) * Gf8(c)));
+    });
+}
+
+#[test]
+fn distributive() {
+    run_cases(256, |rng| {
+        let (a, b, c) = (rng.u8(), rng.u8(), rng.u8());
+        assert_eq!(
+            Gf8(a) * (Gf8(b) + Gf8(c)),
+            Gf8(a) * Gf8(b) + Gf8(a) * Gf8(c)
+        );
+    });
+}
+
+#[test]
+fn mul_matches_bitwise_reference() {
+    // Exhaustive: the full 256x256 multiplication table.
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!((Gf8(a) * Gf8(b)).0, mul_notable(a, b));
+        }
     }
+}
 
-    #[test]
-    fn mul_commutative(a: u8, b: u8) {
-        prop_assert_eq!(Gf8(a) * Gf8(b), Gf8(b) * Gf8(a));
+#[test]
+fn nonzero_has_inverse() {
+    for a in 1..=255u8 {
+        assert_eq!(Gf8(a) * Gf8(a).inv(), Gf8::ONE);
     }
+}
 
-    #[test]
-    fn mul_associative(a: u8, b: u8, c: u8) {
-        prop_assert_eq!((Gf8(a) * Gf8(b)) * Gf8(c), Gf8(a) * (Gf8(b) * Gf8(c)));
-    }
+#[test]
+fn pow_adds_exponents() {
+    run_cases(256, |rng| {
+        let a = 1 + rng.below(255) as u8;
+        let e1 = rng.range_u32(0, 300);
+        let e2 = rng.range_u32(0, 300);
+        assert_eq!(Gf8(a).pow(e1) * Gf8(a).pow(e2), Gf8(a).pow(e1 + e2));
+    });
+}
 
-    #[test]
-    fn distributive(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(Gf8(a) * (Gf8(b) + Gf8(c)), Gf8(a) * Gf8(b) + Gf8(a) * Gf8(c));
-    }
-
-    #[test]
-    fn mul_matches_bitwise_reference(a: u8, b: u8) {
-        prop_assert_eq!((Gf8(a) * Gf8(b)).0, mul_notable(a, b));
-    }
-
-    #[test]
-    fn nonzero_has_inverse(a in 1u8..=255) {
-        prop_assert_eq!(Gf8(a) * Gf8(a).inv(), Gf8::ONE);
-    }
-
-    #[test]
-    fn pow_adds_exponents(a in 1u8..=255, e1 in 0u32..300, e2 in 0u32..300) {
-        prop_assert_eq!(Gf8(a).pow(e1) * Gf8(a).pow(e2), Gf8(a).pow(e1 + e2));
-    }
-
-    #[test]
-    fn mul_slice_equals_scalar_loop(c: u8, src in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn mul_slice_equals_scalar_loop() {
+    run_cases(64, |rng| {
+        let c = rng.u8();
+        let n = rng.range(0, 256);
+        let src = rng.bytes(n);
         let mut dst = vec![0u8; src.len()];
         mul_slice(c, &src, &mut dst);
         for (d, &s) in dst.iter().zip(&src) {
-            prop_assert_eq!(*d, mul_notable(c, s));
+            assert_eq!(*d, mul_notable(c, s));
         }
-    }
+    });
+}
 
-    #[test]
-    fn mul_add_is_mul_then_xor(c: u8, src in proptest::collection::vec(any::<u8>(), 1..200),
-                               seed: u8) {
-        let mut dst: Vec<u8> = (0..src.len()).map(|i| (i as u8).wrapping_add(seed)).collect();
+#[test]
+fn mul_add_is_mul_then_xor() {
+    run_cases(64, |rng| {
+        let c = rng.u8();
+        let n = rng.range(1, 200);
+        let src = rng.bytes(n);
+        let seed = rng.u8();
+        let mut dst: Vec<u8> = (0..src.len())
+            .map(|i| (i as u8).wrapping_add(seed))
+            .collect();
         let mut expect = dst.clone();
         mul_add_slice(c, &src, &mut dst);
         let mut prod = vec![0u8; src.len()];
         mul_slice(c, &src, &mut prod);
         xor_slice(&prod, &mut expect);
-        prop_assert_eq!(dst, expect);
-    }
+        assert_eq!(dst, expect);
+    });
+}
 
-    #[test]
-    fn bitmatrix_mul_is_gf_mul(e: u8, x: u8) {
+#[test]
+fn bitmatrix_mul_is_gf_mul() {
+    run_cases(256, |rng| {
+        let (e, x) = (rng.u8(), rng.u8());
         let bm = BitMatrix::from_gf_matrix(&[vec![Gf8(e)]]);
         let bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 != 0).collect();
         let out = bm.apply(&bits);
-        let got = out.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
-        prop_assert_eq!(got, mul_notable(e, x));
-    }
+        let got = out
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        assert_eq!(got, mul_notable(e, x));
+    });
+}
 
-    #[test]
-    fn bitmatrix_inverse_roundtrip(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255, d in 0u8..=255) {
+#[test]
+fn bitmatrix_inverse_roundtrip() {
+    run_cases(128, |rng| {
+        let (a, b, c, d) = (rng.u8(), rng.u8(), rng.u8(), rng.u8());
         // Only test when the GF matrix is invertible (det != 0).
         let det = Gf8(a) * Gf8(d) + Gf8(b) * Gf8(c);
-        prop_assume!(det != Gf8::ZERO);
+        if det == Gf8::ZERO {
+            return;
+        }
         let m = BitMatrix::from_gf_matrix(&[vec![Gf8(a), Gf8(b)], vec![Gf8(c), Gf8(d)]]);
-        let inv = m.inverse().expect("invertible GF matrix must yield invertible bitmatrix");
-        prop_assert_eq!(m.matmul(&inv), BitMatrix::identity(16));
-    }
+        let inv = m
+            .inverse()
+            .expect("invertible GF matrix must yield invertible bitmatrix");
+        assert_eq!(m.matmul(&inv), BitMatrix::identity(16));
+    });
 }

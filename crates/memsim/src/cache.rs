@@ -116,7 +116,10 @@ impl Cache {
         let tick = self.tick;
         let range = self.set_range(line);
         // Already present (e.g. race between prefetch and demand): refresh.
-        if let Some(e) = self.entries[range.clone()].iter_mut().find(|e| e.tag == line) {
+        if let Some(e) = self.entries[range.clone()]
+            .iter_mut()
+            .find(|e| e.tag == line)
+        {
             e.lru = tick;
             e.ready_ns = e.ready_ns.min(ready_ns);
             return None;
@@ -174,7 +177,10 @@ mod tests {
         assert_eq!(c.probe_demand(5), Probe::Miss);
         assert!(c.insert(5, 10.0, false).is_none());
         match c.probe_demand(5) {
-            Probe::Hit { ready_ns, was_prefetch } => {
+            Probe::Hit {
+                ready_ns,
+                was_prefetch,
+            } => {
                 assert_eq!(ready_ns, 10.0);
                 assert!(!was_prefetch);
             }

@@ -161,10 +161,12 @@ mod tests {
 
     #[test]
     fn add_and_delta_are_inverse() {
-        let mut a = Counters::default();
-        a.loads = 10;
-        a.demand_stall_ns = 5.0;
-        a.media_read_bytes = 256;
+        let a = Counters {
+            loads: 10,
+            demand_stall_ns: 5.0,
+            media_read_bytes: 256,
+            ..Default::default()
+        };
         let mut b = a;
         let inc = Counters {
             loads: 7,

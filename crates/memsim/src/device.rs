@@ -253,7 +253,11 @@ mod tests {
         assert_eq!(c.media_read_bytes, 256);
         // Lines 1..3 of the same XPLine after the fetch completes.
         let t1 = m.read_line(1, 400.0, &mut c);
-        assert!(t1 - 400.0 <= 166.0, "buffer hit latency, got {}", t1 - 400.0);
+        assert!(
+            t1 - 400.0 <= 166.0,
+            "buffer hit latency, got {}",
+            t1 - 400.0
+        );
         assert_eq!(c.xpline_fetches, 1, "no second media fetch");
         assert_eq!(c.buffer_hits, 1);
     }
@@ -266,7 +270,10 @@ mod tests {
         // (not after twice) the media fetch.
         let t1 = m.read_line(1, 10.0, &mut c);
         assert_eq!(c.xpline_fetches, 1);
-        assert!(t1 >= t0 && t1 < t0 + 50.0, "merged completion, got {t1} vs {t0}");
+        assert!(
+            t1 >= t0 && t1 < t0 + 50.0,
+            "merged completion, got {t1} vs {t0}"
+        );
     }
 
     #[test]
@@ -341,7 +348,10 @@ mod tests {
         // (slots are DIMM-internal and invisible to prefetch throttling).
         let d = m.read_queue_delay((slots as u64 + 1) * 4, 0.0);
         let bus_expected = (slots + 1) as f64 * cfg.pm.media_bus_ns;
-        assert!((d - bus_expected).abs() < 1e-6, "bus queue {d} vs {bus_expected}");
+        assert!(
+            (d - bus_expected).abs() < 1e-6,
+            "bus queue {d} vs {bus_expected}"
+        );
     }
 
     #[test]

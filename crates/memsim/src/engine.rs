@@ -374,13 +374,7 @@ mod tests {
     }
 
     impl TaskSource for SeqScan {
-        fn next_task(
-            &mut self,
-            tid: usize,
-            _now: f64,
-            _c: &Counters,
-            task: &mut RowTask,
-        ) -> bool {
+        fn next_task(&mut self, tid: usize, _now: f64, _c: &Counters, task: &mut RowTask) -> bool {
             if self.pos[tid] >= self.bytes_per_thread {
                 return false;
             }
@@ -452,7 +446,10 @@ mod tests {
         assert!(s4 > 2.0, "4-thread speedup only {s4:.2}x");
         let t18 = run_seq(MachineConfig::pm(), 18, 4 << 20);
         let s18 = t18.throughput_gbs() / t1.throughput_gbs();
-        assert!(s18 < 18.0, "18-thread speedup implausibly linear: {s18:.2}x");
+        assert!(
+            s18 < 18.0,
+            "18-thread speedup implausibly linear: {s18:.2}x"
+        );
     }
 
     #[test]
@@ -519,7 +516,7 @@ mod tests {
                 if self.left == 0 {
                     return false;
                 }
-                task.toggle_hw_prefetch = Some(self.left % 2 == 0);
+                task.toggle_hw_prefetch = Some(self.left.is_multiple_of(2));
                 task.compute_cycles = 1.0;
                 self.left -= 1;
                 true
@@ -548,7 +545,13 @@ mod tests {
             lines: u64,
         }
         impl TaskSource for SharedScan {
-            fn next_task(&mut self, tid: usize, _n: f64, _c: &Counters, task: &mut RowTask) -> bool {
+            fn next_task(
+                &mut self,
+                tid: usize,
+                _n: f64,
+                _c: &Counters,
+                task: &mut RowTask,
+            ) -> bool {
                 let p = self.pos[tid];
                 if p >= self.lines {
                     return false;

@@ -1,12 +1,14 @@
 //! Property-based tests for the memory-system model: cache behaviour
 //! against a reference model, queueing invariants, and traffic
 //! conservation under arbitrary workloads.
+//!
+//! Randomized with the in-tree deterministic harness (`dialga-testkit`).
 
 use dialga_memsim::cache::{Cache, Probe};
 use dialga_memsim::config::CacheConfig;
 use dialga_memsim::device::MemorySystem;
 use dialga_memsim::{Counters, Engine, MachineConfig, RowTask, TaskSource};
-use proptest::prelude::*;
+use dialga_testkit::run_cases;
 use std::collections::HashMap;
 
 /// Reference model of a set-associative LRU cache.
@@ -50,36 +52,45 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The cache must agree hit-for-hit with a reference LRU model under
-    /// arbitrary interleavings of demand probes and inserts.
-    #[test]
-    fn cache_matches_reference_lru(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400)) {
-        let cfg = CacheConfig { bytes: 16 * 64, ways: 4, hit_ns: 1.0 }; // 4 sets x 4 ways
+/// The cache must agree hit-for-hit with a reference LRU model under
+/// arbitrary interleavings of demand probes and inserts.
+#[test]
+fn cache_matches_reference_lru() {
+    run_cases(64, |rng| {
+        let n_ops = rng.range(1, 400);
+        let cfg = CacheConfig {
+            bytes: 16 * 64,
+            ways: 4,
+            hit_ns: 1.0,
+        }; // 4 sets x 4 ways
         let mut cache = Cache::new(&cfg);
         let mut reference = RefCache::new(cfg.sets(), cfg.ways);
-        for (is_insert, line) in ops {
+        for _ in 0..n_ops {
+            let is_insert = rng.bool();
+            let line = rng.below(64);
             if is_insert {
                 cache.insert(line, 0.0, false);
                 reference.insert(line);
             } else {
                 let got = matches!(cache.probe_demand(line), Probe::Hit { .. });
                 let want = reference.probe(line);
-                prop_assert_eq!(got, want, "line {}", line);
+                assert_eq!(got, want, "line {line}");
             }
         }
-    }
+    });
+}
 
-    /// Completion times never precede request times, and identical request
-    /// sequences produce identical timings (determinism).
-    #[test]
-    fn reads_complete_after_issue_and_deterministically(
-        addrs in proptest::collection::vec(0u64..(1 << 22), 1..200),
-        pm in any::<bool>(),
-    ) {
-        let cfg = if pm { MachineConfig::pm() } else { MachineConfig::dram() };
+/// Completion times never precede request times, and identical request
+/// sequences produce identical timings (determinism).
+#[test]
+fn reads_complete_after_issue_and_deterministically() {
+    run_cases(64, |rng| {
+        let addrs: Vec<u64> = (0..rng.range(1, 200)).map(|_| rng.below(1 << 22)).collect();
+        let cfg = if rng.bool() {
+            MachineConfig::pm()
+        } else {
+            MachineConfig::dram()
+        };
         let run = |cfg: &MachineConfig| {
             let mut m = MemorySystem::new(cfg);
             let mut c = Counters::default();
@@ -87,22 +98,25 @@ proptest! {
             let mut now = 0.0;
             for &a in &addrs {
                 let t = m.read_line(a / 64, now, &mut c);
-                prop_assert!(t >= now, "completion {} before issue {}", t, now);
+                assert!(t >= now, "completion {t} before issue {now}");
                 times.push(t);
                 now += 10.0;
             }
-            Ok((times, c))
+            (times, c)
         };
-        let (t1, c1) = run(&cfg)?;
-        let (t2, c2) = run(&cfg)?;
-        prop_assert_eq!(t1, t2);
-        prop_assert_eq!(c1, c2);
-    }
+        let (t1, c1) = run(&cfg);
+        let (t2, c2) = run(&cfg);
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+    });
+}
 
-    /// PM media traffic is unit-quantized, bounded below by distinct units
-    /// touched and above by one fetch per request.
-    #[test]
-    fn pm_media_traffic_bounds(addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+/// PM media traffic is unit-quantized, bounded below by distinct units
+/// touched and above by one fetch per request.
+#[test]
+fn pm_media_traffic_bounds() {
+    run_cases(64, |rng| {
+        let addrs: Vec<u64> = (0..rng.range(1, 300)).map(|_| rng.below(1 << 20)).collect();
         let cfg = MachineConfig::pm();
         let mut m = MemorySystem::new(&cfg);
         let mut c = Counters::default();
@@ -112,23 +126,24 @@ proptest! {
             now += 50.0;
         }
         let unit = cfg.pm.unit_bytes;
-        prop_assert_eq!(c.media_read_bytes % unit, 0);
+        assert_eq!(c.media_read_bytes % unit, 0);
         let distinct_units: std::collections::HashSet<u64> =
             addrs.iter().map(|a| a / unit).collect();
-        prop_assert!(c.xpline_fetches >= distinct_units.len() as u64);
-        prop_assert!(c.xpline_fetches <= addrs.len() as u64);
-        prop_assert_eq!(c.buffer_hits + c.xpline_fetches, addrs.len() as u64);
-    }
+        assert!(c.xpline_fetches >= distinct_units.len() as u64);
+        assert!(c.xpline_fetches <= addrs.len() as u64);
+        assert_eq!(c.buffer_hits + c.xpline_fetches, addrs.len() as u64);
+    });
+}
 
-    /// Engine-level conservation for arbitrary strided row workloads.
-    #[test]
-    fn engine_traffic_conservation(
-        k in 1usize..16,
-        rows in 1u64..200,
-        stride in prop_oneof![Just(64u64), Just(128), Just(4096)],
-        threads in 1usize..4,
-        pf in any::<bool>(),
-    ) {
+/// Engine-level conservation for arbitrary strided row workloads.
+#[test]
+fn engine_traffic_conservation() {
+    run_cases(48, |rng| {
+        let k = rng.range(1, 16);
+        let rows = rng.range_u64(1, 200);
+        let stride = [64u64, 128, 4096][rng.range(0, 3)];
+        let threads = rng.range(1, 4);
+        let pf = rng.bool();
         struct Src {
             k: usize,
             rows: u64,
@@ -137,13 +152,20 @@ proptest! {
             threads: usize,
         }
         impl TaskSource for Src {
-            fn next_task(&mut self, tid: usize, _n: f64, _c: &Counters, task: &mut RowTask) -> bool {
+            fn next_task(
+                &mut self,
+                tid: usize,
+                _n: f64,
+                _c: &Counters,
+                task: &mut RowTask,
+            ) -> bool {
                 let r = self.pos[tid];
                 if r >= self.rows {
                     return false;
                 }
                 for j in 0..self.k as u64 {
-                    task.loads.push(tid as u64 * (1 << 30) + j * (1 << 20) + r * self.stride);
+                    task.loads
+                        .push(tid as u64 * (1 << 30) + j * (1 << 20) + r * self.stride);
                 }
                 task.compute_cycles = 10.0;
                 self.pos[tid] = r + 1;
@@ -156,12 +178,21 @@ proptest! {
         let mut cfg = MachineConfig::pm();
         cfg.prefetcher.enabled = pf;
         let mut eng = Engine::new(cfg, threads);
-        let r = eng.run(&mut Src { k, rows, stride, pos: vec![0; threads], threads });
+        let r = eng.run(&mut Src {
+            k,
+            rows,
+            stride,
+            pos: vec![0; threads],
+            threads,
+        });
         let c = r.counters;
-        prop_assert_eq!(c.loads, (k as u64) * rows * threads as u64);
-        prop_assert_eq!(c.loads, c.l2_hits + c.llc_hits + c.demand_misses);
-        prop_assert_eq!(c.imc_read_bytes, (c.demand_misses + c.hw_prefetches + c.sw_prefetches) * 64);
-        prop_assert_eq!(c.media_read_bytes, c.xpline_fetches * 256);
-        prop_assert!(r.elapsed_ns > 0.0);
-    }
+        assert_eq!(c.loads, (k as u64) * rows * threads as u64);
+        assert_eq!(c.loads, c.l2_hits + c.llc_hits + c.demand_misses);
+        assert_eq!(
+            c.imc_read_bytes,
+            (c.demand_misses + c.hw_prefetches + c.sw_prefetches) * 64
+        );
+        assert_eq!(c.media_read_bytes, c.xpline_fetches * 256);
+        assert!(r.elapsed_ns > 0.0);
+    });
 }

@@ -6,7 +6,15 @@ use dialga_pipeline::isal::{IsalSource, Knobs};
 use dialga_pipeline::layout::StripeLayout;
 use dialga_pipeline::runner::run_source;
 
-fn show(label: &str, cfg: &MachineConfig, k: usize, m: usize, block: u64, threads: usize, knobs: Knobs) {
+fn show(
+    label: &str,
+    cfg: &MachineConfig,
+    k: usize,
+    m: usize,
+    block: u64,
+    threads: usize,
+    knobs: Knobs,
+) {
     let layout = StripeLayout::sized_for(k, m, block, 4 << 20);
     let mut src = IsalSource::new(layout, CostModel::default(), knobs, threads);
     let r = run_source(cfg, threads, &mut src);

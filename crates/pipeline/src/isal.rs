@@ -207,7 +207,8 @@ impl IsalSource {
         }
 
         for j in 0..k {
-            task.loads.push(self.layout.data_line(tid, c.stripe, j, row));
+            task.loads
+                .push(self.layout.data_line(tid, c.stripe, j, row));
         }
         task.compute_cycles = self.cost.rs_row_cycles(k, m);
         for i in 0..m {

@@ -184,10 +184,7 @@ mod tests {
             }
         }
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(
-            *max < min * 2,
-            "channel imbalance: {counts:?}"
-        );
+        assert!(*max < min * 2, "channel imbalance: {counts:?}");
     }
 
     #[test]
@@ -218,7 +215,7 @@ mod tests {
     fn sized_for_hits_target() {
         let l = StripeLayout::sized_for(12, 4, 1024, 8 << 20);
         let got = l.data_bytes_per_thread();
-        assert!(got >= 7 << 20 && got <= 8 << 20, "sized {got}");
+        assert!((7 << 20..=8 << 20).contains(&got), "sized {got}");
     }
 
     #[test]
@@ -227,10 +224,7 @@ mod tests {
         assert_eq!(l.block_span(), 8192);
         assert_eq!(l.rows_per_block(), 80);
         // A block's lines are contiguous even when scattered.
-        assert_eq!(
-            l.data_line(0, 0, 1, 79) - l.data_line(0, 0, 1, 0),
-            79 * 64
-        );
+        assert_eq!(l.data_line(0, 0, 1, 79) - l.data_line(0, 0, 1, 0), 79 * 64);
     }
 
     #[test]

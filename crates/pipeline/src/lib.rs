@@ -32,4 +32,4 @@ pub mod xorpat;
 pub use cost::{CostModel, Simd};
 pub use isal::{IsalSource, Knobs};
 pub use layout::StripeLayout;
-pub use runner::run_source;
+pub use runner::{run_source, run_source_with_hook, ObservedSource};

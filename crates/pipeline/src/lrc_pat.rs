@@ -6,8 +6,8 @@
 //! of store instructions" the paper cites for LRC's smaller DIALGA gains.
 
 use crate::cost::CostModel;
-use crate::layout::StripeLayout;
 use crate::isal::Knobs;
+use crate::layout::StripeLayout;
 use dialga_memsim::{Counters, RowTask, TaskSource};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -93,13 +93,15 @@ impl TaskSource for LrcSource {
         }
 
         for j in 0..k {
-            task.loads.push(self.layout.data_line(tid, c.stripe, j, c.row));
+            task.loads
+                .push(self.layout.data_line(tid, c.stripe, j, c.row));
         }
         // Global RS compute + one XOR per data line for its local parity.
         task.compute_cycles =
             self.cost.rs_row_cycles(k, self.m_global) + self.cost.xor_lines_cycles(k as u64);
         for i in 0..self.parity_streams() {
-            task.stores.push(self.layout.parity_line(tid, c.stripe, i, c.row));
+            task.stores
+                .push(self.layout.parity_line(tid, c.stripe, i, c.row));
         }
 
         let cur = &mut self.cur[tid];

@@ -94,8 +94,9 @@ impl TaskSource for UpdateSource {
 
         task.loads.extend(self.row_addrs(tid, c.stripe, c.row));
         // delta XOR + m GF multiply-accumulates per row.
-        task.compute_cycles =
-            self.cost.xor_lines_cycles(1) + self.cost.rs_line_cycles(m) + self.cost.row_overhead_cycles;
+        task.compute_cycles = self.cost.xor_lines_cycles(1)
+            + self.cost.rs_line_cycles(m)
+            + self.cost.row_overhead_cycles;
         task.stores.extend(self.row_addrs(tid, c.stripe, c.row));
 
         let cur = &mut self.cur[tid];

@@ -46,12 +46,7 @@ pub struct XorSource {
 
 impl XorSource {
     /// Build a source. The schedule's (k, m) must match the layout.
-    pub fn new(
-        layout: StripeLayout,
-        cost: CostModel,
-        schedule: Schedule,
-        threads: usize,
-    ) -> Self {
+    pub fn new(layout: StripeLayout, cost: CostModel, schedule: Schedule, threads: usize) -> Self {
         assert_eq!(schedule.k, layout.k, "schedule k mismatch");
         assert_eq!(schedule.m, layout.m, "schedule m mismatch");
         XorSource {
@@ -130,8 +125,10 @@ impl XorSource {
             for r in 0..self.layout.rows_per_block() {
                 // The flush re-reads the cached parity lines (cheap L2
                 // hits) and streams them out.
-                task.loads.push(self.layout.parity_line(tid, c.stripe, i, r));
-                task.stores.push(self.layout.parity_line(tid, c.stripe, i, r));
+                task.loads
+                    .push(self.layout.parity_line(tid, c.stripe, i, r));
+                task.stores
+                    .push(self.layout.parity_line(tid, c.stripe, i, r));
             }
             task.compute_cycles = self.cost.row_overhead_cycles;
             1
@@ -171,9 +168,9 @@ impl TaskSource for XorSource {
 mod tests {
     use super::*;
     use dialga_ec::xor::{XorCode, XorFlavor};
+    use dialga_ec::GfMatrix;
     use dialga_ec::Schedule;
     use dialga_gf::bitmatrix::BitMatrix;
-    use dialga_ec::GfMatrix;
 
     fn simple_source(k: usize, m: usize, block: u64, stripes: u64) -> XorSource {
         let p = GfMatrix::cauchy_parity(k, m);

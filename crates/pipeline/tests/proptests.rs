@@ -3,13 +3,15 @@
 //! stored exactly once) must hold under every knob combination — that is
 //! what guarantees the timed patterns model the same work the functional
 //! encoders do.
+//!
+//! Randomized with the in-tree deterministic harness (`dialga-testkit`).
 
 use dialga_memsim::{Counters, RowTask, TaskSource};
 use dialga_pipeline::cost::CostModel;
 use dialga_pipeline::decomp::DecomposeSource;
 use dialga_pipeline::isal::{shuffle_row, IsalSource, Knobs};
 use dialga_pipeline::layout::StripeLayout;
-use proptest::prelude::*;
+use dialga_testkit::{run_cases, Rng};
 use std::collections::HashSet;
 
 fn drain(src: &mut impl TaskSource, tid: usize) -> Vec<RowTask> {
@@ -28,35 +30,27 @@ fn drain(src: &mut impl TaskSource, tid: usize) -> Vec<RowTask> {
     out
 }
 
-fn arb_knobs() -> impl Strategy<Value = Knobs> {
-    (
-        proptest::option::of(1u32..200),
-        proptest::option::of(1u32..300),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(sw, bf, shuffle, expand)| Knobs {
-            sw_distance: sw,
-            bf_first_distance: if sw.is_some() { bf } else { None },
-            shuffle,
-            xpline_expand: expand,
-        })
+fn arb_knobs(rng: &mut Rng) -> Knobs {
+    let sw = rng.bool().then(|| rng.range_u32(1, 200));
+    let bf = rng.bool().then(|| rng.range_u32(1, 300));
+    Knobs {
+        sw_distance: sw,
+        bf_first_distance: if sw.is_some() { bf } else { None },
+        shuffle: rng.bool(),
+        xpline_expand: rng.bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Exact coverage under arbitrary knobs: every data line loaded once,
-    /// every parity line stored once, prefetches only target data lines.
-    #[test]
-    fn isal_pattern_exact_coverage(
-        k in 1usize..20,
-        m in 1usize..6,
-        block_units in 1u64..8, // block = units * 256B
-        stripes in 1u64..4,
-        knobs in arb_knobs(),
-    ) {
-        let block = block_units * 256;
+/// Exact coverage under arbitrary knobs: every data line loaded once,
+/// every parity line stored once, prefetches only target data lines.
+#[test]
+fn isal_pattern_exact_coverage() {
+    run_cases(48, |rng| {
+        let k = rng.range(1, 20);
+        let m = rng.range(1, 6);
+        let block = rng.range_u64(1, 8) * 256;
+        let stripes = rng.range_u64(1, 4);
+        let knobs = arb_knobs(rng);
         let layout = StripeLayout::new(k, m, block, stripes);
         let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
         let tasks = drain(&mut src, 0);
@@ -65,8 +59,8 @@ proptest! {
         let n_loads = loads.len() as u64;
         loads.sort_unstable();
         loads.dedup();
-        prop_assert_eq!(loads.len() as u64, n_loads, "duplicate loads");
-        prop_assert_eq!(n_loads, stripes * k as u64 * (block / 64), "load coverage");
+        assert_eq!(loads.len() as u64, n_loads, "duplicate loads");
+        assert_eq!(n_loads, stripes * k as u64 * (block / 64), "load coverage");
 
         let mut expected: HashSet<u64> = HashSet::new();
         for s in 0..stripes {
@@ -77,69 +71,80 @@ proptest! {
             }
         }
         for l in &loads {
-            prop_assert!(expected.contains(l), "load {} outside data", l);
+            assert!(expected.contains(l), "load {l} outside data");
         }
 
         let mut stores: Vec<u64> = tasks.iter().flat_map(|t| t.stores.clone()).collect();
         let n_stores = stores.len() as u64;
         stores.sort_unstable();
         stores.dedup();
-        prop_assert_eq!(stores.len() as u64, n_stores, "duplicate stores");
-        prop_assert_eq!(n_stores, stripes * m as u64 * (block / 64), "store coverage");
+        assert_eq!(stores.len() as u64, n_stores, "duplicate stores");
+        assert_eq!(
+            n_stores,
+            stripes * m as u64 * (block / 64),
+            "store coverage"
+        );
 
         // Prefetches target only data lines (never parity or padding).
         for t in &tasks {
             for p in &t.sw_prefetches {
-                prop_assert!(expected.contains(p), "prefetch {} outside data", p);
+                assert!(expected.contains(p), "prefetch {p} outside data");
             }
         }
-    }
+    });
+}
 
-    /// With BF split off, the prefetch stream covers every data line except
-    /// the per-stripe warm-up prefix, each exactly once.
-    #[test]
-    fn isal_prefetch_stream_covers_all_but_warmup(
-        k in 1usize..12,
-        d in 1u32..100,
-        stripes in 1u64..3,
-    ) {
+/// With BF split off, the prefetch stream covers every data line except
+/// the per-stripe warm-up prefix, each exactly once.
+#[test]
+fn isal_prefetch_stream_covers_all_but_warmup() {
+    run_cases(48, |rng| {
+        let k = rng.range(1, 12);
+        let d = rng.range_u32(1, 100);
+        let stripes = rng.range_u64(1, 3);
         let block = 1024u64;
         let layout = StripeLayout::new(k, 2, block, stripes);
-        let knobs = Knobs { sw_distance: Some(d), ..Default::default() };
+        let knobs = Knobs {
+            sw_distance: Some(d),
+            ..Default::default()
+        };
         let mut src = IsalSource::new(layout, CostModel::default(), knobs, 1);
         let tasks = drain(&mut src, 0);
         let mut pf: Vec<u64> = tasks.iter().flat_map(|t| t.sw_prefetches.clone()).collect();
         let n = pf.len() as u64;
         pf.sort_unstable();
         pf.dedup();
-        prop_assert_eq!(pf.len() as u64, n, "duplicate prefetches");
+        assert_eq!(pf.len() as u64, n, "duplicate prefetches");
         let steps = (block / 64) * k as u64;
         let expected = stripes * steps.saturating_sub(d as u64);
-        prop_assert_eq!(n, expected, "warm-up accounting");
-    }
+        assert_eq!(n, expected, "warm-up accounting");
+    });
+}
 
-    /// The shuffle map is a bijection for any row count.
-    #[test]
-    fn shuffle_row_bijective(rows in 1u64..2048) {
+/// The shuffle map is a bijection for any row count.
+#[test]
+fn shuffle_row_bijective() {
+    run_cases(64, |rng| {
+        let rows = rng.range_u64(1, 2048);
         let mut seen = vec![false; rows as usize];
         for r in 0..rows {
             let s = shuffle_row(r, rows);
-            prop_assert!(s < rows);
-            prop_assert!(!seen[s as usize], "duplicate {}", s);
+            assert!(s < rows);
+            assert!(!seen[s as usize], "duplicate {s}");
             seen[s as usize] = true;
         }
-    }
+    });
+}
 
-    /// Decompose pass accounting: loads = data once + parity reloads for
-    /// every pass after the first; stores = m lines per row per pass.
-    #[test]
-    fn decompose_traffic_accounting(
-        k in 2usize..24,
-        m in 1usize..4,
-        sub_k in 1usize..24,
-        stripes in 1u64..3,
-    ) {
-        let sub_k = sub_k.min(k);
+/// Decompose pass accounting: loads = data once + parity reloads for
+/// every pass after the first; stores = m lines per row per pass.
+#[test]
+fn decompose_traffic_accounting() {
+    run_cases(48, |rng| {
+        let k = rng.range(2, 24);
+        let m = rng.range(1, 4);
+        let sub_k = rng.range(1, 24).min(k);
+        let stripes = rng.range_u64(1, 3);
         let block = 512u64;
         let rows = block / 64;
         let layout = StripeLayout::new(k, m, block, stripes);
@@ -148,10 +153,7 @@ proptest! {
         let tasks = drain(&mut src, 0);
         let loads: u64 = tasks.iter().map(|t| t.loads.len() as u64).sum();
         let stores: u64 = tasks.iter().map(|t| t.stores.len() as u64).sum();
-        prop_assert_eq!(
-            loads,
-            stripes * rows * (k as u64 + (passes - 1) * m as u64)
-        );
-        prop_assert_eq!(stores, stripes * rows * passes * m as u64);
-    }
+        assert_eq!(loads, stripes * rows * (k as u64 + (passes - 1) * m as u64));
+        assert_eq!(stores, stripes * rows * passes * m as u64);
+    });
 }

@@ -1,0 +1,165 @@
+//! SplitMix64-based pseudo-random generator.
+//!
+//! SplitMix64 passes BigCrush, needs one u64 of state, and is trivially
+//! seedable — exactly what deterministic tests and the annealed matrix
+//! search need. It is *not* cryptographic.
+
+/// Deterministic pseudo-random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// Next uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        (self.u64() >> 56) as u8
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny modulo
+        // bias is irrelevant for test-case generation.
+        ((self.u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics when the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Fill `buf` with uniform bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// A vector of `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill(&mut v);
+        v
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 255, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = Rng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.range(0, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of [0,4) reachable");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_with_respects_probability() {
+        let mut rng = Rng::new(9);
+        let hits = (0..10_000).filter(|_| rng.bool_with(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

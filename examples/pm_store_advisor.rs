@@ -24,7 +24,10 @@ fn main() {
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
 
     let cfg = MachineConfig::pm();
-    println!("workload: RS({},{k}) {block}B blocks, {threads} writer thread(s)", k + m);
+    println!(
+        "workload: RS({},{k}) {block}B blocks, {threads} writer thread(s)",
+        k + m
+    );
     println!("machine:  {}", cfg.digest());
     println!();
 
@@ -32,9 +35,19 @@ fn main() {
     let coord = Coordinator::new(k, m, block, threads, &cfg);
     let policy = coord.policy();
     println!("DIALGA initial policy:");
-    println!("  hardware prefetcher : {}", if policy.hw_suppressed { "suppressed (shuffle mapping)" } else { "on" });
+    println!(
+        "  hardware prefetcher : {}",
+        if policy.hw_suppressed {
+            "suppressed (shuffle mapping)"
+        } else {
+            "on"
+        }
+    );
     println!("  software prefetch d : {:?}", policy.knobs.sw_distance);
-    println!("  XPLine-first dist.  : {:?}", policy.knobs.bf_first_distance);
+    println!(
+        "  XPLine-first dist.  : {:?}",
+        policy.knobs.bf_first_distance
+    );
     println!("  256B task expansion : {}", policy.knobs.xpline_expand);
     println!("  Eq.(1) max distance : {}", coord.d_max());
     println!();
@@ -57,15 +70,31 @@ fn main() {
     let r_dialga = run_source(&cfg, threads, &mut dialga);
 
     println!("simulated encode throughput:");
-    println!("  ISA-L                : {:6.2} GB/s (media amp {:.2}x)", r_isal.throughput_gbs(), r_isal.counters.media_read_amplification());
-    println!("  ISA-L, prefetcher off: {:6.2} GB/s (media amp {:.2}x)", r_nopf.throughput_gbs(), r_nopf.counters.media_read_amplification());
-    println!("  DIALGA               : {:6.2} GB/s (media amp {:.2}x)", r_dialga.throughput_gbs(), r_dialga.counters.media_read_amplification());
+    println!(
+        "  ISA-L                : {:6.2} GB/s (media amp {:.2}x)",
+        r_isal.throughput_gbs(),
+        r_isal.counters.media_read_amplification()
+    );
+    println!(
+        "  ISA-L, prefetcher off: {:6.2} GB/s (media amp {:.2}x)",
+        r_nopf.throughput_gbs(),
+        r_nopf.counters.media_read_amplification()
+    );
+    println!(
+        "  DIALGA               : {:6.2} GB/s (media amp {:.2}x)",
+        r_dialga.throughput_gbs(),
+        r_dialga.counters.media_read_amplification()
+    );
     println!();
 
     if let Some(coord) = dialga.coordinator() {
         let log = coord.policy_log();
         if !log.is_empty() {
-            println!("coordinator activity ({} samples, {} policy changes):", coord.samples(), log.len());
+            println!(
+                "coordinator activity ({} samples, {} policy changes):",
+                coord.samples(),
+                log.len()
+            );
             for (t, p) in log.iter().take(6) {
                 println!(
                     "  t={:7.0}us  d={:?} first={:?} shuffle={} expand={} contended={}",

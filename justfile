@@ -1,0 +1,22 @@
+# Developer entry points. `just` is optional — every recipe is a one-line
+# shell command you can paste, and scripts/lint.sh works without just.
+
+# Build + tests (tier-1 verify)
+test:
+    cargo build --release && cargo test -q --workspace
+
+# Formatting + clippy, hard-failing (tier-1.5 verify)
+lint:
+    sh scripts/lint.sh
+
+# Figure tables (see crates/bench/src/bin)
+figures:
+    cargo run --release -p dialga-bench --bin all_figures
+
+# Dispatch ablation for the persistent encode pool
+pool:
+    cargo run --release -p dialga-bench --bin pool -- --quick
+
+# Host microbenchmarks (in-tree harness, no external deps)
+bench:
+    cargo bench -p dialga-bench

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1.5 verify: formatting and lints, both hard-failing.
+# Run from the repository root (or via `just lint`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint OK"

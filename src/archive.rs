@@ -298,7 +298,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("dialga-archive-test-{tag}-{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("dialga-archive-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
         d
@@ -349,7 +350,10 @@ mod tests {
         }
         assert!(matches!(
             repair(&manifest_path),
-            Err(ArchiveError::Unrecoverable { lost: 3, tolerance: 2 })
+            Err(ArchiveError::Unrecoverable {
+                lost: 3,
+                tolerance: 2
+            })
         ));
     }
 

@@ -37,8 +37,12 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "encode" => {
             let out = flag(&mut args, "--out").map(PathBuf::from);
-            let k: usize = flag(&mut args, "--k").and_then(|v| v.parse().ok()).unwrap_or(8);
-            let m: usize = flag(&mut args, "--m").and_then(|v| v.parse().ok()).unwrap_or(2);
+            let k: usize = flag(&mut args, "--k")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let m: usize = flag(&mut args, "--m")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2);
             let threads: usize = flag(&mut args, "--threads")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1);
@@ -46,7 +50,9 @@ fn main() -> ExitCode {
                 return usage();
             };
             let out_dir = out.unwrap_or_else(|| {
-                file.parent().map(PathBuf::from).unwrap_or_else(|| ".".into())
+                file.parent()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| ".".into())
             });
             archive::encode_file(&file, &out_dir, k, m, threads).map(|p| {
                 println!(

@@ -44,7 +44,11 @@ fn dialga_encoder_is_bit_exact_with_rs() {
             },
         ] {
             let coder = Dialga::with_options(k, m, opts).unwrap();
-            assert_eq!(coder.encode_vec(&refs).unwrap(), expect, "k={k} m={m} {opts:?}");
+            assert_eq!(
+                coder.encode_vec(&refs).unwrap(),
+                expect,
+                "k={k} m={m} {opts:?}"
+            );
         }
     }
 }
@@ -130,8 +134,8 @@ fn lrc_parities_decompose_correctly() {
     // Local parity 0 = XOR of blocks 0..4.
     for t in 0..256 {
         let mut x = Gf8::ZERO;
-        for j in 0..4 {
-            x = x + Gf8(data[j][t]);
+        for block in data.iter().take(4) {
+            x += Gf8(block[t]);
         }
         assert_eq!(parity[2][t], x.0);
     }
@@ -178,6 +182,9 @@ fn simulated_traffic_is_conserved() {
         (c.demand_misses + c.hw_prefetches + c.sw_prefetches) * 64
     );
     assert_eq!(c.media_read_bytes, c.xpline_fetches * 256);
-    assert!(c.media_read_bytes >= c.demand_misses * 64, "implicit loads only add");
+    assert!(
+        c.media_read_bytes >= c.demand_misses * 64,
+        "implicit loads only add"
+    );
     assert_eq!(c.encode_read_bytes, r.data_bytes);
 }

@@ -100,7 +100,10 @@ fn breakdown_is_monotone() {
     assert!(sw > vanilla, "{sw:.2} vs {vanilla:.2}");
     assert!(hw >= sw * 0.98, "{hw:.2} vs {sw:.2}");
     assert!(bf >= hw * 0.98, "{bf:.2} vs {hw:.2}");
-    assert!(bf > 1.5 * vanilla, "full stack {bf:.2} vs vanilla {vanilla:.2}");
+    assert!(
+        bf > 1.5 * vanilla,
+        "full stack {bf:.2} vs vanilla {vanilla:.2}"
+    );
 }
 
 /// Fig. 19 (high pressure): DIALGA must cut PM media read amplification
