@@ -1,0 +1,39 @@
+//! Dispatch ablation for the pool decode/repair path (real host, real
+//! bytes): per-repair cost of [`dialga::pool::EncodePool::repair`] versus
+//! spawning a fresh set of scoped threads per degraded read, at the
+//! paper's default 4 KiB block size across thread counts. Both sides
+//! build the same [`dialga::RepairPlan`] and run the identical chunked
+//! kernel, so the difference is dispatch overhead alone — which dominates
+//! at repair-sized (single-block) work items.
+
+use dialga_bench::systems::repair_dispatch_ablation;
+use dialga_bench::{Args, Table};
+
+fn main() {
+    // `--bytes` rescales the number of repairs timed per point.
+    let args = Args::parse(16 << 20);
+    let (k, m, block) = (12usize, 4usize, 4096usize);
+    let repairs = (args.bytes_per_thread / block as u64).max(10);
+    let mut t = Table::new(
+        "pool_decode",
+        &[
+            "threads",
+            "pool_ns_per_repair",
+            "spawn_ns_per_repair",
+            "speedup",
+        ],
+    );
+    for threads in [2usize, 4, 8] {
+        let r = repair_dispatch_ablation(k, m, block, threads, repairs);
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.0}", r.pool_ns_per_stripe),
+            format!("{:.0}", r.spawn_ns_per_stripe),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.finish(
+        &format!("RS({k},{m}) block={block} repairs={repairs} per point"),
+        args.csv,
+    );
+}

@@ -2,10 +2,14 @@
 //! path). LRC's selling point is repairing one block from `k/l` local reads
 //! instead of `k`; DIALGA's prefetch scheduling applies to both. This
 //! regenerates repair throughput for RS full decode vs LRC local repair,
-//! plain vs DIALGA-scheduled.
+//! plain vs DIALGA-scheduled — first on the PM simulator, then on the
+//! real host comparing serial repair against the persistent pool's
+//! decode/repair path on real bytes.
 
+use dialga::{Dialga, EncodePool};
 use dialga_bench::table::gbs;
 use dialga_bench::{Args, Table};
+use dialga_ec::Lrc;
 use dialga_memsim::MachineConfig;
 use dialga_pipeline::cost::CostModel;
 use dialga_pipeline::isal::{IsalSource, Knobs};
@@ -48,4 +52,108 @@ fn main() {
         ]);
     }
     t.finish(&cfg.digest(), args.csv);
+    host_table(&args);
+}
+
+/// Time `calls` invocations of `f`, returning ns per call after a warm-up.
+fn time_per_call(calls: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = std::time::Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / calls as f64
+}
+
+/// Real-host repair paths: serial versus the persistent pool on real
+/// bytes — RS single-block repair, RS full decode (m losses), and LRC
+/// local repair over the `local_repair_plan` read set.
+fn host_table(args: &Args) {
+    let (k, m, l, block, threads) = (12usize, 4usize, 2usize, 64 * 1024usize, 4usize);
+    let calls = (args.bytes_per_thread / (k as u64 * block as u64)).max(5);
+    let pool = EncodePool::new(threads);
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            (0..block)
+                .map(|j| ((i * 41 + j * 17) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+
+    let coder = Dialga::new(k, m).expect("geometry");
+    let parity = coder.encode_vec(&refs).expect("encode");
+    let full: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .cloned()
+        .map(Some)
+        .chain(parity.into_iter().map(Some))
+        .collect();
+    let mut one_lost = full.clone();
+    one_lost[0] = None;
+    let mut m_lost = full.clone();
+    for s in m_lost.iter_mut().take(m) {
+        *s = None;
+    }
+
+    let lrc = Lrc::new(k, m, l).expect("geometry");
+    let lrc_parity = lrc.encode_vec(&refs).expect("encode");
+    let plan = lrc.local_repair_plan(0).expect("plan");
+    let peers: Vec<&[u8]> = plan.peers.iter().map(|&i| refs[i]).collect();
+    let local = lrc_parity[plan.parity_index].as_slice();
+
+    let mut t = Table::new(
+        "repair_path_host",
+        &["task", "reads", "serial_ns", "pool_ns", "speedup"],
+    );
+    let rows: [(&str, usize, f64, f64); 3] = [
+        (
+            "RS single-block repair",
+            k,
+            time_per_call(calls, || {
+                let mut s = one_lost.clone();
+                coder.decode(&mut s).expect("decode");
+            }),
+            time_per_call(calls, || {
+                pool.repair(&coder, &one_lost, 0).expect("repair");
+            }),
+        ),
+        (
+            "RS full decode",
+            k,
+            time_per_call(calls, || {
+                let mut s = m_lost.clone();
+                coder.decode(&mut s).expect("decode");
+            }),
+            time_per_call(calls, || {
+                let mut s = m_lost.clone();
+                pool.decode(&coder, &mut s).expect("decode");
+            }),
+        ),
+        (
+            "LRC local repair",
+            peers.len() + 1,
+            time_per_call(calls, || {
+                lrc.repair_local(0, &peers, local).expect("repair");
+            }),
+            time_per_call(calls, || {
+                pool.repair_local(&lrc, 0, &peers, local).expect("repair");
+            }),
+        ),
+    ];
+    for (task, reads, serial_ns, pool_ns) in rows {
+        t.row(vec![
+            task.into(),
+            reads.to_string(),
+            format!("{serial_ns:.0}"),
+            format!("{pool_ns:.0}"),
+            format!("{:.2}x", serial_ns / pool_ns),
+        ]);
+    }
+    t.finish(
+        &format!(
+            "host bytes RS({k},{m}) LRC({k},{m},{l}) block={block} threads={threads} calls={calls}"
+        ),
+        args.csv,
+    );
 }

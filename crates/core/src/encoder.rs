@@ -13,6 +13,7 @@ use dialga_ec::{CodeParams, EcError, ReedSolomon};
 use dialga_gf::simd::mul_add_slice_simd;
 use dialga_gf::slice::prefetch_read;
 use dialga_gf::tables::NibbleTables;
+use dialga_gf::Gf8;
 
 /// Scheduling options for the functional kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -22,6 +23,234 @@ pub struct DialgaOptions {
     pub prefetch_distance: Option<u32>,
     /// Apply the static shuffle mapping to the row order.
     pub shuffle: bool,
+}
+
+/// Row-pipelined multiply-accumulate: `outputs[i] = sum_j T[i][j] src[j]`
+/// walking 64 B rows across all sources, prefetching `d` steps ahead.
+///
+/// This is the one kernel every DIALGA path (encode, decode, repair —
+/// serial or pool-chunked) bottoms out in; `tables` is row-major,
+/// `outputs.len() x sources.len()`. Scheduling (`d`, `shuffle`) never
+/// changes the bytes produced.
+pub(crate) fn apply_tables(
+    tables: &[NibbleTables],
+    sources: &[&[u8]],
+    outputs: &mut [&mut [u8]],
+    d: u32,
+    shuffle: bool,
+) {
+    let k = sources.len();
+    let n_out = outputs.len();
+    if k == 0 || n_out == 0 {
+        return;
+    }
+    let len = sources[0].len();
+    for o in outputs.iter_mut() {
+        o.fill(0);
+    }
+    let rows = (len / 64) as u64;
+
+    for vr in 0..rows {
+        let row = if shuffle {
+            dialga_pipeline::isal::shuffle_row(vr, rows)
+        } else {
+            vr
+        } as usize;
+        // Fig. 9: issue the row's prefetches before touching its data.
+        for ptr in build_prefetch_ptrs(vr, k, rows, d, shuffle)
+            .into_iter()
+            .flatten()
+        {
+            prefetch_read(sources[ptr.block][(ptr.row as usize) * 64..].as_ptr());
+        }
+        let off = row * 64;
+        for (i, out) in outputs.iter_mut().enumerate() {
+            let dst = &mut out[off..off + 64];
+            for (j, src) in sources.iter().enumerate() {
+                mul_add_slice_simd(&tables[i * k + j], &src[off..off + 64], dst);
+            }
+        }
+    }
+
+    // Tail: partial final row handled by the standard kernel.
+    let tail = (rows as usize) * 64;
+    if tail < len {
+        for (i, out) in outputs.iter_mut().enumerate() {
+            let dst = &mut out[tail..];
+            for (j, src) in sources.iter().enumerate() {
+                mul_add_slice_simd(&tables[i * k + j], &src[tail..], dst);
+            }
+        }
+    }
+}
+
+/// Check that `sources`/`outputs` agree with the table geometry and with
+/// each other in length (the apply kernels index without bounds slack).
+fn check_apply(
+    n_src: usize,
+    n_out: usize,
+    sources: &[&[u8]],
+    outputs: &[&mut [u8]],
+) -> Result<(), EcError> {
+    if sources.len() != n_src {
+        return Err(EcError::BlockCount {
+            expected: n_src,
+            got: sources.len(),
+        });
+    }
+    if outputs.len() != n_out {
+        return Err(EcError::BlockCount {
+            expected: n_out,
+            got: outputs.len(),
+        });
+    }
+    let len = sources.first().map_or(0, |s| s.len());
+    for s in sources {
+        if s.len() != len {
+            return Err(EcError::BlockLength {
+                expected: len,
+                got: s.len(),
+            });
+        }
+    }
+    for o in outputs {
+        if o.len() != len {
+            return Err(EcError::BlockLength {
+                expected: len,
+                got: o.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A decode/repair plan: survivor selection and decode-matrix tables,
+/// separated from kernel application so the kernel can be chunked across
+/// the persistent pool's workers (or applied serially via
+/// [`DecodePlan::apply_data`]/[`DecodePlan::apply_parity`]).
+///
+/// Built by [`Dialga::decode_plan`]. Reconstruction is two stages: lost
+/// *data* blocks from the k survivors (inverted-matrix tables), then lost
+/// *parity* rows from the completed data (the encode tables' subset for
+/// just those rows — never all m rows).
+#[derive(Debug, Clone)]
+pub struct DecodePlan {
+    survivors: Vec<usize>,
+    lost_data: Vec<usize>,
+    lost_parity: Vec<usize>,
+    data_tables: Vec<NibbleTables>,
+    parity_tables: Vec<NibbleTables>,
+    len: usize,
+}
+
+impl DecodePlan {
+    /// The k survivor shard indices the data stage reads.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// Lost data-block indices, ascending.
+    pub fn lost_data(&self) -> &[usize] {
+        &self.lost_data
+    }
+
+    /// Lost parity shard indices (>= k), ascending.
+    pub fn lost_parity(&self) -> &[usize] {
+        &self.lost_parity
+    }
+
+    /// Common shard length (validated over every present shard).
+    pub fn shard_len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there is nothing to reconstruct.
+    pub fn is_noop(&self) -> bool {
+        self.lost_data.is_empty() && self.lost_parity.is_empty()
+    }
+
+    /// Data-stage tables, `lost_data.len() x survivors.len()` row-major.
+    pub(crate) fn data_tables(&self) -> &[NibbleTables] {
+        &self.data_tables
+    }
+
+    /// Parity-stage tables, `lost_parity.len() x k` row-major.
+    pub(crate) fn parity_tables(&self) -> &[NibbleTables] {
+        &self.parity_tables
+    }
+
+    /// Apply the data stage: reconstruct the lost data blocks from the
+    /// survivor slices, in plan order. Slices may be any equal-length
+    /// horizontal chunk of the shards (RS is independent per 64 B row).
+    pub fn apply_data(
+        &self,
+        survivors: &[&[u8]],
+        outputs: &mut [&mut [u8]],
+        d: u32,
+        shuffle: bool,
+    ) -> Result<(), EcError> {
+        check_apply(
+            self.survivors.len(),
+            self.lost_data.len(),
+            survivors,
+            outputs,
+        )?;
+        apply_tables(&self.data_tables, survivors, outputs, d, shuffle);
+        Ok(())
+    }
+
+    /// Apply the parity stage: recompute the lost parity rows from the
+    /// (complete) k data slices, in plan order.
+    pub fn apply_parity(
+        &self,
+        data: &[&[u8]],
+        outputs: &mut [&mut [u8]],
+        d: u32,
+        shuffle: bool,
+    ) -> Result<(), EcError> {
+        check_apply(self.survivors.len(), self.lost_parity.len(), data, outputs)?;
+        apply_tables(&self.parity_tables, data, outputs, d, shuffle);
+        Ok(())
+    }
+}
+
+/// A single-block repair plan (the degraded-read fast path): one composed
+/// coefficient row over k survivors, built by [`Dialga::repair_plan`].
+///
+/// Works for any target block — a lost *parity* target with lost data
+/// among the non-survivors composes the parity row with the decode matrix
+/// (`parity_row · dec`), so the kernel still runs once over k sources.
+#[derive(Debug, Clone)]
+pub struct RepairPlan {
+    survivors: Vec<usize>,
+    tables: Vec<NibbleTables>,
+}
+
+impl RepairPlan {
+    /// The k survivor shard indices the kernel reads, in source order.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// The composed `1 x k` coefficient tables.
+    pub(crate) fn tables(&self) -> &[NibbleTables] {
+        &self.tables
+    }
+
+    /// Reconstruct the target block (or any equal-length horizontal chunk
+    /// of it) from survivor slices in plan order.
+    pub fn apply(
+        &self,
+        sources: &[&[u8]],
+        out: &mut [u8],
+        d: u32,
+        shuffle: bool,
+    ) -> Result<(), EcError> {
+        let mut outputs = [out];
+        check_apply(self.survivors.len(), 1, sources, &outputs)?;
+        apply_tables(&self.tables, sources, &mut outputs, d, shuffle);
+        Ok(())
+    }
 }
 
 /// The DIALGA erasure coder: ISA-L-style table-driven Reed–Solomon with
@@ -125,58 +354,9 @@ impl Dialga {
         Ok(len)
     }
 
-    /// Row-pipelined multiply-accumulate: `outputs[i] = sum_j T[i][j] src[j]`
-    /// walking 64 B rows across all sources, prefetching `d` steps ahead.
-    fn pipelined_apply(
-        tables: &[NibbleTables],
-        sources: &[&[u8]],
-        outputs: &mut [&mut [u8]],
-        d: u32,
-        shuffle: bool,
-    ) {
-        let k = sources.len();
-        let n_out = outputs.len();
-        if k == 0 || n_out == 0 {
-            return;
-        }
-        let len = sources[0].len();
-        for o in outputs.iter_mut() {
-            o.fill(0);
-        }
-        let rows = (len / 64) as u64;
-
-        for vr in 0..rows {
-            let row = if shuffle {
-                dialga_pipeline::isal::shuffle_row(vr, rows)
-            } else {
-                vr
-            } as usize;
-            // Fig. 9: issue the row's prefetches before touching its data.
-            for ptr in build_prefetch_ptrs(vr, k, rows, d, shuffle)
-                .into_iter()
-                .flatten()
-            {
-                prefetch_read(sources[ptr.block][(ptr.row as usize) * 64..].as_ptr());
-            }
-            let off = row * 64;
-            for (i, out) in outputs.iter_mut().enumerate() {
-                let dst = &mut out[off..off + 64];
-                for (j, src) in sources.iter().enumerate() {
-                    mul_add_slice_simd(&tables[i * k + j], &src[off..off + 64], dst);
-                }
-            }
-        }
-
-        // Tail: partial final row handled by the standard kernel.
-        let tail = (rows as usize) * 64;
-        if tail < len {
-            for (i, out) in outputs.iter_mut().enumerate() {
-                let dst = &mut out[tail..];
-                for (j, src) in sources.iter().enumerate() {
-                    mul_add_slice_simd(&tables[i * k + j], &src[tail..], dst);
-                }
-            }
-        }
+    /// The precomputed `m x k` encode tables (row-major per parity row).
+    pub(crate) fn tables(&self) -> &[NibbleTables] {
+        &self.tables
     }
 
     /// Encode the k data blocks into the m parity blocks.
@@ -208,7 +388,7 @@ impl Dialga {
                 });
             }
         }
-        Self::pipelined_apply(&self.tables, data, parity, d, shuffle);
+        apply_tables(&self.tables, data, parity, d, shuffle);
         Ok(())
     }
 
@@ -217,14 +397,15 @@ impl Dialga {
         let len = self.check(data, self.params().m)?;
         let mut parity = vec![vec![0u8; len]; self.params().m];
         let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
-        Self::pipelined_apply(&self.tables, data, &mut refs, self.d, self.shuffle);
+        apply_tables(&self.tables, data, &mut refs, self.d, self.shuffle);
         Ok(parity)
     }
 
-    /// Reconstruct missing blocks in place (same contract as
-    /// [`ReedSolomon::decode`]); lost data blocks are rebuilt with the
-    /// pipelined kernel — decoding shares the encode load pattern (§4.1).
-    pub fn decode(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+    /// Build the reconstruction plan for the erasure pattern in `shards`:
+    /// validate geometry and every present shard's length, select the k
+    /// survivors, invert the decode matrix for lost data rows and subset
+    /// the encode tables for lost parity rows.
+    pub fn decode_plan(&self, shards: &[Option<Vec<u8>>]) -> Result<DecodePlan, EcError> {
         let params = self.params();
         let (k, m) = (params.k, params.m);
         if shards.len() != k + m {
@@ -234,50 +415,152 @@ impl Dialga {
             });
         }
         let lost: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_none()).collect();
-        if lost.is_empty() {
-            return Ok(());
-        }
         if lost.len() > m {
             return Err(EcError::TooManyErasures {
                 lost: lost.len(),
                 tolerance: m,
             });
         }
-        let survivors: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
-        let survivors = &survivors[..k];
-        let len = shards[survivors[0]].as_ref().unwrap().len();
-
+        // Every present shard must agree on length — not just the first
+        // survivor. A mismatched survivor would otherwise reach the kernel
+        // and panic (or a mismatched non-survivor would silently corrupt a
+        // later parity recompute).
+        let mut len = 0usize;
+        let mut first = true;
+        for s in shards.iter().flatten() {
+            if first {
+                len = s.len();
+                first = false;
+            } else if s.len() != len {
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: s.len(),
+                });
+            }
+        }
+        let survivors: Vec<usize> = (0..k + m)
+            .filter(|&i| shards[i].is_some())
+            .take(k)
+            .collect();
         let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < k).collect();
+        let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
+
+        let mut data_tables = Vec::with_capacity(lost_data.len() * k);
         if !lost_data.is_empty() {
-            let dec = self.rs.decode_matrix(survivors)?;
-            let mut tables = Vec::with_capacity(lost_data.len() * k);
+            let dec = self.rs.decode_matrix(&survivors)?;
             for &ld in &lost_data {
                 for col in 0..k {
-                    tables.push(NibbleTables::new(dec[(ld, col)].0));
+                    data_tables.push(NibbleTables::new(dec[(ld, col)].0));
                 }
             }
-            let srcs: Vec<&[u8]> = survivors
+        }
+        // Only the *lost* parity rows' tables — recomputing all m rows to
+        // keep a subset was the old path's wasted work.
+        let mut parity_tables = Vec::with_capacity(lost_parity.len() * k);
+        for &lp in &lost_parity {
+            parity_tables.extend_from_slice(&self.tables[(lp - k) * k..(lp - k + 1) * k]);
+        }
+        Ok(DecodePlan {
+            survivors,
+            lost_data,
+            lost_parity,
+            data_tables,
+            parity_tables,
+            len,
+        })
+    }
+
+    /// Build a single-block repair plan: reconstruct block `target` from
+    /// the given k survivors (the degraded-read fast path — one kernel
+    /// pass, no full-stripe decode).
+    ///
+    /// For a data target this is one row of the inverted decode matrix;
+    /// for a parity target the parity row is composed with the decode
+    /// matrix, so it works even when some data blocks are among the
+    /// erasures.
+    pub fn repair_plan(&self, survivors: &[usize], target: usize) -> Result<RepairPlan, EcError> {
+        let params = self.params();
+        let (k, m) = (params.k, params.m);
+        if target >= k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: target,
+            });
+        }
+        if survivors.contains(&target) {
+            return Err(EcError::BlockCount {
+                expected: k,
+                got: target,
+            });
+        }
+        let dec = self.rs.decode_matrix(survivors)?;
+        let mut tables = Vec::with_capacity(k);
+        if target < k {
+            for col in 0..k {
+                tables.push(NibbleTables::new(dec[(target, col)].0));
+            }
+        } else {
+            let pm = self.rs.parity_matrix();
+            let row = target - k;
+            for col in 0..k {
+                let mut c = Gf8::ZERO;
+                for j in 0..k {
+                    c += pm[(row, j)] * dec[(j, col)];
+                }
+                tables.push(NibbleTables::new(c.0));
+            }
+        }
+        Ok(RepairPlan {
+            survivors: survivors.to_vec(),
+            tables,
+        })
+    }
+
+    /// Reconstruct missing blocks in place (same contract as
+    /// [`ReedSolomon::decode`]); lost blocks are rebuilt with the
+    /// pipelined kernel — decoding shares the encode load pattern (§4.1).
+    pub fn decode(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        self.decode_with(shards, self.d, self.shuffle)
+    }
+
+    /// Decode with explicit scheduling overrides, ignoring the distance
+    /// and shuffle the coder was built with (mirrors [`Self::encode_with`];
+    /// the persistent pool's workers pick up coordinator-retuned values per
+    /// chunk through this). Scheduling never changes the bytes produced.
+    pub fn decode_with(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        d: u32,
+        shuffle: bool,
+    ) -> Result<(), EcError> {
+        let plan = self.decode_plan(shards)?;
+        if plan.is_noop() {
+            return Ok(());
+        }
+        let len = plan.shard_len();
+        let k = self.params().k;
+        if !plan.lost_data().is_empty() {
+            let srcs: Vec<&[u8]> = plan
+                .survivors()
                 .iter()
                 .map(|&s| shards[s].as_ref().unwrap().as_slice())
                 .collect();
-            let mut outs = vec![vec![0u8; len]; lost_data.len()];
-            {
-                let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
-                Self::pipelined_apply(&tables, &srcs, &mut refs, self.d, self.shuffle);
-            }
-            for (&ld, out) in lost_data.iter().zip(outs) {
+            let mut outs = vec![vec![0u8; len]; plan.lost_data().len()];
+            let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            plan.apply_data(&srcs, &mut refs, d, shuffle)?;
+            for (&ld, out) in plan.lost_data().iter().zip(outs) {
                 shards[ld] = Some(out);
             }
         }
-
-        let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
-        if !lost_parity.is_empty() {
+        if !plan.lost_parity().is_empty() {
             let data_refs: Vec<&[u8]> = (0..k)
                 .map(|i| shards[i].as_ref().unwrap().as_slice())
                 .collect();
-            let parity = self.encode_vec(&data_refs)?;
-            for &lp in &lost_parity {
-                shards[lp] = Some(parity[lp - k].clone());
+            let mut outs = vec![vec![0u8; len]; plan.lost_parity().len()];
+            let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            plan.apply_parity(&data_refs, &mut refs, d, shuffle)?;
+            for (&lp, out) in plan.lost_parity().iter().zip(outs) {
+                shards[lp] = Some(out);
             }
         }
         Ok(())
@@ -394,6 +677,108 @@ mod tests {
         for (i, p) in parity.iter().enumerate() {
             assert_eq!(shards[10 + i].as_ref().unwrap(), p, "parity {i}");
         }
+    }
+
+    fn shards_of(data: &[Vec<u8>], parity: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_survivor_lengths() {
+        // Regression: decode used to read the length off the first
+        // survivor only, letting a short later survivor reach the kernel
+        // (panic) or a mismatched non-survivor corrupt the parity stage.
+        let dialga = Dialga::new(4, 2).unwrap();
+        let data = make_data(4, 128);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = dialga.encode_vec(&refs).unwrap();
+        for bad in 1..6 {
+            let mut shards = shards_of(&data, &parity);
+            shards[0] = None;
+            shards[bad].as_mut().unwrap().truncate(100);
+            assert!(
+                matches!(dialga.decode(&mut shards), Err(EcError::BlockLength { .. })),
+                "mismatched shard {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_lost_parity_only_recomputes_lost_rows() {
+        // Regression: lost-parity reconstruction used to recompute all m
+        // parity rows and clone out the lost ones. The plan now carries
+        // tables for the lost rows only; output stays bit-exact.
+        let dialga = Dialga::new(6, 4).unwrap();
+        let data = make_data(6, 1000); // unaligned tail
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = dialga.encode_vec(&refs).unwrap();
+        let mut shards = shards_of(&data, &parity);
+        shards[7] = None;
+        shards[9] = None;
+        let plan = dialga.decode_plan(&shards).unwrap();
+        assert!(plan.lost_data().is_empty());
+        assert_eq!(plan.lost_parity(), &[7, 9]);
+        assert_eq!(plan.parity_tables().len(), 2 * 6, "lost rows only");
+        dialga.decode(&mut shards).unwrap();
+        assert_eq!(shards, shards_of(&data, &parity));
+    }
+
+    #[test]
+    fn decode_with_overrides_are_bit_exact() {
+        let dialga = Dialga::new(8, 3).unwrap();
+        let data = make_data(8, 2048 + 40);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = dialga.encode_vec(&refs).unwrap();
+        let reference = shards_of(&data, &parity);
+        for (d, shuffle) in [(1u32, false), (8, true), (100, false), (10_000, true)] {
+            let mut shards = shards_of(&data, &parity);
+            shards[2] = None;
+            shards[5] = None;
+            shards[9] = None;
+            dialga.decode_with(&mut shards, d, shuffle).unwrap();
+            assert_eq!(shards, reference, "d={d} shuffle={shuffle}");
+        }
+    }
+
+    #[test]
+    fn repair_plan_rebuilds_any_single_block() {
+        let dialga = Dialga::new(6, 3).unwrap();
+        let data = make_data(6, 513);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = dialga.encode_vec(&refs).unwrap();
+        let shards = shards_of(&data, &parity);
+        for target in 0..9usize {
+            // Survivors: the k lowest-indexed other blocks — includes a
+            // parity survivor when the target is a data block, and
+            // exercises the composed parity row when the target is parity.
+            let survivors: Vec<usize> = (0..9).filter(|&i| i != target).take(6).collect();
+            let plan = dialga.repair_plan(&survivors, target).unwrap();
+            let srcs: Vec<&[u8]> = survivors
+                .iter()
+                .map(|&s| shards[s].as_ref().unwrap().as_slice())
+                .collect();
+            let mut out = vec![0u8; 513];
+            plan.apply(&srcs, &mut out, 6, false).unwrap();
+            let expect = shards[target].as_ref().unwrap();
+            assert_eq!(&out, expect, "target {target}");
+        }
+        // A parity target with a *data* block among the erasures: the
+        // composed row must route around the missing data block.
+        let survivors = [1usize, 2, 3, 4, 5, 6]; // data 0 lost, parity 6 survives
+        let plan = dialga.repair_plan(&survivors, 8).unwrap();
+        let srcs: Vec<&[u8]> = survivors
+            .iter()
+            .map(|&s| shards[s].as_ref().unwrap().as_slice())
+            .collect();
+        let mut out = vec![0u8; 513];
+        plan.apply(&srcs, &mut out, 6, true).unwrap();
+        assert_eq!(&out, shards[8].as_ref().unwrap());
+        // The target itself can never be a survivor.
+        assert!(dialga.repair_plan(&[0, 1, 2, 3, 4, 5], 3).is_err());
     }
 
     #[test]

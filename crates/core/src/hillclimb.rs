@@ -36,6 +36,11 @@ pub struct HillClimber {
     state: State,
     /// Set when a probe round improved, to re-probe around the new best.
     improved: bool,
+    /// Distances already measured this probe round. Near a bound, several
+    /// `OFFSETS` clamp to the same candidate (best = 2, min = 1 turns
+    /// −16/−8/−4/−2 all into 1); each distance is probed at most once per
+    /// round instead of burning a sampling interval per duplicate.
+    probed: Vec<u32>,
 }
 
 impl HillClimber {
@@ -50,6 +55,7 @@ impl HillClimber {
             max,
             state: State::Reference,
             improved: false,
+            probed: Vec::new(),
         }
     }
 
@@ -71,14 +77,39 @@ impl HillClimber {
         (self.best as i64 + offset).clamp(self.min as i64, self.max as i64) as u32
     }
 
+    /// Start a fresh probe round around the current best.
+    fn begin_round(&mut self) {
+        self.improved = false;
+        self.probed.clear();
+        // The reference (best) was just measured; clamped duplicates of it
+        // carry no information either.
+        self.probed.push(self.best);
+        self.enter_probe(0);
+    }
+
+    /// Move to the first offset at or after `from` whose clamped candidate
+    /// has not been measured this round; settle (or re-probe around an
+    /// improved best) when none remains.
+    fn enter_probe(&mut self, from: usize) {
+        let next =
+            (from..OFFSETS.len()).find(|&i| !self.probed.contains(&self.candidate(OFFSETS[i])));
+        match next {
+            Some(idx) => {
+                self.probed.push(self.candidate(OFFSETS[idx]));
+                self.state = State::Probing { idx };
+            }
+            None if self.improved => self.begin_round(),
+            None => self.state = State::Settled,
+        }
+    }
+
     /// Feed the objective (mean sub-task latency, lower = better) measured
     /// while [`Self::current`] was active. Returns the next distance.
     pub fn observe(&mut self, score: f64) -> u32 {
         match self.state {
             State::Reference => {
                 self.best_score = score;
-                self.improved = false;
-                self.state = State::Probing { idx: 0 };
+                self.begin_round();
             }
             State::Probing { idx } => {
                 let cand = self.candidate(OFFSETS[idx]);
@@ -87,15 +118,7 @@ impl HillClimber {
                     self.best_score = score;
                     self.improved = true;
                 }
-                if idx + 1 < OFFSETS.len() {
-                    self.state = State::Probing { idx: idx + 1 };
-                } else if self.improved {
-                    // Re-probe around the improved optimum.
-                    self.improved = false;
-                    self.state = State::Probing { idx: 0 };
-                } else {
-                    self.state = State::Settled;
-                }
+                self.enter_probe(idx + 1);
             }
             State::Settled => {
                 // Restart when performance drifts >10 % from the optimum's
@@ -172,6 +195,36 @@ mod tests {
         // A >10 % swing restarts the search.
         hc.observe(hc.best_score * 1.5);
         assert!(!hc.settled());
+    }
+
+    #[test]
+    fn clamped_duplicate_candidates_probed_once() {
+        // best = 2, min = 1: offsets −16/−8/−4/−2 all clamp to 1. One
+        // probe round must measure {1, 4, 6, 10, 18} — five distances, no
+        // candidate twice (the old climber burned four intervals on 1).
+        let mut hc = HillClimber::new(2, 1, 64);
+        hc.observe(100.0); // reference for best = 2
+        let mut seen = Vec::new();
+        while !hc.settled() && seen.len() <= OFFSETS.len() {
+            seen.push(hc.current());
+            hc.observe(200.0); // everything worse: one round, then settle
+        }
+        assert!(hc.settled(), "probe round did not terminate: {seen:?}");
+        assert_eq!(seen, vec![1, 4, 6, 10, 18], "duplicate or missing probe");
+    }
+
+    #[test]
+    fn upper_bound_duplicates_also_skipped() {
+        // best at max: +2/+4/+8/+16 all clamp onto max and are skipped.
+        let mut hc = HillClimber::new(24, 4, 24);
+        hc.observe(100.0);
+        let mut seen = Vec::new();
+        while !hc.settled() && seen.len() <= OFFSETS.len() {
+            seen.push(hc.current());
+            hc.observe(200.0);
+        }
+        assert_eq!(seen, vec![8, 16, 20, 22]);
+        assert_eq!(hc.current(), 24);
     }
 
     #[test]

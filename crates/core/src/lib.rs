@@ -41,7 +41,7 @@ pub mod pool;
 pub mod source;
 
 pub use coordinator::{Coordinator, Policy, PressureState};
-pub use encoder::Dialga;
+pub use encoder::{DecodePlan, Dialga, RepairPlan};
 pub use parallel::{encode_parallel, encode_parallel_vec};
-pub use pool::{EncodePool, PoolStats, StripeJob};
+pub use pool::{DecodeJob, EncodePool, PoolStats, StripeJob};
 pub use source::{DialgaSource, Variant};

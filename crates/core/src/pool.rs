@@ -20,15 +20,24 @@
 //! * **live coordinator** — a pool built with
 //!   [`EncodePool::with_coordinator`] drives [`Coordinator::on_tick`] from
 //!   the workers themselves, and updated [`Knobs`] propagate to in-flight
-//!   workers at chunk granularity through a packed atomic cell.
+//!   workers at chunk granularity through a packed atomic cell;
+//! * **decode and repair** — decoding shares the encode load pattern
+//!   (§4.1), so [`EncodePool::decode`]/[`EncodePool::decode_batch`], the
+//!   single-block [`EncodePool::repair`] fast path and LRC
+//!   [`EncodePool::repair_local`] run through the same workers, the same
+//!   [`split_ranges`] chunking and the same knob cell: every path bottoms
+//!   out in one apply-tables kernel, and the coordinator's `d`/shuffle
+//!   retuning reaches in-flight decode workers exactly as it does encode
+//!   workers.
 //!
-//! Results are bit-exact with serial encoding for every thread count:
-//! Reed–Solomon is independent per row, so any horizontal split is exact,
-//! and scheduling knobs never change the bytes produced.
+//! Results are bit-exact with serial encoding/decoding for every thread
+//! count: Reed–Solomon is independent per row, so any horizontal split is
+//! exact, and scheduling knobs never change the bytes produced.
 
 use crate::coordinator::Coordinator;
 use crate::encoder::Dialga;
-use dialga_ec::EcError;
+use dialga_ec::{EcError, Lrc};
+use dialga_gf::tables::NibbleTables;
 use dialga_memsim::Counters;
 use dialga_pipeline::Knobs;
 use std::ops::Range;
@@ -81,11 +90,15 @@ pub struct StripeJob<'d, 'p> {
     pub parity: &'d mut [&'p mut [u8]],
 }
 
+/// One stripe of a decode batch: `k + m` shards with `None` marking
+/// erasures, repaired in place (the [`Dialga::decode`] contract).
+pub struct DecodeJob<'a> {
+    /// The stripe's shards; every entry is `Some` on success.
+    pub shards: &'a mut [Option<Vec<u8>>],
+}
+
 /// Sentinel meaning "no distance override" in the packed knob cell.
 const KNOB_NONE: u64 = 0xFFFF;
-
-/// Raw (pointer, length) views of one chunk's data and parity slices.
-type RawChunk = (Vec<(*const u8, usize)>, Vec<(*mut u8, usize)>);
 
 fn pack_knobs(k: &Knobs) -> u64 {
     let sw = k
@@ -195,18 +208,38 @@ impl PoolShared {
     }
 }
 
-/// One unit of worker work: encode `data[range]` into `parity[range]` for
-/// every block of one stripe.
+/// One apply-tables job over full-length blocks, before chunking:
+/// `outputs[i] = sum_j tables[i * sources.len() + j] * sources[j]`.
+///
+/// Encode, decode stages and single-block repair all reduce to this shape,
+/// so the pool has exactly one worker kernel. Pointers (not borrows) so
+/// jobs built from mixed origins (caller slices, shard vectors, plan
+/// tables) share one submission path; see [`Chunk`] for the safety
+/// contract.
+struct RawJob {
+    tables: (*const NibbleTables, usize),
+    sources: Vec<(*const u8, usize)>,
+    outputs: Vec<(*mut u8, usize)>,
+    /// Common block length (every source/output).
+    len: usize,
+    /// Distance fallback when the knob cell carries no override.
+    default_d: u32,
+}
+
+/// One unit of worker work: apply `tables` to `sources[range]` →
+/// `outputs[range]`.
 ///
 /// Raw pointers make the chunk `Send` without tying the pool to a borrow
-/// scope. Safety rests on the submission protocol: `submit_wait` does not
+/// scope. Safety rests on the submission protocol: `run_jobs` does not
 /// return until every chunk of the batch has completed (or the pool is
-/// poisoned), so the pointed-to slices — borrowed by the caller of
-/// `encode`/`encode_batch` — strictly outlive every dereference.
+/// poisoned), so the pointed-to slices and tables — borrowed by the caller
+/// of `encode*`/`decode*`/`repair*` or owned by their stack frames —
+/// strictly outlive every dereference.
 struct Chunk {
-    coder: *const Dialga,
-    data: Vec<(*const u8, usize)>,
-    parity: Vec<(*mut u8, usize)>,
+    tables: (*const NibbleTables, usize),
+    sources: Vec<(*const u8, usize)>,
+    outputs: Vec<(*mut u8, usize)>,
+    default_d: u32,
     batch: Arc<BatchState>,
 }
 
@@ -223,7 +256,6 @@ struct BatchState {
 
 struct BatchInner {
     remaining: usize,
-    error: Option<EcError>,
     panicked: bool,
 }
 
@@ -232,19 +264,16 @@ impl BatchState {
         Arc::new(BatchState {
             inner: Mutex::new(BatchInner {
                 remaining: chunks,
-                error: None,
                 panicked: false,
             }),
             done: Condvar::new(),
         })
     }
 
-    fn complete(&self, result: Result<Result<(), EcError>, ()>) {
+    fn complete(&self, result: Result<(), ()>) {
         let mut inner = self.inner.lock().unwrap();
-        match result {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => inner.error = Some(e),
-            Err(()) => inner.panicked = true,
+        if result.is_err() {
+            inner.panicked = true;
         }
         inner.remaining -= 1;
         if inner.remaining == 0 {
@@ -252,17 +281,13 @@ impl BatchState {
         }
     }
 
-    fn wait(&self) -> Result<(), EcError> {
+    fn wait(&self) {
         let mut inner = self.inner.lock().unwrap();
         while inner.remaining > 0 {
             inner = self.done.wait(inner).unwrap();
         }
         if inner.panicked {
-            panic!("encode worker panicked");
-        }
-        match inner.error.take() {
-            Some(e) => Err(e),
-            None => Ok(()),
+            panic!("pool worker panicked");
         }
     }
 }
@@ -444,52 +469,31 @@ impl EncodePool {
             }
         }
 
-        // Chunk every stripe and count first so the latch starts exact.
-        let mut chunks: Vec<RawChunk> = Vec::new();
+        // Build one apply-tables job per stripe; `run_jobs` chunks them.
+        let tables = coder.tables();
+        let default_d = coder.prefetch_distance();
+        let mut jobs: Vec<RawJob> = Vec::with_capacity(stripes.len());
         for s in stripes.iter_mut() {
             let len = s.data.first().map_or(0, |d| d.len());
-            if len == 0 {
-                // Zero-length blocks: nothing to encode, nothing to queue.
-                continue;
-            }
-            for r in split_ranges(len, self.threads()) {
-                let data: Vec<(*const u8, usize)> = s
-                    .data
-                    .iter()
-                    .map(|d| (d[r.clone()].as_ptr(), r.len()))
-                    .collect();
-                let parity: Vec<(*mut u8, usize)> = s
+            jobs.push(RawJob {
+                tables: (tables.as_ptr(), tables.len()),
+                sources: s.data.iter().map(|d| (d.as_ptr(), d.len())).collect(),
+                outputs: s
                     .parity
                     .iter_mut()
-                    .map(|p| (p[r.clone()].as_mut_ptr(), r.len()))
-                    .collect();
-                chunks.push((data, parity));
-            }
+                    .map(|p| (p.as_mut_ptr(), p.len()))
+                    .collect(),
+                len,
+                default_d,
+            });
         }
         self.shared
             .stats
             .stripes
             .fetch_add(stripes.len() as u64, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        if chunks.is_empty() {
-            return Ok(());
-        }
-
-        let batch = BatchState::new(chunks.len());
-        let start = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
-        for (i, (data, parity)) in chunks.into_iter().enumerate() {
-            let chunk = Chunk {
-                coder: coder as *const Dialga,
-                data,
-                parity,
-                batch: Arc::clone(&batch),
-            };
-            let w = (start + i) % self.senders.len();
-            self.senders[w]
-                .send(Msg::Run(chunk))
-                .expect("encode worker queue closed");
-        }
-        batch.wait()
+        self.run_jobs(&jobs);
+        Ok(())
     }
 
     /// Convenience wrapper allocating the parity blocks.
@@ -499,6 +503,275 @@ impl EncodePool {
         let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
         self.encode(coder, data, &mut refs)?;
         Ok(parity)
+    }
+
+    /// Reconstruct missing shards in place across the pool. Blocks until
+    /// the stripe is repaired; bit-exact with [`Dialga::decode`].
+    pub fn decode(&self, coder: &Dialga, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let mut jobs = [DecodeJob { shards }];
+        self.decode_batch(coder, &mut jobs)
+    }
+
+    /// Decode a batch of stripes across the pool in one submission.
+    ///
+    /// All stripes are planned and validated up front (survivor selection,
+    /// per-present-shard length checks, decode-matrix inversion — nothing
+    /// is enqueued or mutated when any stripe is malformed), then the two
+    /// reconstruction stages run chunked over the workers: lost data from
+    /// survivors, then lost parity rows from the completed data. Workers
+    /// pick up coordinator knob changes per chunk exactly as on the encode
+    /// path.
+    pub fn decode_batch(
+        &self,
+        coder: &Dialga,
+        stripes: &mut [DecodeJob<'_>],
+    ) -> Result<(), EcError> {
+        let default_d = coder.prefetch_distance();
+        let plans: Vec<crate::encoder::DecodePlan> = stripes
+            .iter()
+            .map(|s| coder.decode_plan(s.shards))
+            .collect::<Result<_, _>>()?;
+
+        // Give every lost shard its zeroed buffer before taking pointers.
+        for (s, plan) in stripes.iter_mut().zip(&plans) {
+            for &l in plan.lost_data().iter().chain(plan.lost_parity()) {
+                s.shards[l] = Some(vec![0u8; plan.shard_len()]);
+            }
+        }
+        self.shared
+            .stats
+            .stripes
+            .fetch_add(stripes.len() as u64, Ordering::Relaxed);
+        self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+
+        // Stage 1: lost data blocks from the k survivors.
+        let mut jobs: Vec<RawJob> = Vec::new();
+        for (s, plan) in stripes.iter_mut().zip(&plans) {
+            if plan.lost_data().is_empty() {
+                continue;
+            }
+            let tables = plan.data_tables();
+            jobs.push(RawJob {
+                tables: (tables.as_ptr(), tables.len()),
+                sources: plan
+                    .survivors()
+                    .iter()
+                    .map(|&i| {
+                        let v = s.shards[i].as_ref().unwrap();
+                        (v.as_ptr(), v.len())
+                    })
+                    .collect(),
+                outputs: plan
+                    .lost_data()
+                    .iter()
+                    .map(|&i| {
+                        let v = s.shards[i].as_mut().unwrap();
+                        (v.as_mut_ptr(), v.len())
+                    })
+                    .collect(),
+                len: plan.shard_len(),
+                default_d,
+            });
+        }
+        self.run_jobs(&jobs);
+
+        // Stage 2: lost parity rows from the (now complete) data blocks.
+        // The stage-1 wait orders the reconstructed data before these reads.
+        let k = coder.params().k;
+        jobs.clear();
+        for (s, plan) in stripes.iter_mut().zip(&plans) {
+            if plan.lost_parity().is_empty() {
+                continue;
+            }
+            let tables = plan.parity_tables();
+            jobs.push(RawJob {
+                tables: (tables.as_ptr(), tables.len()),
+                sources: (0..k)
+                    .map(|i| {
+                        let v = s.shards[i].as_ref().unwrap();
+                        (v.as_ptr(), v.len())
+                    })
+                    .collect(),
+                outputs: plan
+                    .lost_parity()
+                    .iter()
+                    .map(|&i| {
+                        let v = s.shards[i].as_mut().unwrap();
+                        (v.as_mut_ptr(), v.len())
+                    })
+                    .collect(),
+                len: plan.shard_len(),
+                default_d,
+            });
+        }
+        self.run_jobs(&jobs);
+        Ok(())
+    }
+
+    /// Single-block repair fast path (degraded read): reconstruct shard
+    /// `target` from k survivors without mutating `shards` or decoding the
+    /// rest of the stripe — one composed-coefficient kernel pass, chunked
+    /// across the workers.
+    pub fn repair(
+        &self,
+        coder: &Dialga,
+        shards: &[Option<Vec<u8>>],
+        target: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        let params = coder.params();
+        let (k, m) = (params.k, params.m);
+        if shards.len() != k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: shards.len(),
+            });
+        }
+        if target >= k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: target,
+            });
+        }
+        let survivors: Vec<usize> = (0..k + m)
+            .filter(|&i| i != target && shards[i].is_some())
+            .take(k)
+            .collect();
+        if survivors.len() < k {
+            let lost = (0..k + m).filter(|&i| shards[i].is_none()).count().max(1);
+            return Err(EcError::TooManyErasures { lost, tolerance: m });
+        }
+        let len = shards[survivors[0]].as_ref().unwrap().len();
+        for s in shards.iter().flatten() {
+            if s.len() != len {
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: s.len(),
+                });
+            }
+        }
+        let plan = coder.repair_plan(&survivors, target)?;
+        let mut out = vec![0u8; len];
+        let tables = plan.tables();
+        let job = RawJob {
+            tables: (tables.as_ptr(), tables.len()),
+            sources: survivors
+                .iter()
+                .map(|&i| {
+                    let v = shards[i].as_ref().unwrap();
+                    (v.as_ptr(), v.len())
+                })
+                .collect(),
+            outputs: vec![(out.as_mut_ptr(), out.len())],
+            len,
+            default_d: coder.prefetch_distance(),
+        };
+        self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.run_jobs(std::slice::from_ref(&job));
+        Ok(out)
+    }
+
+    /// LRC local-group repair across the pool: rebuild a single lost data
+    /// block from its `k/l − 1` surviving peers plus the group's local
+    /// parity (an XOR — identity-coefficient tables through the same
+    /// kernel). Bit-exact with [`Lrc::repair_local`].
+    pub fn repair_local(
+        &self,
+        lrc: &Lrc,
+        lost: usize,
+        group_data: &[&[u8]],
+        local_parity: &[u8],
+    ) -> Result<Vec<u8>, EcError> {
+        let gs = lrc.group_size();
+        if lost >= lrc.params().k {
+            return Err(EcError::BlockCount {
+                expected: lrc.params().k,
+                got: lost,
+            });
+        }
+        if group_data.len() != gs - 1 {
+            return Err(EcError::BlockCount {
+                expected: gs - 1,
+                got: group_data.len(),
+            });
+        }
+        let len = local_parity.len();
+        for d in group_data {
+            if d.len() != len {
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: d.len(),
+                });
+            }
+        }
+        // XOR is GF multiply by 1: one identity coefficient per source.
+        let tables = vec![NibbleTables::new(1); gs];
+        let mut out = vec![0u8; len];
+        let mut sources: Vec<(*const u8, usize)> =
+            group_data.iter().map(|d| (d.as_ptr(), d.len())).collect();
+        sources.push((local_parity.as_ptr(), local_parity.len()));
+        let job = RawJob {
+            tables: (tables.as_ptr(), tables.len()),
+            sources,
+            outputs: vec![(out.as_mut_ptr(), out.len())],
+            len,
+            default_d: gs as u32,
+        };
+        self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.run_jobs(std::slice::from_ref(&job));
+        Ok(out)
+    }
+
+    /// Chunk every job with [`split_ranges`], deal the chunks round-robin
+    /// to the per-worker queues, and block until all complete. Jobs with
+    /// zero-length blocks contribute no chunks.
+    fn run_jobs(&self, jobs: &[RawJob]) {
+        let mut chunks: Vec<Chunk> = Vec::new();
+        // Latch count is known only after chunking; build chunk protos
+        // first so the batch starts exact.
+        let mut protos: Vec<(usize, Range<usize>)> = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            for r in split_ranges(job.len, self.threads()) {
+                protos.push((j, r));
+            }
+        }
+        if protos.is_empty() {
+            return;
+        }
+        let batch = BatchState::new(protos.len());
+        for (j, r) in protos {
+            let job = &jobs[j];
+            // SAFETY: `r` lies within `[0, job.len)` and every source and
+            // output of a job spans `job.len` bytes (validated by the
+            // public entry points), so the offset pointers stay in their
+            // allocations.
+            let sources = job
+                .sources
+                .iter()
+                .map(|&(p, _)| (unsafe { p.add(r.start) }, r.len()))
+                .collect();
+            let outputs = job
+                .outputs
+                .iter()
+                .map(|&(p, _)| (unsafe { p.add(r.start) }, r.len()))
+                .collect();
+            chunks.push(Chunk {
+                tables: job.tables,
+                sources,
+                outputs,
+                default_d: job.default_d,
+                batch: Arc::clone(&batch),
+            });
+        }
+        let start = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let w = (start + i) % self.senders.len();
+            self.senders[w]
+                .send(Msg::Run(chunk))
+                .expect("pool worker queue closed");
+        }
+        batch.wait();
     }
 }
 
@@ -529,26 +802,25 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // SAFETY: the submitting thread blocks in `BatchState::wait`
             // until this chunk (and its whole batch) completes, so the
-            // coder and all slices are live; chunks never alias.
-            let coder: &Dialga = unsafe { &*chunk.coder };
-            let data: Vec<&[u8]> = chunk
-                .data
+            // tables and all slices are live; chunks never alias.
+            let tables: &[NibbleTables] =
+                unsafe { std::slice::from_raw_parts(chunk.tables.0, chunk.tables.1) };
+            let sources: Vec<&[u8]> = chunk
+                .sources
                 .iter()
                 .map(|&(p, l)| unsafe { std::slice::from_raw_parts(p, l) })
                 .collect();
-            let mut parity: Vec<&mut [u8]> = chunk
-                .parity
+            let mut outputs: Vec<&mut [u8]> = chunk
+                .outputs
                 .iter()
                 .map(|&(p, l)| unsafe { std::slice::from_raw_parts_mut(p, l) })
                 .collect();
-            let d = knobs
-                .sw_distance
-                .unwrap_or_else(|| coder.prefetch_distance());
-            coder.encode_with(&data, &mut parity, d, knobs.shuffle)
+            let d = knobs.sw_distance.unwrap_or(chunk.default_d);
+            crate::encoder::apply_tables(tables, &sources, &mut outputs, d, knobs.shuffle);
         }));
 
-        let len = chunk.data.first().map_or(0, |&(_, l)| l);
-        let rows = (len / 64) as u64 * chunk.data.len() as u64;
+        let len = chunk.sources.first().map_or(0, |&(_, l)| l);
+        let rows = (len / 64) as u64 * chunk.sources.len() as u64;
         let s = &shared.stats;
         s.loads.fetch_add(rows, Ordering::Relaxed);
         s.busy_ns
@@ -710,6 +982,130 @@ mod tests {
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = pool.encode_vec(&coder, &refs).unwrap();
         assert_eq!(parity, vec![Vec::<u8>::new(); 2]);
+    }
+
+    fn encode_shards(coder: &Dialga, data: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = coder.encode_vec(&refs).unwrap();
+        data.iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect()
+    }
+
+    #[test]
+    fn pool_decode_matches_serial() {
+        let coder = Dialga::new(10, 4).unwrap();
+        let data = make_data(10, 8 * 1024 + 100); // unaligned tail
+        let full = encode_shards(&coder, &data);
+        let mut erased = full.clone();
+        erased[0] = None;
+        erased[7] = None; // data
+        erased[11] = None; // parity
+        erased[13] = None; // parity
+        let mut serial = erased.clone();
+        coder.decode(&mut serial).unwrap();
+        assert_eq!(serial, full);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = EncodePool::new(threads);
+            let mut shards = erased.clone();
+            pool.decode(&coder, &mut shards).unwrap();
+            assert_eq!(shards, full, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_decode_batch_repairs_every_stripe() {
+        let coder = Dialga::new(6, 3).unwrap();
+        let pool = EncodePool::new(4);
+        let fulls: Vec<Vec<Option<Vec<u8>>>> = (0..4)
+            .map(|s| encode_shards(&coder, &make_data(6, 2048 + s * 300)))
+            .collect();
+        let mut stripes: Vec<Vec<Option<Vec<u8>>>> = fulls.clone();
+        // Different erasure patterns per stripe: data-only, parity-only,
+        // mixed, none.
+        stripes[0][1] = None;
+        stripes[0][4] = None;
+        stripes[1][6] = None;
+        stripes[1][8] = None;
+        stripes[2][0] = None;
+        stripes[2][7] = None;
+        {
+            let mut jobs: Vec<DecodeJob<'_>> = stripes
+                .iter_mut()
+                .map(|s| DecodeJob {
+                    shards: s.as_mut_slice(),
+                })
+                .collect();
+            pool.decode_batch(&coder, &mut jobs).unwrap();
+        }
+        assert_eq!(stripes, fulls);
+        assert_eq!(pool.stats().stripes, 4);
+        assert_eq!(pool.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn pool_decode_rejects_mismatched_shards_before_mutation() {
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(2);
+        let mut shards = encode_shards(&coder, &make_data(4, 4096));
+        shards[0] = None;
+        shards[3].as_mut().unwrap().truncate(100);
+        let before = shards.clone();
+        assert!(matches!(
+            pool.decode(&coder, &mut shards),
+            Err(EcError::BlockLength { .. })
+        ));
+        assert_eq!(shards, before, "failed decode must not mutate shards");
+        assert_eq!(pool.stats().chunks, 0, "nothing must reach the queues");
+    }
+
+    #[test]
+    fn pool_repair_single_block_matches_stripe() {
+        let coder = Dialga::new(8, 3).unwrap();
+        let data = make_data(8, 4096 + 60);
+        let full = encode_shards(&coder, &data);
+        let pool = EncodePool::new(4);
+        // Degraded read of each block in turn, with a second unrelated
+        // erasure present.
+        for target in 0..11usize {
+            let mut shards = full.clone();
+            shards[target] = None;
+            shards[(target + 5) % 11] = None;
+            let got = pool.repair(&coder, &shards, target).unwrap();
+            assert_eq!(&got, full[target].as_ref().unwrap(), "target {target}");
+        }
+        // Too few survivors.
+        let mut shards = full.clone();
+        for s in shards.iter_mut().take(4) {
+            *s = None;
+        }
+        assert!(matches!(
+            pool.repair(&coder, &shards, 0),
+            Err(EcError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_repair_local_matches_lrc() {
+        let lrc = Lrc::new(12, 4, 2).unwrap();
+        let data = make_data(12, 8192 + 30);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+        let plan = lrc.local_repair_plan(3).unwrap();
+        let peers: Vec<&[u8]> = plan.peers.iter().map(|&i| refs[i]).collect();
+        let serial = lrc
+            .repair_local(3, &peers, &parity[plan.parity_index])
+            .unwrap();
+        assert_eq!(serial, data[3]);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = EncodePool::new(threads);
+            let got = pool
+                .repair_local(&lrc, 3, &peers, &parity[plan.parity_index])
+                .unwrap();
+            assert_eq!(got, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -253,6 +253,65 @@ fn pool_encode_bit_exact_with_serial() {
     });
 }
 
+/// Pool decode is bit-exact with serial decode for arbitrary geometry,
+/// block length, erasure pattern and thread count. Pools are built once
+/// per thread count and reused across every case, so this also exercises
+/// queue reuse across decode submissions.
+#[test]
+fn pool_decode_bit_exact_with_serial() {
+    let pools: Vec<EncodePool> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| EncodePool::new(t))
+        .collect();
+    run_cases(24, |rng| {
+        let k = rng.range(2, 17);
+        let m = rng.range(1, 5);
+        let len = rng.range(1, 9) * CHUNK_ALIGN + rng.range(0, 260);
+        let coder = Dialga::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|_| rng.bytes(len)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = coder.encode_vec(&refs).unwrap();
+        let full: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+
+        // Random erasure pattern: 1..=m lost blocks, anywhere in the stripe.
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        rng.shuffle(&mut idx);
+        let lost_n = rng.range(1, m + 1);
+        let mut erased = full.clone();
+        for &i in &idx[..lost_n] {
+            erased[i] = None;
+        }
+
+        let mut serial = erased.clone();
+        coder.decode(&mut serial).unwrap();
+        assert_eq!(serial, full, "serial decode k={k} m={m} len={len}");
+
+        for pool in &pools {
+            let mut shards = erased.clone();
+            pool.decode(&coder, &mut shards).unwrap();
+            assert_eq!(
+                shards,
+                full,
+                "pool decode k={k} m={m} len={len} lost={:?} threads={}",
+                &idx[..lost_n],
+                pool.threads()
+            );
+        }
+
+        // Single-block repair of a random block agrees with the stripe.
+        let target = idx[0];
+        let got = pools[rng.range(0, pools.len())]
+            .repair(&coder, &erased, target)
+            .unwrap();
+        assert_eq!(&got, full[target].as_ref().unwrap(), "repair {target}");
+    });
+}
+
 /// A pool built with a live coordinator drives `on_tick` from the workers:
 /// the coordinator samples, at least one policy change is published, and
 /// at least one in-flight worker observes the knob switch mid-run.
@@ -312,4 +371,72 @@ fn pool_coordinator_propagates_policy_changes_to_workers() {
     );
     // Adaptation never perturbs correctness.
     assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), serial);
+}
+
+/// The decode path sees live coordinator retuning exactly like the encode
+/// path: a knob change published mid-run lands in in-flight decode workers
+/// (chunk granularity), and every decode stays bit-exact throughout.
+#[test]
+fn pool_coordinator_retunes_inflight_decodes() {
+    let (k, m, threads) = (12usize, 4, 2);
+    let cfg = MachineConfig::pm();
+    let mut coord = Coordinator::new(k, m, 4096, threads, &cfg);
+    coord.set_sample_interval(10_000.0); // 10 us
+    let pool = EncodePool::with_coordinator(threads, coord);
+
+    let coder = Dialga::new(k, m).unwrap();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            (0..64 * 1024)
+                .map(|j| ((i * 37 + j * 11) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = coder.encode_vec(&refs).unwrap();
+    let full: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .cloned()
+        .map(Some)
+        .chain(parity.into_iter().map(Some))
+        .collect();
+    let mut erased = full.clone();
+    erased[1] = None;
+    erased[5] = None;
+    erased[13] = None; // data + parity so both decode stages run
+
+    let initial = pool.current_knobs();
+    let mut submissions = 0u64;
+    while submissions < 3000 {
+        let mut shards = erased.clone();
+        pool.decode(&coder, &mut shards).unwrap();
+        assert_eq!(shards, full);
+        submissions += 1;
+        let stats = pool.stats();
+        if stats.policy_changes >= 1 && stats.knob_switches >= 1 {
+            break;
+        }
+    }
+    let stats = pool.stats();
+    assert!(
+        pool.coordinator_samples() > 0,
+        "decode workers never drove a coordinator sample"
+    );
+    assert!(
+        stats.policy_changes >= 1,
+        "no policy change published after {submissions} decodes"
+    );
+    assert!(
+        stats.knob_switches >= 1,
+        "no decode worker observed a knob switch mid-run"
+    );
+    assert_ne!(
+        pool.current_knobs(),
+        initial,
+        "published knobs should differ from the initial policy"
+    );
+    // Retuned knobs never change bytes.
+    let mut shards = erased.clone();
+    pool.decode(&coder, &mut shards).unwrap();
+    assert_eq!(shards, full);
 }

@@ -30,7 +30,7 @@ pub mod schedule;
 pub mod xor;
 
 pub use error::EcError;
-pub use lrc::Lrc;
+pub use lrc::{LocalRepairPlan, Lrc};
 pub use matrix::GfMatrix;
 pub use rs::ReedSolomon;
 pub use schedule::Schedule;

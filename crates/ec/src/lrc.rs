@@ -11,6 +11,21 @@
 use crate::{CodeParams, EcError, ReedSolomon};
 use dialga_gf::slice::xor_slice;
 
+/// The read set for repairing one lost data block from its local group:
+/// which peers and which parity to fetch. Built by
+/// [`Lrc::local_repair_plan`]; the persistent pool and the repair-path
+/// bench schedule their reads from this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalRepairPlan {
+    /// The lost block's group.
+    pub group: usize,
+    /// Surviving peer data-block indices to read (`k/l − 1` of them).
+    pub peers: Vec<usize>,
+    /// Index of the group's local parity within the encoded parity array
+    /// (after the `m` global parities — i.e. `m + group`).
+    pub parity_index: usize,
+}
+
 /// An LRC(k, m, l) code: `l` local XOR parities over equal groups plus `m`
 /// global Reed–Solomon parities.
 ///
@@ -94,6 +109,27 @@ impl Lrc {
         Ok(out)
     }
 
+    /// Plan a single-block local repair: the peers and parity to read for
+    /// rebuilding data block `lost` from its group alone.
+    pub fn local_repair_plan(&self, lost: usize) -> Result<LocalRepairPlan, EcError> {
+        let k = self.global.params().k;
+        if lost >= k {
+            return Err(EcError::BlockCount {
+                expected: k,
+                got: lost,
+            });
+        }
+        let group = self.group_of(lost);
+        let gs = self.group_size();
+        Ok(LocalRepairPlan {
+            group,
+            peers: (group * gs..(group + 1) * gs)
+                .filter(|&i| i != lost)
+                .collect(),
+            parity_index: self.global.params().m + group,
+        })
+    }
+
     /// Repair a single lost *data* block using only its local group
     /// (reads `k/l - 1` data blocks + 1 local parity).
     pub fn repair_local(
@@ -102,6 +138,21 @@ impl Lrc {
         group_data: &[&[u8]],
         local_parity: &[u8],
     ) -> Result<Vec<u8>, EcError> {
+        let mut out = vec![0u8; local_parity.len()];
+        self.repair_local_into(lost, group_data, local_parity, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place variant of [`Self::repair_local`]: writes the rebuilt
+    /// block into `out` (which must match the parity length) instead of
+    /// allocating.
+    pub fn repair_local_into(
+        &self,
+        lost: usize,
+        group_data: &[&[u8]],
+        local_parity: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), EcError> {
         let gs = self.group_size();
         if lost >= self.global.params().k {
             return Err(EcError::BlockCount {
@@ -115,17 +166,25 @@ impl Lrc {
                 got: group_data.len(),
             });
         }
-        let mut out = local_parity.to_vec();
+        if out.len() != local_parity.len() {
+            return Err(EcError::BlockLength {
+                expected: local_parity.len(),
+                got: out.len(),
+            });
+        }
         for d in group_data {
-            if d.len() != out.len() {
+            if d.len() != local_parity.len() {
                 return Err(EcError::BlockLength {
-                    expected: out.len(),
+                    expected: local_parity.len(),
                     got: d.len(),
                 });
             }
-            xor_slice(d, &mut out);
         }
-        Ok(out)
+        out.copy_from_slice(local_parity);
+        for d in group_data {
+            xor_slice(d, out);
+        }
+        Ok(())
     }
 
     /// Group index of a data block.
@@ -247,6 +306,47 @@ mod tests {
         let peers: Vec<&[u8]> = (0..6).filter(|&i| i != 3).map(|i| refs[i]).collect();
         let repaired = lrc.repair_local(3, &peers, &parity[4]).unwrap();
         assert_eq!(repaired, data[3]);
+    }
+
+    #[test]
+    fn local_repair_plan_names_the_read_set() {
+        let lrc = Lrc::new(12, 4, 2).unwrap();
+        let plan = lrc.local_repair_plan(8).unwrap();
+        assert_eq!(plan.group, 1);
+        assert_eq!(plan.peers, vec![6, 7, 9, 10, 11]);
+        assert_eq!(plan.parity_index, 5); // m + group
+        assert!(lrc.local_repair_plan(12).is_err());
+
+        // The planned read set actually repairs the block.
+        let data = make_data(12, 96);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+        let peers: Vec<&[u8]> = plan.peers.iter().map(|&i| refs[i]).collect();
+        let repaired = lrc
+            .repair_local(8, &peers, &parity[plan.parity_index])
+            .unwrap();
+        assert_eq!(repaired, data[8]);
+    }
+
+    #[test]
+    fn repair_local_into_matches_alloc_variant() {
+        let lrc = Lrc::new(6, 2, 2).unwrap();
+        let data = make_data(6, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+        let peers: Vec<&[u8]> = vec![refs[0], refs[2]];
+        let alloc = lrc.repair_local(1, &peers, &parity[2]).unwrap();
+        let mut out = vec![0u8; 64];
+        lrc.repair_local_into(1, &peers, &parity[2], &mut out)
+            .unwrap();
+        assert_eq!(out, alloc);
+        assert_eq!(out, data[1]);
+        // Wrong output length is rejected, not truncated.
+        let mut short = vec![0u8; 32];
+        assert!(matches!(
+            lrc.repair_local_into(1, &peers, &parity[2], &mut short),
+            Err(EcError::BlockLength { .. })
+        ));
     }
 
     #[test]

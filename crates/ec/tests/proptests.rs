@@ -222,3 +222,35 @@ fn update_parity_equals_reencode() {
         assert_eq!(parity, rs.encode_vec(&refs).unwrap());
     });
 }
+
+#[test]
+fn lrc_local_repair_plan_recovers_any_data_block() {
+    run_cases(64, |rng| {
+        let l = rng.range(1, 5);
+        let k = l * rng.range(1, 6);
+        let m = rng.range(1, 4);
+        let len = rng.range(1, 6) * 16;
+        let lost = rng.range(0, k);
+        let lrc = Lrc::new(k, m, l).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|_| rng.bytes(len)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = lrc.encode_vec(&refs).unwrap();
+
+        let plan = lrc.local_repair_plan(lost).unwrap();
+        assert_eq!(plan.peers.len(), k / l - 1, "k={k} l={l} lost={lost}");
+        assert!(!plan.peers.contains(&lost));
+        assert!(plan.peers.iter().all(|&p| p / (k / l) == plan.group));
+        assert_eq!(plan.parity_index, m + plan.group);
+
+        // Reading exactly the planned set reconstructs the block, both via
+        // the allocating and the in-place entry points.
+        let peers: Vec<&[u8]> = plan.peers.iter().map(|&i| refs[i]).collect();
+        let local = &parity[plan.parity_index];
+        let rebuilt = lrc.repair_local(lost, &peers, local).unwrap();
+        assert_eq!(rebuilt, data[lost]);
+        let mut out = vec![0u8; len];
+        lrc.repair_local_into(lost, &peers, local, &mut out)
+            .unwrap();
+        assert_eq!(out, data[lost]);
+    });
+}

@@ -17,6 +17,12 @@ figures:
 pool:
     cargo run --release -p dialga-bench --bin pool -- --quick
 
+# Repair-path smoke: simulated + host repair tables and the pool-decode
+# dispatch ablation, on tiny inputs
+repair-bench:
+    cargo run --release -p dialga-bench --bin repair_path -- --quick
+    cargo run --release -p dialga-bench --bin pool_decode -- --quick
+
 # Host microbenchmarks (in-tree harness, no external deps)
 bench:
     cargo bench -p dialga-bench
