@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! Shared machinery for the figure-regeneration binaries.
 //!

@@ -543,8 +543,11 @@ impl Dialga {
             let srcs: Vec<&[u8]> = plan
                 .survivors()
                 .iter()
-                .map(|&s| shards[s].as_ref().unwrap().as_slice())
-                .collect();
+                .map(|&s| {
+                    dialga_ec::present_shard(shards, s, "decode-plan survivor absent")
+                        .map(|v| v.as_slice())
+                })
+                .collect::<Result<_, _>>()?;
             let mut outs = vec![vec![0u8; len]; plan.lost_data().len()];
             let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
             plan.apply_data(&srcs, &mut refs, d, shuffle)?;
@@ -554,8 +557,11 @@ impl Dialga {
         }
         if !plan.lost_parity().is_empty() {
             let data_refs: Vec<&[u8]> = (0..k)
-                .map(|i| shards[i].as_ref().unwrap().as_slice())
-                .collect();
+                .map(|i| {
+                    dialga_ec::present_shard(shards, i, "data shard absent after rebuild")
+                        .map(|v| v.as_slice())
+                })
+                .collect::<Result<_, _>>()?;
             let mut outs = vec![vec![0u8; len]; plan.lost_parity().len()];
             let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
             plan.apply_parity(&data_refs, &mut refs, d, shuffle)?;

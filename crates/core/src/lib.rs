@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 //! DIALGA — adaptive hardware/software prefetcher scheduling for erasure
 //! coding on persistent memory.

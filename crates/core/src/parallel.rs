@@ -14,7 +14,7 @@ use crate::encoder::Dialga;
 use crate::pool::{EncodePool, CHUNK_ALIGN};
 use dialga_ec::EcError;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Process-wide pool cache, one persistent pool per requested thread
 /// count. Pools live for the life of the process; their workers idle on an
@@ -22,7 +22,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 fn pool_for(threads: usize) -> Arc<EncodePool> {
     static POOLS: OnceLock<Mutex<HashMap<usize, Arc<EncodePool>>>> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut pools = pools.lock().unwrap();
+    // The cache map stays consistent even if a previous holder panicked
+    // between `entry` and insertion, so poisoning carries no information
+    // here — recover the guard instead of propagating the panic.
+    let mut pools = pools.lock().unwrap_or_else(PoisonError::into_inner);
     Arc::clone(
         pools
             .entry(threads)

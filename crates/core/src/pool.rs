@@ -41,9 +41,10 @@ use dialga_gf::tables::NibbleTables;
 use dialga_memsim::Counters;
 use dialga_pipeline::Knobs;
 use std::ops::Range;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -171,6 +172,23 @@ struct CoordState {
 /// State shared between the pool handle and its workers.
 struct PoolShared {
     /// Packed current [`Knobs`] (see [`pack_knobs`]).
+    ///
+    /// # Memory-ordering contract (checked by `dialga-lint` rule R3)
+    ///
+    /// The knob word is the only cross-thread *publication* channel in the
+    /// pool, so it is the only place that needs more than `Relaxed`:
+    ///
+    /// * every **store** uses [`Ordering::Release`] — the coordinator's
+    ///   policy state is written before the packed word, and the Release
+    ///   fence makes those writes visible to any worker that observes the
+    ///   new value;
+    /// * every worker **load** uses [`Ordering::Acquire`] — a worker that
+    ///   sees a new packed value also sees everything the coordinator
+    ///   wrote before publishing it.
+    ///
+    /// The stat counters in [`PoolCounters`] are pure monotonic tallies —
+    /// no reader derives control flow from their relative order — so they
+    /// stay `Relaxed` by design.
     knobs: AtomicU64,
     stats: PoolCounters,
     coord: Option<Mutex<CoordState>>,
@@ -208,18 +226,160 @@ impl PoolShared {
     }
 }
 
+/// `Send`-able view of a borrowed `&[NibbleTables]`, shared read-only by
+/// every chunk of a job.
+///
+/// The submission protocol is what makes the detached lifetime sound:
+/// [`EncodePool::run_jobs`] blocks in [`BatchState::wait`] until every
+/// chunk of the batch has completed (even when enqueueing fails part-way),
+/// so the slice this span was built from — borrowed by the caller of
+/// `encode*`/`decode*`/`repair*` or owned by their stack frames — strictly
+/// outlives every dereference.
+#[derive(Clone, Copy)]
+struct TabSpan {
+    ptr: NonNull<NibbleTables>,
+    len: usize,
+}
+
+// SAFETY: a read-only view; the referent outlives all dereferences per the
+// submission protocol documented on the type.
+unsafe impl Send for TabSpan {}
+
+impl TabSpan {
+    fn new(tables: &[NibbleTables]) -> Self {
+        // SAFETY: slice pointers are never null (empty slices use a
+        // dangling, still non-null pointer).
+        let ptr = unsafe { NonNull::new_unchecked(tables.as_ptr().cast_mut()) };
+        TabSpan {
+            ptr,
+            len: tables.len(),
+        }
+    }
+
+    /// Rebuild the table slice on the worker.
+    ///
+    /// # Safety
+    /// The slice passed to [`TabSpan::new`] must still be live, i.e. the
+    /// submitting thread must still be blocked in [`BatchState::wait`].
+    unsafe fn as_slice<'a>(self) -> &'a [NibbleTables] {
+        // SAFETY: caller upholds liveness; `ptr`/`len` came from a real
+        // slice, and workers only read.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+/// `Send`-able read-only view of one source block (or a chunk of it).
+#[derive(Clone, Copy)]
+struct SrcSpan {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: read-only view; liveness per the submission protocol (see
+// [`TabSpan`]), and workers never write through it.
+unsafe impl Send for SrcSpan {}
+
+impl SrcSpan {
+    fn new(block: &[u8]) -> Self {
+        // SAFETY: slice pointers are never null.
+        let ptr = unsafe { NonNull::new_unchecked(block.as_ptr().cast_mut()) };
+        SrcSpan {
+            ptr,
+            len: block.len(),
+        }
+    }
+
+    /// Sub-span `[start, start + len)` of this span.
+    ///
+    /// # Safety
+    /// `start + len <= self.len` (the chunker derives both from
+    /// [`split_ranges`] over the common block length).
+    unsafe fn sub(self, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= self.len);
+        // SAFETY: in-bounds offset within the span's allocation per the
+        // caller contract.
+        let ptr = unsafe { NonNull::new_unchecked(self.ptr.as_ptr().add(start)) };
+        SrcSpan { ptr, len }
+    }
+
+    /// Rebuild the source slice on the worker.
+    ///
+    /// # Safety
+    /// The block this span was derived from must still be live (submitting
+    /// thread blocked in [`BatchState::wait`]).
+    unsafe fn as_slice<'a>(self) -> &'a [u8] {
+        // SAFETY: caller upholds liveness; bounds per construction.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+/// `Send`-able mutable view of one output block (or a chunk of it).
+///
+/// Exclusivity is structural: [`split_ranges`] yields non-overlapping
+/// ranges, and the chunker derives every `OutSpan` of one output block
+/// from exactly one range each — so no two chunks (hence no two workers)
+/// ever hold spans over the same bytes, and the submitting thread does not
+/// touch the output borrows until the batch completes.
+#[derive(Clone, Copy)]
+struct OutSpan {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: liveness per the submission protocol (see [`TabSpan`]) and
+// write-exclusivity per the disjoint-range construction documented on the
+// type: each span's byte range is owned by exactly one chunk.
+unsafe impl Send for OutSpan {}
+
+impl OutSpan {
+    fn new(block: &mut [u8]) -> Self {
+        // SAFETY: slice pointers are never null.
+        let ptr = unsafe { NonNull::new_unchecked(block.as_mut_ptr()) };
+        OutSpan {
+            ptr,
+            len: block.len(),
+        }
+    }
+
+    /// Sub-span `[start, start + len)` of this span.
+    ///
+    /// # Safety
+    /// `start + len <= self.len`, and the caller must hand each resulting
+    /// sub-span to at most one chunk (disjointness comes from using
+    /// [`split_ranges`] output as the only source of ranges).
+    unsafe fn sub(self, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= self.len);
+        // SAFETY: in-bounds offset within the span's allocation per the
+        // caller contract.
+        let ptr = unsafe { NonNull::new_unchecked(self.ptr.as_ptr().add(start)) };
+        OutSpan { ptr, len }
+    }
+
+    /// Rebuild the mutable output slice on the worker.
+    ///
+    /// # Safety
+    /// The block must still be live (submitting thread blocked in
+    /// [`BatchState::wait`]) and this span's range disjoint from every
+    /// other chunk's, per the construction contract above.
+    unsafe fn as_mut_slice<'a>(self) -> &'a mut [u8] {
+        // SAFETY: caller upholds liveness and exclusive ownership of the
+        // range; bounds per construction.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
 /// One apply-tables job over full-length blocks, before chunking:
 /// `outputs[i] = sum_j tables[i * sources.len() + j] * sources[j]`.
 ///
 /// Encode, decode stages and single-block repair all reduce to this shape,
-/// so the pool has exactly one worker kernel. Pointers (not borrows) so
-/// jobs built from mixed origins (caller slices, shard vectors, plan
-/// tables) share one submission path; see [`Chunk`] for the safety
-/// contract.
+/// so the pool has exactly one worker kernel. Detached spans (not borrows)
+/// so jobs built from mixed origins (caller slices, shard vectors, plan
+/// tables) share one submission path; see [`TabSpan`]/[`OutSpan`] for the
+/// safety contract.
 struct RawJob {
-    tables: (*const NibbleTables, usize),
-    sources: Vec<(*const u8, usize)>,
-    outputs: Vec<(*mut u8, usize)>,
+    tables: TabSpan,
+    sources: Vec<SrcSpan>,
+    outputs: Vec<OutSpan>,
     /// Common block length (every source/output).
     len: usize,
     /// Distance fallback when the knob cell carries no override.
@@ -227,26 +387,38 @@ struct RawJob {
 }
 
 /// One unit of worker work: apply `tables` to `sources[range]` →
-/// `outputs[range]`.
+/// `outputs[range]`. `Send` because every field is (the spans carry the
+/// safety argument on their own `unsafe impl Send`).
 ///
-/// Raw pointers make the chunk `Send` without tying the pool to a borrow
-/// scope. Safety rests on the submission protocol: `run_jobs` does not
-/// return until every chunk of the batch has completed (or the pool is
-/// poisoned), so the pointed-to slices and tables — borrowed by the caller
-/// of `encode*`/`decode*`/`repair*` or owned by their stack frames —
-/// strictly outlive every dereference.
+/// Every chunk reports to its batch latch exactly once: through
+/// [`Chunk::finish`] after running, or through `Drop` (as a failure) if it
+/// never reaches a worker — a send that fails, or a queue torn down by a
+/// worker exiting with work still enqueued. Without the `Drop` path those
+/// chunks would vanish and [`BatchState::wait`] would block forever.
 struct Chunk {
-    tables: (*const NibbleTables, usize),
-    sources: Vec<(*const u8, usize)>,
-    outputs: Vec<(*mut u8, usize)>,
+    tables: TabSpan,
+    sources: Vec<SrcSpan>,
+    outputs: Vec<OutSpan>,
     default_d: u32,
     batch: Arc<BatchState>,
+    finished: bool,
 }
 
-// SAFETY: see the `Chunk` doc comment — the submitting thread blocks until
-// the batch completes, so the raw borrows never dangle, and disjoint
-// chunks never alias (each covers a distinct byte range of each block).
-unsafe impl Send for Chunk {}
+impl Chunk {
+    /// Report this chunk's kernel result to the batch latch.
+    fn finish(mut self, result: Result<(), ()>) {
+        self.finished = true;
+        self.batch.complete(result);
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.batch.complete(Err(()));
+        }
+    }
+}
 
 /// Completion latch for one submitted batch.
 struct BatchState {
@@ -271,7 +443,10 @@ impl BatchState {
     }
 
     fn complete(&self, result: Result<(), ()>) {
-        let mut inner = self.inner.lock().unwrap();
+        // Poisoning carries no information here: the latch state is a
+        // counter plus a flag, both updated atomically under the lock, so
+        // recover the guard — a stuck latch would deadlock the submitter.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if result.is_err() {
             inner.panicked = true;
         }
@@ -281,13 +456,22 @@ impl BatchState {
         }
     }
 
-    fn wait(&self) {
-        let mut inner = self.inner.lock().unwrap();
+    /// Block until every chunk has reported in. `Err` means at least one
+    /// chunk panicked in its kernel or never reached a live worker; the
+    /// batch is still fully quiesced on return either way, so the caller's
+    /// borrows are safe to release.
+    fn wait(&self) -> Result<(), ()> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while inner.remaining > 0 {
-            inner = self.done.wait(inner).unwrap();
+            inner = self
+                .done
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if inner.panicked {
-            panic!("pool worker panicked");
+            Err(())
+        } else {
+            Ok(())
         }
     }
 }
@@ -360,6 +544,9 @@ impl EncodePool {
                 std::thread::Builder::new()
                     .name(format!("dialga-enc-{i}"))
                     .spawn(move || worker_loop(rx, sh))
+                    // A host that cannot spawn threads cannot make progress
+                    // anyway; submission tolerates dead workers (`run_jobs`).
+                    // lint:allow(panic-path): no Result channel at construction
                     .expect("spawn encode worker"),
             );
             senders.push(tx);
@@ -398,19 +585,25 @@ impl EncodePool {
 
     /// Samples the coordinator has taken (0 without a coordinator).
     pub fn coordinator_samples(&self) -> u64 {
-        self.shared
-            .coord
-            .as_ref()
-            .map_or(0, |c| c.lock().unwrap().coord.samples())
+        // Tick state stays consistent under panic (plain counters), so a
+        // poisoned lock is recovered rather than propagated.
+        self.shared.coord.as_ref().map_or(0, |c| {
+            c.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .coord
+                .samples()
+        })
     }
 
     /// Timestamped policy changes the coordinator recorded (empty without a
     /// coordinator).
     pub fn policy_log(&self) -> Vec<(f64, crate::coordinator::Policy)> {
-        self.shared
-            .coord
-            .as_ref()
-            .map_or_else(Vec::new, |c| c.lock().unwrap().coord.policy_log())
+        self.shared.coord.as_ref().map_or_else(Vec::new, |c| {
+            c.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .coord
+                .policy_log()
+        })
     }
 
     /// Encode one stripe across the pool. Blocks until the stripe is done;
@@ -476,13 +669,9 @@ impl EncodePool {
         for s in stripes.iter_mut() {
             let len = s.data.first().map_or(0, |d| d.len());
             jobs.push(RawJob {
-                tables: (tables.as_ptr(), tables.len()),
-                sources: s.data.iter().map(|d| (d.as_ptr(), d.len())).collect(),
-                outputs: s
-                    .parity
-                    .iter_mut()
-                    .map(|p| (p.as_mut_ptr(), p.len()))
-                    .collect(),
+                tables: TabSpan::new(tables),
+                sources: s.data.iter().map(|d| SrcSpan::new(d)).collect(),
+                outputs: s.parity.iter_mut().map(|p| OutSpan::new(p)).collect(),
                 len,
                 default_d,
             });
@@ -492,8 +681,7 @@ impl EncodePool {
             .stripes
             .fetch_add(stripes.len() as u64, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(&jobs);
-        Ok(())
+        self.run_jobs(&jobs)
     }
 
     /// Convenience wrapper allocating the parity blocks.
@@ -550,30 +738,25 @@ impl EncodePool {
             if plan.lost_data().is_empty() {
                 continue;
             }
-            let tables = plan.data_tables();
+            let mut sources = Vec::with_capacity(plan.survivors().len());
+            for &i in plan.survivors() {
+                let v = dialga_ec::present_shard(s.shards, i, "decode-plan survivor absent")?;
+                sources.push(SrcSpan::new(v));
+            }
+            let mut outputs = Vec::with_capacity(plan.lost_data().len());
+            for &i in plan.lost_data() {
+                let v = dialga_ec::present_shard_mut(s.shards, i, "lost-data buffer absent")?;
+                outputs.push(OutSpan::new(v));
+            }
             jobs.push(RawJob {
-                tables: (tables.as_ptr(), tables.len()),
-                sources: plan
-                    .survivors()
-                    .iter()
-                    .map(|&i| {
-                        let v = s.shards[i].as_ref().unwrap();
-                        (v.as_ptr(), v.len())
-                    })
-                    .collect(),
-                outputs: plan
-                    .lost_data()
-                    .iter()
-                    .map(|&i| {
-                        let v = s.shards[i].as_mut().unwrap();
-                        (v.as_mut_ptr(), v.len())
-                    })
-                    .collect(),
+                tables: TabSpan::new(plan.data_tables()),
+                sources,
+                outputs,
                 len: plan.shard_len(),
                 default_d,
             });
         }
-        self.run_jobs(&jobs);
+        self.run_jobs(&jobs)?;
 
         // Stage 2: lost parity rows from the (now complete) data blocks.
         // The stage-1 wait orders the reconstructed data before these reads.
@@ -583,29 +766,25 @@ impl EncodePool {
             if plan.lost_parity().is_empty() {
                 continue;
             }
-            let tables = plan.parity_tables();
+            let mut sources = Vec::with_capacity(k);
+            for i in 0..k {
+                let v = dialga_ec::present_shard(s.shards, i, "data shard absent after rebuild")?;
+                sources.push(SrcSpan::new(v));
+            }
+            let mut outputs = Vec::with_capacity(plan.lost_parity().len());
+            for &i in plan.lost_parity() {
+                let v = dialga_ec::present_shard_mut(s.shards, i, "lost-parity buffer absent")?;
+                outputs.push(OutSpan::new(v));
+            }
             jobs.push(RawJob {
-                tables: (tables.as_ptr(), tables.len()),
-                sources: (0..k)
-                    .map(|i| {
-                        let v = s.shards[i].as_ref().unwrap();
-                        (v.as_ptr(), v.len())
-                    })
-                    .collect(),
-                outputs: plan
-                    .lost_parity()
-                    .iter()
-                    .map(|&i| {
-                        let v = s.shards[i].as_mut().unwrap();
-                        (v.as_mut_ptr(), v.len())
-                    })
-                    .collect(),
+                tables: TabSpan::new(plan.parity_tables()),
+                sources,
+                outputs,
                 len: plan.shard_len(),
                 default_d,
             });
         }
-        self.run_jobs(&jobs);
-        Ok(())
+        self.run_jobs(&jobs)
     }
 
     /// Single-block repair fast path (degraded read): reconstruct shard
@@ -640,7 +819,7 @@ impl EncodePool {
             let lost = (0..k + m).filter(|&i| shards[i].is_none()).count().max(1);
             return Err(EcError::TooManyErasures { lost, tolerance: m });
         }
-        let len = shards[survivors[0]].as_ref().unwrap().len();
+        let len = dialga_ec::present_shard(shards, survivors[0], "repair survivor absent")?.len();
         for s in shards.iter().flatten() {
             if s.len() != len {
                 return Err(EcError::BlockLength {
@@ -651,23 +830,21 @@ impl EncodePool {
         }
         let plan = coder.repair_plan(&survivors, target)?;
         let mut out = vec![0u8; len];
-        let tables = plan.tables();
+        let mut sources = Vec::with_capacity(survivors.len());
+        for &i in &survivors {
+            let v = dialga_ec::present_shard(shards, i, "repair survivor absent")?;
+            sources.push(SrcSpan::new(v));
+        }
         let job = RawJob {
-            tables: (tables.as_ptr(), tables.len()),
-            sources: survivors
-                .iter()
-                .map(|&i| {
-                    let v = shards[i].as_ref().unwrap();
-                    (v.as_ptr(), v.len())
-                })
-                .collect(),
-            outputs: vec![(out.as_mut_ptr(), out.len())],
+            tables: TabSpan::new(plan.tables()),
+            sources,
+            outputs: vec![OutSpan::new(&mut out)],
             len,
             default_d: coder.prefetch_distance(),
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(std::slice::from_ref(&job));
+        self.run_jobs(std::slice::from_ref(&job))?;
         Ok(out)
     }
 
@@ -707,26 +884,34 @@ impl EncodePool {
         // XOR is GF multiply by 1: one identity coefficient per source.
         let tables = vec![NibbleTables::new(1); gs];
         let mut out = vec![0u8; len];
-        let mut sources: Vec<(*const u8, usize)> =
-            group_data.iter().map(|d| (d.as_ptr(), d.len())).collect();
-        sources.push((local_parity.as_ptr(), local_parity.len()));
+        let mut sources: Vec<SrcSpan> = group_data.iter().map(|d| SrcSpan::new(d)).collect();
+        sources.push(SrcSpan::new(local_parity));
         let job = RawJob {
-            tables: (tables.as_ptr(), tables.len()),
+            tables: TabSpan::new(&tables),
             sources,
-            outputs: vec![(out.as_mut_ptr(), out.len())],
+            outputs: vec![OutSpan::new(&mut out)],
             len,
             default_d: gs as u32,
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(std::slice::from_ref(&job));
+        self.run_jobs(std::slice::from_ref(&job))?;
         Ok(out)
     }
 
     /// Chunk every job with [`split_ranges`], deal the chunks round-robin
     /// to the per-worker queues, and block until all complete. Jobs with
     /// zero-length blocks contribute no chunks.
-    fn run_jobs(&self, jobs: &[RawJob]) {
+    ///
+    /// This function MUST NOT return (or unwind) before every chunk of the
+    /// batch is accounted for: the chunks carry detached spans into the
+    /// caller's borrows, and a worker may already be executing one while
+    /// later sends are still in flight. A failed send (worker died, its
+    /// receiver dropped) therefore does not bail out — the unsent chunk is
+    /// marked failed on the latch and submission continues, so
+    /// [`BatchState::wait`] still quiesces the whole batch before the
+    /// borrows are released. Failure surfaces as [`EcError::Internal`].
+    fn run_jobs(&self, jobs: &[RawJob]) -> Result<(), EcError> {
         let mut chunks: Vec<Chunk> = Vec::new();
         // Latch count is known only after chunking; build chunk protos
         // first so the batch starts exact.
@@ -737,24 +922,26 @@ impl EncodePool {
             }
         }
         if protos.is_empty() {
-            return;
+            return Ok(());
         }
         let batch = BatchState::new(protos.len());
         for (j, r) in protos {
             let job = &jobs[j];
-            // SAFETY: `r` lies within `[0, job.len)` and every source and
-            // output of a job spans `job.len` bytes (validated by the
-            // public entry points), so the offset pointers stay in their
-            // allocations.
+            // SAFETY: `r` came from `split_ranges(job.len, _)`, so it lies
+            // within `[0, job.len)`, every source and output of a job spans
+            // `job.len` bytes (validated by the public entry points), and
+            // each range is handed to exactly one chunk.
             let sources = job
                 .sources
                 .iter()
-                .map(|&(p, _)| (unsafe { p.add(r.start) }, r.len()))
+                .map(|s| unsafe { s.sub(r.start, r.len()) })
                 .collect();
+            // SAFETY: as above; disjoint ranges give each output sub-span
+            // to exactly one chunk.
             let outputs = job
                 .outputs
                 .iter()
-                .map(|&(p, _)| (unsafe { p.add(r.start) }, r.len()))
+                .map(|o| unsafe { o.sub(r.start, r.len()) })
                 .collect();
             chunks.push(Chunk {
                 tables: job.tables,
@@ -762,16 +949,22 @@ impl EncodePool {
                 outputs,
                 default_d: job.default_d,
                 batch: Arc::clone(&batch),
+                finished: false,
             });
         }
         let start = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
         for (i, chunk) in chunks.into_iter().enumerate() {
             let w = (start + i) % self.senders.len();
-            self.senders[w]
-                .send(Msg::Run(chunk))
-                .expect("pool worker queue closed");
+            // A failed send means the worker is gone and its queue will
+            // never drain; dropping the returned chunk marks it failed on
+            // the latch so it still closes. The old `.expect` here unwound
+            // the submitting frame while live workers held spans into it
+            // (a use-after-free window).
+            let _ = self.senders[w].send(Msg::Run(chunk));
         }
-        batch.wait();
+        batch.wait().map_err(|()| EcError::Internal {
+            what: "encode pool worker panicked or exited mid-batch",
+        })
     }
 }
 
@@ -802,24 +995,26 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // SAFETY: the submitting thread blocks in `BatchState::wait`
             // until this chunk (and its whole batch) completes, so the
-            // tables and all slices are live; chunks never alias.
-            let tables: &[NibbleTables] =
-                unsafe { std::slice::from_raw_parts(chunk.tables.0, chunk.tables.1) };
+            // tables and all spans are live; output sub-spans of distinct
+            // chunks never alias (see `OutSpan`).
+            let tables: &[NibbleTables] = unsafe { chunk.tables.as_slice() };
+            // SAFETY: as above — spans outlive the batch wait.
             let sources: Vec<&[u8]> = chunk
                 .sources
                 .iter()
-                .map(|&(p, l)| unsafe { std::slice::from_raw_parts(p, l) })
+                .map(|s| unsafe { s.as_slice() })
                 .collect();
+            // SAFETY: as above, plus range-exclusivity per `OutSpan`.
             let mut outputs: Vec<&mut [u8]> = chunk
                 .outputs
                 .iter()
-                .map(|&(p, l)| unsafe { std::slice::from_raw_parts_mut(p, l) })
+                .map(|o| unsafe { o.as_mut_slice() })
                 .collect();
             let d = knobs.sw_distance.unwrap_or(chunk.default_d);
             crate::encoder::apply_tables(tables, &sources, &mut outputs, d, knobs.shuffle);
         }));
 
-        let len = chunk.sources.first().map_or(0, |&(_, l)| l);
+        let len = chunk.sources.first().map_or(0, |s| s.len);
         let rows = (len / 64) as u64 * chunk.sources.len() as u64;
         let s = &shared.stats;
         s.loads.fetch_add(rows, Ordering::Relaxed);
@@ -827,7 +1022,7 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         s.chunks.fetch_add(1, Ordering::Relaxed);
 
-        chunk.batch.complete(result.map_err(|_| ()));
+        chunk.finish(result.map_err(|_| ()));
         shared.maybe_tick();
     }
 }
@@ -1106,6 +1301,60 @@ mod tests {
                 .unwrap();
             assert_eq!(got, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn dead_worker_surfaces_error_instead_of_unwinding_submitter() {
+        // Regression: the old submission path `.expect`ed every send, so a
+        // dead worker unwound `run_jobs` while live workers still held
+        // spans into the submitting frame (use-after-free window). Now the
+        // batch always quiesces and the failure surfaces as an error.
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(2);
+        pool.senders[0].send(Msg::Shutdown).unwrap();
+        // The worker tears its queue down when it exits; wait for that.
+        while pool.senders[0].send(Msg::Shutdown).is_ok() {
+            std::thread::yield_now();
+        }
+        let data = make_data(4, 4096);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        for _ in 0..3 {
+            assert!(matches!(
+                pool.encode_vec(&coder, &refs),
+                Err(EcError::Internal { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn worker_kernel_panic_surfaces_as_internal_error() {
+        // A malformed job (zero tables for one output × one source) makes
+        // `apply_tables` panic inside the worker; the pool must report
+        // `EcError::Internal` — not hang, not unwind the submitter — and
+        // keep serving later submissions.
+        let pool = EncodePool::new(2);
+        let src = vec![0u8; 1024];
+        let mut out = vec![0u8; 1024];
+        let tables: Vec<NibbleTables> = Vec::new();
+        let job = RawJob {
+            tables: TabSpan::new(&tables),
+            sources: vec![SrcSpan::new(&src)],
+            outputs: vec![OutSpan::new(&mut out)],
+            len: 1024,
+            default_d: 4,
+        };
+        assert!(matches!(
+            pool.run_jobs(std::slice::from_ref(&job)),
+            Err(EcError::Internal { .. })
+        ));
+        let coder = Dialga::new(4, 2).unwrap();
+        let data = make_data(4, 4096);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert_eq!(
+            pool.encode_vec(&coder, &refs).unwrap(),
+            coder.encode_vec(&refs).unwrap(),
+            "pool must survive a kernel panic"
+        );
     }
 
     #[test]

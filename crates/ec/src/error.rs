@@ -45,6 +45,13 @@ pub enum EcError {
         /// Data-block count it must divide.
         k: usize,
     },
+    /// An internal invariant was violated (a shard the decode plan proved
+    /// present was absent, a worker died mid-batch, …). Surfaced instead of
+    /// panicking so a library bug cannot take down the embedding process.
+    Internal {
+        /// Which invariant broke, for diagnostics.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EcError {
@@ -69,8 +76,63 @@ impl fmt::Display for EcError {
                     "invalid LRC groups: l={l} must divide k={k} and be positive"
                 )
             }
+            EcError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for EcError {}
+
+/// Borrow a shard the caller has already proven present (e.g. by a decode
+/// plan or an erasure check), turning an absent shard into
+/// [`EcError::Internal`] instead of a panic.
+pub fn present_shard<'a, T: AsRef<[u8]>>(
+    shards: &'a [Option<T>],
+    idx: usize,
+    what: &'static str,
+) -> Result<&'a T, EcError> {
+    shards
+        .get(idx)
+        .and_then(Option::as_ref)
+        .ok_or(EcError::Internal { what })
+}
+
+/// Mutable variant of [`present_shard`].
+pub fn present_shard_mut<'a, T: AsRef<[u8]>>(
+    shards: &'a mut [Option<T>],
+    idx: usize,
+    what: &'static str,
+) -> Result<&'a mut T, EcError> {
+    shards
+        .get_mut(idx)
+        .and_then(Option::as_mut)
+        .ok_or(EcError::Internal { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_shard_surfaces_internal_error() {
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2]), None];
+        assert_eq!(present_shard(&shards, 0, "x").unwrap(), &vec![1, 2]);
+        let err = present_shard(&shards, 1, "survivor absent").unwrap_err();
+        assert_eq!(
+            err,
+            EcError::Internal {
+                what: "survivor absent"
+            }
+        );
+        assert!(err.to_string().contains("survivor absent"), "{err}");
+        // Out of bounds is the same invariant violation, not a panic.
+        assert!(present_shard(&shards, 9, "oob").is_err());
+        assert!(present_shard_mut(&mut shards, 1, "absent").is_err());
+        present_shard_mut(&mut shards, 0, "present")
+            .unwrap()
+            .push(3);
+        assert_eq!(shards[0].as_deref(), Some(&[1, 2, 3][..]));
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! Erasure codes for the DIALGA reproduction.
 //!
@@ -29,7 +30,7 @@ pub mod rs;
 pub mod schedule;
 pub mod xor;
 
-pub use error::EcError;
+pub use error::{present_shard, present_shard_mut, EcError};
 pub use lrc::{LocalRepairPlan, Lrc};
 pub use matrix::GfMatrix;
 pub use rs::ReedSolomon;

@@ -219,11 +219,12 @@ impl Lrc {
                 .collect();
             if lost_in_group.len() == 1 {
                 let lost = lost_in_group[0];
-                let lp = shards[lp_idx].as_ref().unwrap().clone();
-                let mut out = lp;
+                let mut out =
+                    crate::present_shard(shards, lp_idx, "LRC local parity absent")?.clone();
                 for i in g * gs..(g + 1) * gs {
                     if i != lost {
-                        xor_slice(shards[i].as_ref().unwrap(), &mut out);
+                        let s = crate::present_shard(shards, i, "LRC group survivor absent")?;
+                        xor_slice(s, &mut out);
                     }
                 }
                 shards[lost] = Some(out);
@@ -246,10 +247,11 @@ impl Lrc {
             if shards[lp_idx].is_some() {
                 continue;
             }
-            let len = shards[0].as_ref().unwrap().len();
+            let len = crate::present_shard(shards, 0, "LRC data shard absent after decode")?.len();
             let mut local = vec![0u8; len];
             for i in g * gs..(g + 1) * gs {
-                xor_slice(shards[i].as_ref().unwrap(), &mut local);
+                let s = crate::present_shard(shards, i, "LRC data shard absent after decode")?;
+                xor_slice(s, &mut local);
             }
             shards[lp_idx] = Some(local);
         }

@@ -209,9 +209,9 @@ impl ReedSolomon {
         }
         let survivors: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
         let survivors = &survivors[..k];
-        let len = shards[survivors[0]].as_ref().unwrap().len();
+        let len = crate::present_shard(shards, survivors[0], "RS survivor shard absent")?.len();
         for &s in survivors {
-            let l = shards[s].as_ref().unwrap().len();
+            let l = crate::present_shard(shards, s, "RS survivor shard absent")?.len();
             if l != len {
                 return Err(EcError::BlockLength {
                     expected: len,
@@ -226,7 +226,7 @@ impl ReedSolomon {
         for &ld in &lost_data {
             let mut out = vec![0u8; len];
             for (col, &s) in survivors.iter().enumerate() {
-                let src = shards[s].as_ref().unwrap();
+                let src = crate::present_shard(shards, s, "RS survivor shard absent")?;
                 mul_add_slice(dec[(ld, col)].0, src, &mut out);
             }
             shards[ld] = Some(out);
@@ -237,11 +237,8 @@ impl ReedSolomon {
             let row = lp - k;
             let mut out = vec![0u8; len];
             for j in 0..k {
-                mul_add_slice(
-                    self.parity[(row, j)].0,
-                    shards[j].as_ref().unwrap(),
-                    &mut out,
-                );
+                let src = crate::present_shard(shards, j, "RS data shard absent after rebuild")?;
+                mul_add_slice(self.parity[(row, j)].0, src, &mut out);
             }
             shards[lp] = Some(out);
         }

@@ -233,15 +233,18 @@ impl XorCode {
         }
         let survivors: Vec<usize> = (0..k + m).filter(|&i| shards[i].is_some()).collect();
         let survivors = &survivors[..k];
-        let len = shards[survivors[0]].as_ref().unwrap().len();
+        let len = crate::present_shard(shards, survivors[0], "XOR survivor shard absent")?.len();
 
         let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < k).collect();
         if !lost_data.is_empty() {
             let schedule = self.decode_schedule(survivors, &lost_data)?;
             let srcs: Vec<&[u8]> = survivors
                 .iter()
-                .map(|&s| shards[s].as_ref().unwrap().as_slice())
-                .collect();
+                .map(|&s| {
+                    crate::present_shard(shards, s, "XOR survivor shard absent")
+                        .map(|v| v.as_slice())
+                })
+                .collect::<Result<_, _>>()?;
             let mut outs = vec![vec![0u8; len]; lost_data.len()];
             Self::execute(&schedule, &srcs, &mut outs, len)?;
             for (&ld, out) in lost_data.iter().zip(outs) {
@@ -251,8 +254,11 @@ impl XorCode {
         let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
         if !lost_parity.is_empty() {
             let data_refs: Vec<&[u8]> = (0..k)
-                .map(|i| shards[i].as_ref().unwrap().as_slice())
-                .collect();
+                .map(|i| {
+                    crate::present_shard(shards, i, "XOR data shard absent after rebuild")
+                        .map(|v| v.as_slice())
+                })
+                .collect::<Result<_, _>>()?;
             let parity = self.encode_vec(&data_refs)?;
             for &lp in &lost_parity {
                 shards[lp] = Some(parity[lp - k].clone());

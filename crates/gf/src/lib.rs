@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 //! GF(2^8) finite-field arithmetic for erasure coding.
 //!

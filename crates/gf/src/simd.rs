@@ -47,65 +47,95 @@ pub fn mul_add_slice_simd(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "mul_add_slice_simd length mismatch");
     match detected_kernel() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detected_kernel` returned `Avx2` only after
+        // `is_x86_feature_detected!("avx2")` confirmed the CPU supports the
+        // instructions the callee compiles to; slice lengths were asserted
+        // equal above.
         Kernel::Avx2 => unsafe { mul_add_avx2(t, src, dst) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — `Ssse3` is returned only when
+        // `is_x86_feature_detected!("ssse3")` holds on this CPU.
         Kernel::Ssse3 => unsafe { mul_add_ssse3(t, src, dst) },
         _ => crate::slice::mul_add_slice_tab(t, src, dst),
     }
 }
 
+/// 16-byte `pshufb` kernel.
+///
+/// # Safety
+/// The CPU must support SSSE3 (callers establish this via
+/// `is_x86_feature_detected!("ssse3")`), and `src.len() == dst.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_add_ssse3(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
     use std::arch::x86_64::*;
-    let lo_tab = _mm_loadu_si128(t.low.as_ptr() as *const __m128i);
-    let hi_tab = _mm_loadu_si128(t.high.as_ptr() as *const __m128i);
-    let mask = _mm_set1_epi8(0x0F);
     let n = src.len() / 16 * 16;
     let mut i = 0;
-    while i < n {
-        let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
-        let lo = _mm_and_si128(s, mask);
-        let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
-        let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, lo), _mm_shuffle_epi8(hi_tab, hi));
-        let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
-        _mm_storeu_si128(
-            dst.as_mut_ptr().add(i) as *mut __m128i,
-            _mm_xor_si128(d, prod),
-        );
-        i += 16;
+    // SAFETY: the nibble tables are 16-byte arrays, so the unaligned table
+    // loads read exactly 16 in-bounds bytes. The loop reads/writes 16-byte
+    // windows at `i < n <= len - 15`, all inside the live `src`/`dst`
+    // slices (equal length per the caller contract); unaligned load/store
+    // intrinsics impose no alignment requirement.
+    unsafe {
+        let lo_tab = _mm_loadu_si128(t.low.as_ptr() as *const __m128i);
+        let hi_tab = _mm_loadu_si128(t.high.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        while i < n {
+            let s = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            let lo = _mm_and_si128(s, mask);
+            let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tab, lo), _mm_shuffle_epi8(hi_tab, hi));
+            let d = _mm_loadu_si128(dst.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(
+                dst.as_mut_ptr().add(i) as *mut __m128i,
+                _mm_xor_si128(d, prod),
+            );
+            i += 16;
+        }
     }
     if n < src.len() {
         crate::slice::mul_add_slice_tab(t, &src[n..], &mut dst[n..]);
     }
 }
 
+/// 32-byte `vpshufb` kernel.
+///
+/// # Safety
+/// The CPU must support AVX2 (callers establish this via
+/// `is_x86_feature_detected!("avx2")`), and `src.len() == dst.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn mul_add_avx2(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
     use std::arch::x86_64::*;
-    // Broadcast the 16-entry tables into both 128-bit lanes.
-    let lo128 = _mm_loadu_si128(t.low.as_ptr() as *const __m128i);
-    let hi128 = _mm_loadu_si128(t.high.as_ptr() as *const __m128i);
-    let lo_tab = _mm256_broadcastsi128_si256(lo128);
-    let hi_tab = _mm256_broadcastsi128_si256(hi128);
-    let mask = _mm256_set1_epi8(0x0F);
     let n = src.len() / 32 * 32;
     let mut i = 0;
-    while i < n {
-        let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
-        let lo = _mm256_and_si256(s, mask);
-        let hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
-        let prod = _mm256_xor_si256(
-            _mm256_shuffle_epi8(lo_tab, lo),
-            _mm256_shuffle_epi8(hi_tab, hi),
-        );
-        let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
-        _mm256_storeu_si256(
-            dst.as_mut_ptr().add(i) as *mut __m256i,
-            _mm256_xor_si256(d, prod),
-        );
-        i += 32;
+    // SAFETY: the nibble tables are 16-byte arrays, so the unaligned table
+    // loads read exactly 16 in-bounds bytes before broadcasting. The loop
+    // reads/writes 32-byte windows at `i < n <= len - 31`, all inside the
+    // live `src`/`dst` slices (equal length per the caller contract);
+    // unaligned load/store intrinsics impose no alignment requirement.
+    unsafe {
+        // Broadcast the 16-entry tables into both 128-bit lanes.
+        let lo128 = _mm_loadu_si128(t.low.as_ptr() as *const __m128i);
+        let hi128 = _mm_loadu_si128(t.high.as_ptr() as *const __m128i);
+        let lo_tab = _mm256_broadcastsi128_si256(lo128);
+        let hi_tab = _mm256_broadcastsi128_si256(hi128);
+        let mask = _mm256_set1_epi8(0x0F);
+        while i < n {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let lo = _mm256_and_si256(s, mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_tab, lo),
+                _mm256_shuffle_epi8(hi_tab, hi),
+            );
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_xor_si256(d, prod),
+            );
+            i += 32;
+        }
     }
     if n < src.len() {
         crate::slice::mul_add_slice_tab(t, &src[n..], &mut dst[n..]);

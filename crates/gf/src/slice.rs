@@ -62,8 +62,11 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
     let (src_w, src_t) = src.split_at(n);
     let (dst_w, dst_t) = dst.split_at_mut(n);
     for (d, s) in dst_w.chunks_exact_mut(8).zip(src_w.chunks_exact(8)) {
-        let x = u64::from_ne_bytes(d[..8].try_into().unwrap())
-            ^ u64::from_ne_bytes(s[..8].try_into().unwrap());
+        let mut dw = [0u8; 8];
+        let mut sw = [0u8; 8];
+        dw.copy_from_slice(d);
+        sw.copy_from_slice(s);
+        let x = u64::from_ne_bytes(dw) ^ u64::from_ne_bytes(sw);
         d.copy_from_slice(&x.to_ne_bytes());
     }
     for (d, &s) in dst_t.iter_mut().zip(src_t) {
@@ -77,6 +80,9 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
 #[inline(always)]
 pub fn prefetch_read(ptr: *const u8) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `prefetcht0` is a pure performance hint — it cannot fault
+    // even on an invalid, unmapped, or dangling address, so any pointer
+    // value is sound here.
     unsafe {
         core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
     }

@@ -1,0 +1,4 @@
+// Fixture (never compiled): an undocumented unsafe block — R1 must fire.
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+// Fixture (never compiled): documented unsafe sites that R1 must accept.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live, non-empty slice.
+    unsafe { *p }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must point into a live allocation.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: precondition of this fn.
+    unsafe { *p }
+}

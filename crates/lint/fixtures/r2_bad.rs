@@ -1,0 +1,6 @@
+// Fixture (never compiled): unsafe in a module outside the kernel
+// whitelist — R2 must fire even though the SAFETY comment satisfies R1.
+pub fn sneaky(p: *const u8) -> u8 {
+    // SAFETY: documented, but in the wrong place.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture (never compiled): a crate root missing `#![forbid(unsafe_code)]`.
+#![deny(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,5 @@
+//! Fixture (never compiled): a compliant non-kernel crate root.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod something;

@@ -1,0 +1,15 @@
+// Fixture (never compiled): three atomic-ordering protocol violations.
+fn publish(shared: &Shared, k: &Knobs) {
+    // Knob stores must be Release.
+    shared.knobs.store(pack_knobs(k), Ordering::Relaxed);
+}
+
+fn consume(shared: &Shared) -> u64 {
+    // Knob loads must be Acquire.
+    shared.knobs.load(Ordering::Relaxed)
+}
+
+fn count(shared: &Shared) {
+    // `mystery` is not a declared stat counter.
+    shared.mystery.fetch_add(1, Ordering::Relaxed);
+}

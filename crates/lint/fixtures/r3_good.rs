@@ -1,0 +1,16 @@
+// Fixture (never compiled): the documented knob/counter protocol, plus
+// non-atomic look-alikes that must not be flagged.
+fn publish(shared: &Shared, k: &Knobs) {
+    shared.knobs.store(pack_knobs(k), Ordering::Release);
+    shared.chunks.fetch_add(1, Ordering::Relaxed);
+}
+
+fn consume(shared: &Shared) -> u64 {
+    shared.knobs.load(Ordering::Acquire)
+}
+
+fn look_alikes(v: &mut Vec<u8>, engine: &mut Engine) {
+    // No `Ordering::` argument: not atomic calls, out of R3's scope.
+    v.swap(0, 1);
+    engine.load(0x1000);
+}

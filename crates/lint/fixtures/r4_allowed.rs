@@ -1,0 +1,5 @@
+// Fixture (never compiled): a justified, per-site suppression.
+pub fn build() -> Worker {
+    // lint:allow(panic-path): spawn failure at construction is unrecoverable.
+    std::thread::Builder::new().spawn(run).expect("spawn worker")
+}

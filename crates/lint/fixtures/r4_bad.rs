@@ -1,0 +1,9 @@
+// Fixture (never compiled): panic paths in library code.
+pub fn decode(shards: &[Option<Vec<u8>>]) -> usize {
+    let first = shards[0].as_ref().unwrap();
+    let second = shards.get(1).expect("second shard");
+    if first.len() != second.as_ref().map_or(0, |s| s.len()) {
+        panic!("length mismatch");
+    }
+    first.len()
+}

@@ -1,0 +1,7 @@
+// Fixture (never compiled): safe `.add(…)` method calls (checked integer
+// helpers, builder APIs) outside any unsafe region are not raw-pointer
+// arithmetic and must not trip R5.
+pub fn accumulate(b: &mut CounterBlock, inc: &CounterBlock, x: u64) -> u64 {
+    b.add(inc);
+    x.checked_add(1).unwrap_or(0)
+}

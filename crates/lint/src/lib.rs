@@ -1,0 +1,138 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `dialga-lint` — in-tree static safety analyzer for the DIALGA workspace.
+//!
+//! DIALGA's performance rests on a small, deliberate unsafe surface: the
+//! raw-span chunk handoff in the persistent pool (`core/src/pool.rs`), the
+//! AVX2/SSSE3 GF kernels (`gf/src/simd.rs`) and the prefetch hint
+//! (`gf/src/slice.rs`). PR 2 proved that surface bites when its invariants
+//! are conventions rather than checked facts (a truncated survivor shard
+//! reached the unsafe kernel). This crate machine-checks the conventions.
+//! It is std-only and offline: a lexer-grade scanner ([`scan`]) plus a
+//! rule engine ([`rules`]), run as a hard-failing stage of
+//! `scripts/lint.sh` (tier-1.5).
+//!
+//! ## Rules
+//!
+//! | id | key | checks |
+//! |----|-----|--------|
+//! | R1 | `safety-comment` | every `unsafe` block/fn/impl has a `SAFETY:` comment within 10 lines |
+//! | R2 | `unsafe-confine` | `unsafe` only in whitelisted kernel modules; other crate roots `#![forbid(unsafe_code)]`, kernel crates `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | R3 | `atomic-order` | packed knob word: `store(Release)` / `load(Acquire)` only; `Relaxed` only on declared stat counters |
+//! | R4 | `panic-path` | no `unwrap()`/`expect()`/`panic!` on library paths of `core`, `ec`, `gf`, `pipeline` (tests/benches/bins exempt) |
+//! | R5 | `raw-ptr` | raw-pointer arithmetic and `from_raw_parts` only in whitelisted kernel modules |
+//!
+//! Per-site suppressions use `// lint:allow(<key>): <justification>` on the
+//! finding's line or the line above; the justification lives in the source
+//! next to the site it licenses.
+//!
+//! ## Known lexical limits
+//!
+//! The scanner is comment- and string-exact but does not parse. Receiver
+//! resolution for R3 is the identifier before `.op(`, so rebinding an
+//! atomic field to a differently-named local escapes the check; R1 accepts
+//! any comment containing "safety" in its window. The live-workspace
+//! integration test (`tests/workspace_clean.rs`) pins the conventions that
+//! keep these approximations sound.
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_source, Config, Finding, Rule};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, VCS, the linter's own
+/// deliberately-dirty rule fixtures).
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+const SKIP_PREFIXES: &[&str] = &["crates/lint/fixtures"];
+
+/// The workspace policy for this repository: whitelists, crate-root
+/// attribute obligations, panic-free library paths, and the declared
+/// atomic fields of the pool's knob/stat protocol.
+pub fn workspace_config() -> Config {
+    let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect();
+    Config {
+        unsafe_whitelist: s(&[
+            "crates/core/src/pool.rs",
+            "crates/gf/src/simd.rs",
+            "crates/gf/src/slice.rs",
+        ]),
+        forbid_roots: s(&[
+            "crates/ec/src/lib.rs",
+            "crates/memsim/src/lib.rs",
+            "crates/pipeline/src/lib.rs",
+            "crates/testkit/src/lib.rs",
+            "crates/bench/src/lib.rs",
+            "crates/lint/src/lib.rs",
+            "src/lib.rs",
+        ]),
+        deny_unsafe_op_roots: s(&["crates/core/src/lib.rs", "crates/gf/src/lib.rs"]),
+        panic_free_prefixes: s(&[
+            "crates/core/src/",
+            "crates/ec/src/",
+            "crates/gf/src/",
+            "crates/pipeline/src/",
+        ]),
+        knob_fields: s(&["knobs"]),
+        counter_fields: s(&[
+            // `PoolCounters` stats plus the round-robin dispatch cursor —
+            // monotone counters with no cross-field consistency contract.
+            "loads",
+            "busy_ns",
+            "chunks",
+            "stripes",
+            "dispatches",
+            "knob_switches",
+            "policy_changes",
+            "next_worker",
+        ]),
+    }
+}
+
+/// Scan every `.rs` file under `root` (skipping build output and rule
+/// fixtures) and return all findings plus the number of files checked.
+pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(check_source(&rel.replace('\\', "/"), &source, cfg));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok((findings, files.len()))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") && !SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Default workspace root when running via `cargo run -p dialga-lint`:
+/// two levels above this crate's manifest.
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

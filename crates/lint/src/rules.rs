@@ -1,0 +1,453 @@
+//! The rule engine: R1–R5 over a scanned source file, with per-rule inline
+//! allow directives.
+//!
+//! Every rule reports `file:line`, a rule id and a rationale. A finding may
+//! be suppressed at a specific site with a justification comment on the
+//! same line or the line above:
+//!
+//! ```text
+//! // lint:allow(panic-path): spawn failure at pool construction is
+//! // unrecoverable; callers build pools at startup.
+//! ```
+//!
+//! The directive names the rule key (`safety-comment`, `unsafe-confine`,
+//! `atomic-order`, `panic-path`, `raw-ptr`), never a blanket "allow all" —
+//! suppressions stay per-rule and per-site, and the justification text
+//! travels with the site in the source.
+
+use crate::scan::{scan, Scanned, TokKind};
+
+/// How many lines above an `unsafe` keyword a `SAFETY:` comment may sit
+/// (R1). Large enough for a multi-line invariant, small enough that a
+/// comment cannot accidentally license a distant site.
+pub const SAFETY_WINDOW: u32 = 10;
+
+/// The rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: every `unsafe` block/fn/impl carries a `SAFETY:` comment.
+    SafetyComment,
+    /// R2: `unsafe` confined to whitelisted kernel modules; other crate
+    /// roots carry `#![forbid(unsafe_code)]` (whitelisted crates carry
+    /// `#![deny(unsafe_op_in_unsafe_fn)]`).
+    UnsafeConfine,
+    /// R3: knob-word stores are `Release`, loads are `Acquire`; `Relaxed`
+    /// only on declared stat counters.
+    AtomicOrder,
+    /// R4: no `unwrap()`/`expect()`/`panic!` on library code paths.
+    PanicPath,
+    /// R5: raw-pointer arithmetic only inside whitelisted kernel modules.
+    RawPtr,
+}
+
+impl Rule {
+    /// Display id, e.g. `R3 atomic-order`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "R1 safety-comment",
+            Rule::UnsafeConfine => "R2 unsafe-confine",
+            Rule::AtomicOrder => "R3 atomic-order",
+            Rule::PanicPath => "R4 panic-path",
+            Rule::RawPtr => "R5 raw-ptr",
+        }
+    }
+
+    /// Key used by `lint:allow(<key>)` directives.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "safety-comment",
+            Rule::UnsafeConfine => "unsafe-confine",
+            Rule::AtomicOrder => "atomic-order",
+            Rule::PanicPath => "panic-path",
+            Rule::RawPtr => "raw-ptr",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Rationale for this site.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Workspace policy the rules check against. Paths are workspace-relative
+/// with forward slashes.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files allowed to contain `unsafe` and raw-pointer arithmetic (R2,
+    /// R5): the kernel modules whose unsafety is the point.
+    pub unsafe_whitelist: Vec<String>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]` (R2).
+    pub forbid_roots: Vec<String>,
+    /// Crate roots that must carry `#![deny(unsafe_op_in_unsafe_fn)]`
+    /// (R2) — the crates hosting whitelisted kernel modules.
+    pub deny_unsafe_op_roots: Vec<String>,
+    /// Path prefixes whose library code must be panic-free (R4). Tests,
+    /// benches, examples and bins are exempt by construction: only `src/`
+    /// library paths are listed, and `#[cfg(test)]` items are skipped.
+    pub panic_free_prefixes: Vec<String>,
+    /// Atomic fields holding published policy (the packed knob word):
+    /// stores must be `Release`, loads `Acquire` (R3).
+    pub knob_fields: Vec<String>,
+    /// Atomic fields that are plain stat counters, where `Relaxed` is the
+    /// documented protocol (R3).
+    pub counter_fields: Vec<String>,
+}
+
+/// Atomic methods whose call sites R3 inspects. A call only counts as
+/// atomic if an `Ordering::` token appears among its arguments, which
+/// keeps `Vec::swap`, simulator `load` methods etc. out of scope.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Pointer-arithmetic methods R5 looks for inside unsafe regions.
+const PTR_ARITH: &[&str] = &[
+    "add",
+    "sub",
+    "offset",
+    "byte_add",
+    "byte_sub",
+    "byte_offset",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_offset",
+];
+
+/// Panic macros R4 rejects on library paths.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+// Paths are workspace-relative on both sides, so matching is exact — a
+// suffix match would let the facade root `src/lib.rs` claim every crate's
+// `lib.rs`.
+fn matches_path(path: &str, entry: &str) -> bool {
+    path == entry
+}
+
+fn in_any_region(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Run all rules over one source file. `path` must be workspace-relative
+/// with forward slashes; it selects which rules apply.
+pub fn check_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let s = scan(source);
+    let mut findings = Vec::new();
+    let whitelisted = cfg.unsafe_whitelist.iter().any(|w| matches_path(path, w));
+    let test_regions = s.cfg_test_regions();
+    let unsafe_regions = s.unsafe_regions();
+
+    rule_safety_comment(path, &s, &mut findings);
+    rule_unsafe_confine(path, &s, cfg, whitelisted, &mut findings);
+    rule_atomic_order(path, &s, cfg, &mut findings);
+    rule_panic_path(path, &s, cfg, &test_regions, &mut findings);
+    rule_raw_ptr(path, &s, whitelisted, &unsafe_regions, &mut findings);
+
+    apply_allow_directives(&s, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// R1: every `unsafe` keyword needs a comment containing `SAFETY` (case
+/// insensitive, so `# Safety` doc sections on `unsafe fn` count) ending
+/// within [`SAFETY_WINDOW`] lines above the keyword, or on its line.
+fn rule_safety_comment(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    for site in s.unsafe_sites() {
+        let line = s.tokens[site].line;
+        let documented = s.comments.iter().any(|c| {
+            c.end_line <= line
+                && c.end_line + SAFETY_WINDOW >= line
+                && c.text.to_ascii_lowercase().contains("safety")
+        });
+        if !documented {
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: Rule::SafetyComment,
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within the preceding \
+                     {SAFETY_WINDOW} lines — state the invariant (alignment, length, \
+                     liveness, CPU feature) that makes this sound"
+                ),
+            });
+        }
+    }
+}
+
+/// R2: `unsafe` keywords outside the whitelist, and missing crate-root
+/// attributes (`forbid(unsafe_code)` resp. `deny(unsafe_op_in_unsafe_fn)`).
+fn rule_unsafe_confine(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    whitelisted: bool,
+    out: &mut Vec<Finding>,
+) {
+    if !whitelisted {
+        for site in s.unsafe_sites() {
+            out.push(Finding {
+                path: path.to_string(),
+                line: s.tokens[site].line,
+                rule: Rule::UnsafeConfine,
+                message: format!(
+                    "`unsafe` outside the kernel whitelist ({}) — move the unsafety \
+                     into a whitelisted kernel module or make this safe",
+                    cfg.unsafe_whitelist.join(", ")
+                ),
+            });
+        }
+    }
+    if cfg.forbid_roots.iter().any(|r| matches_path(path, r))
+        && !s.has_attr_call("forbid", "unsafe_code")
+    {
+        out.push(Finding {
+            path: path.to_string(),
+            line: 1,
+            rule: Rule::UnsafeConfine,
+            message: "crate root must carry `#![forbid(unsafe_code)]` — this crate is \
+                      outside the unsafe kernel whitelist"
+                .to_string(),
+        });
+    }
+    if cfg
+        .deny_unsafe_op_roots
+        .iter()
+        .any(|r| matches_path(path, r))
+        && !s.has_attr_call("deny", "unsafe_op_in_unsafe_fn")
+    {
+        out.push(Finding {
+            path: path.to_string(),
+            line: 1,
+            rule: Rule::UnsafeConfine,
+            message: "crate root must carry `#![deny(unsafe_op_in_unsafe_fn)]` — every \
+                      unsafe operation inside its kernels needs its own block and \
+                      SAFETY comment"
+                .to_string(),
+        });
+    }
+}
+
+/// R3: knob-word protocol (`store` = Release, `load` = Acquire, nothing
+/// else), and `Relaxed` only on declared stat counters.
+///
+/// Lexer-grade receiver resolution: the identifier immediately before the
+/// `.op(` call. Rebinding an atomic to a local with a different name
+/// escapes the check; the workspace convention is to access the fields
+/// directly, which the live-workspace integration test keeps true.
+fn rule_atomic_order(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Finding>) {
+    for i in 0..s.tokens.len() {
+        let Some(op) = s.ident(i) else { continue };
+        if !ATOMIC_OPS.contains(&op) {
+            continue;
+        }
+        if i < 2 || !s.is_punct(i - 1, '.') || !s.is_punct(i + 1, '(') {
+            continue;
+        }
+        let Some(recv) = s.ident(i - 2) else { continue };
+        let recv = recv.to_string();
+        let op = op.to_string();
+        // Collect `Ordering::X` arguments up to the matching ')'.
+        let mut orderings: Vec<String> = Vec::new();
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < s.tokens.len() {
+            match &s.tokens[j].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(t)
+                    if t == "Ordering" && s.is_punct(j + 1, ':') && s.is_punct(j + 2, ':') =>
+                {
+                    if let Some(ord) = s.ident(j + 3) {
+                        orderings.push(ord.to_string());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if orderings.is_empty() {
+            continue; // not an atomic call (no explicit Ordering argument)
+        }
+        let line = s.tokens[i].line;
+        if cfg.knob_fields.contains(&recv) {
+            let ok = match op.as_str() {
+                "store" => orderings.iter().all(|o| o == "Release"),
+                "load" => orderings.iter().all(|o| o == "Acquire"),
+                _ => false,
+            };
+            if !ok {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line,
+                    rule: Rule::AtomicOrder,
+                    message: format!(
+                        "knob word `{recv}` must be published with `store(…, Release)` \
+                         and consumed with `load(Acquire)`; `{op}({})` breaks the \
+                         coordinator→worker protocol",
+                        orderings.join(", ")
+                    ),
+                });
+            }
+        } else {
+            for ord in &orderings {
+                if ord == "Relaxed" && !cfg.counter_fields.contains(&recv) {
+                    out.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule: Rule::AtomicOrder,
+                        message: format!(
+                            "`Ordering::Relaxed` on `{recv}`, which is not a declared \
+                             stat counter — declare it in the lint config or use the \
+                             Release/Acquire protocol"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// R4: `unwrap()`, `expect()` and panic macros on library code paths.
+fn rule_panic_path(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    test_regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .panic_free_prefixes
+        .iter()
+        .any(|p| path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for i in 0..s.tokens.len() {
+        let Some(id) = s.ident(i) else { continue };
+        let line = s.tokens[i].line;
+        if in_any_region(line, test_regions) {
+            continue;
+        }
+        let what = if (id == "unwrap" || id == "expect")
+            && i >= 1
+            && s.is_punct(i - 1, '.')
+            && s.is_punct(i + 1, '(')
+        {
+            format!("`.{id}()`")
+        } else if PANIC_MACROS.contains(&id) && s.is_punct(i + 1, '!') {
+            format!("`{id}!`")
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            path: path.to_string(),
+            line,
+            rule: Rule::PanicPath,
+            message: format!(
+                "{what} on a library code path — return an `EcError` (e.g. \
+                 `EcError::Internal`) instead, or justify with \
+                 `// lint:allow(panic-path): <why>`"
+            ),
+        });
+    }
+}
+
+/// R5: raw-pointer arithmetic (`.add(`, `.offset(`, … inside unsafe
+/// regions) and `from_raw_parts{,_mut}` anywhere, outside the whitelist.
+fn rule_raw_ptr(
+    path: &str,
+    s: &Scanned,
+    whitelisted: bool,
+    unsafe_regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if whitelisted {
+        return;
+    }
+    for i in 0..s.tokens.len() {
+        let Some(id) = s.ident(i) else { continue };
+        let line = s.tokens[i].line;
+        let what = if id == "from_raw_parts" || id == "from_raw_parts_mut" {
+            format!("`{id}`")
+        } else if PTR_ARITH.contains(&id)
+            && i >= 1
+            && s.is_punct(i - 1, '.')
+            && s.is_punct(i + 1, '(')
+            && in_any_region(line, unsafe_regions)
+        {
+            format!("raw-pointer `.{id}(` arithmetic")
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            path: path.to_string(),
+            line,
+            rule: Rule::RawPtr,
+            message: format!(
+                "{what} outside the kernel whitelist — raw-slice surgery belongs in \
+                 the whitelisted kernel modules where its invariants are checked"
+            ),
+        });
+    }
+}
+
+/// Drop findings covered by a `lint:allow(<rule-key>)` directive in a
+/// comment on the finding's line or the line above.
+fn apply_allow_directives(s: &Scanned, findings: &mut Vec<Finding>) {
+    let mut allows: Vec<(u32, String)> = Vec::new();
+    for c in &s.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                allows.push((c.end_line, rest[..end].trim().to_string()));
+                rest = &rest[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    findings.retain(|f| {
+        !allows
+            .iter()
+            .any(|(line, key)| key == f.rule.key() && (f.line == *line || f.line == *line + 1))
+    });
+}

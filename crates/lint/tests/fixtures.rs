@@ -1,0 +1,136 @@
+//! Fixture-based self-tests: every rule must fire on its bad fixture and
+//! stay silent on its good one. Fixtures live in `fixtures/` (excluded
+//! from the live-workspace scan and never compiled); each is checked under
+//! a *virtual* workspace path so the path-scoped rules (whitelists, crate
+//! roots, panic-free prefixes) exercise exactly the policy the real
+//! workspace runs under.
+
+use dialga_lint::{check_source, workspace_config, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn findings_for(virtual_path: &str, name: &str) -> Vec<dialga_lint::Finding> {
+    check_source(virtual_path, &fixture(name), &workspace_config())
+}
+
+fn rules_fired(virtual_path: &str, name: &str) -> Vec<Rule> {
+    findings_for(virtual_path, name)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// Virtual paths: one inside the unsafe whitelist, one ordinary library
+// module in each scoped crate.
+const KERNEL: &str = "crates/core/src/pool.rs";
+const LIB_EC: &str = "crates/ec/src/fixture.rs";
+
+#[test]
+fn r1_fires_on_undocumented_unsafe() {
+    let fired = rules_fired(KERNEL, "r1_bad.rs");
+    assert!(fired.contains(&Rule::SafetyComment), "{fired:?}");
+}
+
+#[test]
+fn r1_accepts_documented_unsafe() {
+    let fired = rules_fired(KERNEL, "r1_good.rs");
+    assert!(!fired.contains(&Rule::SafetyComment), "{fired:?}");
+}
+
+#[test]
+fn r2_fires_on_unsafe_outside_whitelist() {
+    let fired = rules_fired("crates/memsim/src/engine.rs", "r2_bad.rs");
+    assert!(fired.contains(&Rule::UnsafeConfine), "{fired:?}");
+    // The same content inside the whitelist is R2-clean.
+    let fired = rules_fired(KERNEL, "r2_bad.rs");
+    assert!(!fired.contains(&Rule::UnsafeConfine), "{fired:?}");
+}
+
+#[test]
+fn r2_fires_on_crate_root_missing_forbid() {
+    let fired = rules_fired("crates/ec/src/lib.rs", "r2_root_bad.rs");
+    assert!(fired.contains(&Rule::UnsafeConfine), "{fired:?}");
+    let fired = rules_fired("crates/ec/src/lib.rs", "r2_root_good.rs");
+    assert!(!fired.contains(&Rule::UnsafeConfine), "{fired:?}");
+    // Kernel crate roots need deny(unsafe_op_in_unsafe_fn) instead; the
+    // good fixture lacks it, so it must fail *there*.
+    let fired = rules_fired("crates/gf/src/lib.rs", "r2_root_good.rs");
+    assert!(fired.contains(&Rule::UnsafeConfine), "{fired:?}");
+}
+
+#[test]
+fn r3_fires_on_protocol_violations() {
+    let findings = findings_for(LIB_EC, "r3_bad.rs");
+    let r3: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::AtomicOrder)
+        .collect();
+    assert_eq!(r3.len(), 3, "{findings:?}");
+    assert!(r3[0].message.contains("Release"), "{}", r3[0].message);
+    assert!(r3[1].message.contains("Acquire"), "{}", r3[1].message);
+    assert!(r3[2].message.contains("mystery"), "{}", r3[2].message);
+}
+
+#[test]
+fn r3_accepts_protocol_and_ignores_non_atomic_lookalikes() {
+    let fired = rules_fired(LIB_EC, "r3_good.rs");
+    assert!(!fired.contains(&Rule::AtomicOrder), "{fired:?}");
+}
+
+#[test]
+fn r4_fires_on_library_panic_paths() {
+    let findings = findings_for(LIB_EC, "r4_bad.rs");
+    let r4 = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicPath)
+        .count();
+    assert_eq!(r4, 3, "unwrap + expect + panic!: {findings:?}");
+    // The same file outside the panic-free prefixes is exempt (benches,
+    // bins, non-library crates).
+    let fired = rules_fired("crates/bench/src/bin/fig03.rs", "r4_bad.rs");
+    assert!(!fired.contains(&Rule::PanicPath), "{fired:?}");
+}
+
+#[test]
+fn r4_exempts_tests_strings_comments_and_unwrap_or_else() {
+    let fired = rules_fired(LIB_EC, "r4_good.rs");
+    assert!(!fired.contains(&Rule::PanicPath), "{fired:?}");
+}
+
+#[test]
+fn r4_respects_per_site_allow_directive() {
+    let fired = rules_fired(LIB_EC, "r4_allowed.rs");
+    assert!(!fired.contains(&Rule::PanicPath), "{fired:?}");
+}
+
+#[test]
+fn r5_fires_on_raw_pointer_surgery_outside_whitelist() {
+    let findings = findings_for(LIB_EC, "r5_bad.rs");
+    let r5 = findings.iter().filter(|f| f.rule == Rule::RawPtr).count();
+    assert_eq!(r5, 2, ".add + from_raw_parts: {findings:?}");
+    // Inside the whitelist the same content is R5-clean.
+    let fired = rules_fired(KERNEL, "r5_bad.rs");
+    assert!(!fired.contains(&Rule::RawPtr), "{fired:?}");
+}
+
+#[test]
+fn r5_ignores_safe_add_methods() {
+    let fired = rules_fired(LIB_EC, "r5_good.rs");
+    assert!(!fired.contains(&Rule::RawPtr), "{fired:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_line_rule_and_rationale() {
+    let findings = findings_for(LIB_EC, "r4_bad.rs");
+    let first = &findings[0];
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/ec/src/fixture.rs:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("[R4 panic-path]"), "{rendered}");
+    assert!(rendered.contains("EcError"), "{rendered}");
+}

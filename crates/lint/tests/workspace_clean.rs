@@ -1,0 +1,45 @@
+//! Integration test: the live workspace is clean under rules R1–R5.
+//!
+//! This is the same scan `scripts/lint.sh` runs as the tier-1.5 gate, so a
+//! regression that introduces a bare `unsafe`, a knob-word ordering
+//! violation or a library panic fails `cargo test` too — the gate cannot
+//! be forgotten even if the lint script is skipped.
+
+#[test]
+fn live_workspace_is_clean_under_all_rules() {
+    let root = dialga_lint::default_root();
+    let cfg = dialga_lint::workspace_config();
+    let (findings, files) =
+        dialga_lint::check_workspace(&root, &cfg).expect("scan workspace sources");
+    assert!(
+        files > 50,
+        "suspiciously few files scanned ({files}) — wrong root {}?",
+        root.display()
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_config_names_existing_files() {
+    // Guard against the whitelist drifting away from reality (a renamed
+    // kernel module must be re-pinned here deliberately).
+    let root = dialga_lint::default_root();
+    let cfg = dialga_lint::workspace_config();
+    for p in cfg
+        .unsafe_whitelist
+        .iter()
+        .chain(&cfg.forbid_roots)
+        .chain(&cfg.deny_unsafe_op_roots)
+    {
+        assert!(root.join(p).is_file(), "lint config names missing file {p}");
+    }
+}

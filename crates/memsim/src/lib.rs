@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! Trace-driven simulator of a PM-equipped server memory system.
 //!

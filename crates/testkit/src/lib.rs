@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! Dependency-free deterministic randomness and a miniature property-test
 //! harness.

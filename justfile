@@ -5,9 +5,13 @@
 test:
     cargo build --release && cargo test -q --workspace
 
-# Formatting + clippy, hard-failing (tier-1.5 verify)
+# Formatting + clippy + dialga-lint, hard-failing (tier-1.5 verify)
 lint:
     sh scripts/lint.sh
+
+# Self-tests of the in-tree static analyzer (fixtures + live-workspace scan)
+lint-fixtures:
+    cargo test -q -p dialga-lint
 
 # Figure tables (see crates/bench/src/bin)
 figures:

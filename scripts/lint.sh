@@ -11,4 +11,7 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== dialga-lint (unsafe surface, atomic ordering, panic paths) =="
+cargo run -q -p dialga-lint
+
 echo "lint OK"

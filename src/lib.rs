@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! Facade crate for the DIALGA reproduction workspace.
 //!
