@@ -1,0 +1,209 @@
+//! Kernel-fusion ablation (PR 4): fused multi-output GF dot-product vs the
+//! per-row baseline DIALGA shipped before fusion.
+//!
+//! Both arms compute the same Reed-Solomon parity math over identical
+//! tables and issue the same Fig. 9 software-prefetch stream:
+//!
+//! * **per-row** — one pass over all `k` sources *per parity row*
+//!   (`m` passes total), calling `mul_add_slice_simd` once per
+//!   (row, source, cacheline) like the pre-fusion `apply_tables`, with
+//!   the prefetch-pointer array materialized via `build_prefetch_ptrs`.
+//! * **fused** — a single pass over the sources accumulating into up to
+//!   `FUSED_GROUP` register-resident rows (`dot_prod_fused`), prefetch
+//!   targets computed arithmetically inside the row loop.
+//!
+//! Sweeps k ∈ {4, 6, 10} × m ∈ {2, 3, 4} × block ∈ 4 KiB..1 MiB.
+//! `--smoke` runs a two-config subset as a lint-stage sanity gate;
+//! `--json <path>` writes the full results as a JSON artifact
+//! (`BENCH_PR4.json` in CI parlance).
+
+use dialga::operator::build_prefetch_ptrs;
+use dialga_bench::harness;
+use dialga_gf::sched::FusedSched;
+use dialga_gf::simd::{detected_kernel, dot_prod_fused, mul_add_slice_simd};
+use dialga_gf::slice::prefetch_read;
+use dialga_gf::tables::NibbleTables;
+
+const CACHELINE: usize = 64;
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Deterministic non-trivial coefficient table set: `m` rows × `k` cols.
+fn make_tables(k: usize, m: usize) -> Vec<NibbleTables> {
+    (0..m * k)
+        .map(|i| NibbleTables::new(((i * 83 + 7) % 255 + 1) as u8))
+        .collect()
+}
+
+/// The pre-fusion encode shape: each parity row re-streams every source.
+/// Prefetches are issued on the first row only, mirroring the fused
+/// kernel's single prefetch stream per source pass.
+fn per_row_encode(tables: &[NibbleTables], sources: &[&[u8]], outputs: &mut [Vec<u8>], d: u32) {
+    let k = sources.len();
+    let len = sources.first().map_or(0, |s| s.len());
+    let rows = (len / CACHELINE) as u64;
+    for (p, out) in outputs.iter_mut().enumerate() {
+        out.fill(0);
+        for vr in 0..rows {
+            let base = vr as usize * CACHELINE;
+            let ptrs = if p == 0 {
+                build_prefetch_ptrs(vr, k, rows, d, false)
+            } else {
+                Vec::new()
+            };
+            for (j, src) in sources.iter().enumerate() {
+                if let Some(Some(ptr)) = ptrs.get(j) {
+                    prefetch_read(sources[ptr.block][ptr.row as usize * CACHELINE..].as_ptr());
+                }
+                mul_add_slice_simd(
+                    &tables[p * k + j],
+                    &src[base..base + CACHELINE],
+                    &mut out[base..base + CACHELINE],
+                );
+            }
+        }
+        let tail = rows as usize * CACHELINE;
+        for (j, src) in sources.iter().enumerate() {
+            mul_add_slice_simd(&tables[p * k + j], &src[tail..], &mut out[tail..]);
+        }
+    }
+}
+
+fn fused_encode(tables: &[NibbleTables], sources: &[&[u8]], outputs: &mut [Vec<u8>], d: u32) {
+    let mut refs: Vec<&mut [u8]> = outputs.iter_mut().map(|o| o.as_mut_slice()).collect();
+    dot_prod_fused(tables, sources, &mut refs, FusedSched::distance(d));
+}
+
+struct Row {
+    k: usize,
+    m: usize,
+    block: usize,
+    per_row_gibs: f64,
+    fused_gibs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.fused_gibs / self.per_row_gibs
+    }
+}
+
+fn run_config(k: usize, m: usize, block: usize) -> Row {
+    let tables = make_tables(k, m);
+    let d = k as u32;
+    let srcs: Vec<Vec<u8>> = (0..k)
+        .map(|b| {
+            (0..block)
+                .map(|i| ((b * 131 + i * 29) & 0xFF) as u8)
+                .collect()
+        })
+        .collect();
+    let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut out_a: Vec<Vec<u8>> = vec![vec![0u8; block]; m];
+    let mut out_b: Vec<Vec<u8>> = vec![vec![0u8; block]; m];
+
+    // Correctness gate: the two arms must agree bit-for-bit before any
+    // throughput number is reported.
+    per_row_encode(&tables, &src_refs, &mut out_a, d);
+    fused_encode(&tables, &src_refs, &mut out_b, d);
+    assert_eq!(
+        out_a, out_b,
+        "fused/per-row mismatch at k={k} m={m} block={block}"
+    );
+
+    let mut g = harness::group(&format!("k{k}_m{m}_{}KiB", block / 1024));
+    g.throughput_bytes((k * block) as u64);
+    g.bench("per_row", || {
+        per_row_encode(&tables, &src_refs, &mut out_a, d)
+    });
+    g.bench("fused", || fused_encode(&tables, &src_refs, &mut out_b, d));
+    let gibs = |i: usize| {
+        let meas: &harness::Measurement = &g.results[i];
+        // throughput_gbs() is bytes/ns == GB/s; rescale to GiB/s.
+        meas.throughput_gbs().unwrap_or(0.0) * 1e9 / GIB
+    };
+    Row {
+        k,
+        m,
+        block,
+        per_row_gibs: gibs(0),
+        fused_gibs: gibs(1),
+    }
+}
+
+fn emit_json(path: &str, rows: &[Row]) {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"kernel_fusion\",\n");
+    s.push_str(&format!("  \"kernel\": \"{:?}\",\n", detected_kernel()));
+    s.push_str("  \"unit\": \"GiB/s\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"k\": {}, \"m\": {}, \"block_bytes\": {}, \"per_row_gibs\": {:.3}, \"fused_gibs\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.k,
+            r.m,
+            r.block,
+            r.per_row_gibs,
+            r.fused_gibs,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write json artifact");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let configs: Vec<(usize, usize, usize)> = if smoke {
+        // Fast sanity pass for the lint pipeline: one small and one
+        // group-boundary config, correctness asserts included.
+        vec![(4, 2, 16 * 1024), (10, 4, 64 * 1024)]
+    } else {
+        let mut v = Vec::new();
+        for &k in &[4usize, 6, 10] {
+            for &m in &[2usize, 3, 4] {
+                for &block in &[4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024] {
+                    v.push((k, m, block));
+                }
+            }
+        }
+        v
+    };
+
+    println!(
+        "kernel_fusion ablation (detected kernel: {:?})",
+        detected_kernel()
+    );
+    let rows: Vec<Row> = configs
+        .iter()
+        .map(|&(k, m, b)| run_config(k, m, b))
+        .collect();
+
+    println!();
+    println!(
+        "{:<6} {:<4} {:>10} {:>14} {:>12} {:>9}",
+        "k", "m", "block", "per_row GiB/s", "fused GiB/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:<4} {:>10} {:>14.2} {:>12.2} {:>8.2}x",
+            r.k,
+            r.m,
+            r.block,
+            r.per_row_gibs,
+            r.fused_gibs,
+            r.speedup()
+        );
+    }
+
+    if let Some(path) = json {
+        emit_json(&path, &rows);
+    }
+}

@@ -1,17 +1,19 @@
 //! Functional DIALGA encoder/decoder on real bytes.
 //!
-//! Bit-exact with `dialga-ec`'s Reed–Solomon, but organized the way the
-//! paper's kernels are: row-major across the k source blocks (64 B per
-//! block per step), with the Fig. 9 prefetch-pointer pipeline emitting real
-//! `prefetcht0` hints, optional shuffle-mapped row order, and tail rows
-//! reverting to the standard kernel. On non-PM hardware these mechanisms
-//! are performance-neutral; their *correctness* (identical output under
-//! any d/shuffle combination) is what the tests pin down.
+//! Bit-exact with `dialga-ec`'s Reed–Solomon, organized the way the
+//! paper's kernels are: the fused multi-output dot product
+//! ([`dialga_gf::simd::dot_prod_fused`]) loads each 64 B source line once
+//! and accumulates it into up to `FUSED_GROUP` register-resident parity
+//! rows, with the Fig. 9 prefetch-pointer pipeline emitting real
+//! `prefetcht0` hints, the §4.3 long/short distance split, optional
+//! shuffle-mapped row order, and tail bytes reverting to the standard
+//! kernel. On non-PM hardware these mechanisms are performance-neutral;
+//! their *correctness* (identical output under any schedule) is what the
+//! tests pin down.
 
-use crate::operator::build_prefetch_ptrs;
 use dialga_ec::{CodeParams, EcError, ReedSolomon};
-use dialga_gf::simd::mul_add_slice_simd;
-use dialga_gf::slice::prefetch_read;
+use dialga_gf::sched::FusedSched;
+use dialga_gf::simd::dot_prod_fused;
 use dialga_gf::tables::NibbleTables;
 use dialga_gf::Gf8;
 
@@ -21,67 +23,33 @@ pub struct DialgaOptions {
     /// Software prefetch distance in row-major cacheline steps
     /// (default: k, the paper's initial value).
     pub prefetch_distance: Option<u32>,
+    /// §4.3 longer distance for XPLine-first cachelines (the paper's
+    /// `bf_first_distance`, initial value k+4). Only applied when
+    /// prefetching is active and `shuffle` is off.
+    pub bf_first_distance: Option<u32>,
     /// Apply the static shuffle mapping to the row order.
     pub shuffle: bool,
 }
 
 /// Row-pipelined multiply-accumulate: `outputs[i] = sum_j T[i][j] src[j]`
-/// walking 64 B rows across all sources, prefetching `d` steps ahead.
+/// via the fused multi-output kernel — every 64 B source line is loaded
+/// once per register-blocked output group, prefetched `sched.d` steps
+/// ahead (long/short split per `sched.d_long`).
 ///
 /// This is the one kernel every DIALGA path (encode, decode, repair —
 /// serial or pool-chunked) bottoms out in; `tables` is row-major,
-/// `outputs.len() x sources.len()`. Scheduling (`d`, `shuffle`) never
-/// changes the bytes produced.
+/// `outputs.len() x sources.len()`. Scheduling never changes the bytes
+/// produced.
 pub(crate) fn apply_tables(
     tables: &[NibbleTables],
     sources: &[&[u8]],
     outputs: &mut [&mut [u8]],
-    d: u32,
-    shuffle: bool,
+    sched: FusedSched,
 ) {
-    let k = sources.len();
-    let n_out = outputs.len();
-    if k == 0 || n_out == 0 {
+    if outputs.is_empty() {
         return;
     }
-    let len = sources[0].len();
-    for o in outputs.iter_mut() {
-        o.fill(0);
-    }
-    let rows = (len / 64) as u64;
-
-    for vr in 0..rows {
-        let row = if shuffle {
-            dialga_pipeline::isal::shuffle_row(vr, rows)
-        } else {
-            vr
-        } as usize;
-        // Fig. 9: issue the row's prefetches before touching its data.
-        for ptr in build_prefetch_ptrs(vr, k, rows, d, shuffle)
-            .into_iter()
-            .flatten()
-        {
-            prefetch_read(sources[ptr.block][(ptr.row as usize) * 64..].as_ptr());
-        }
-        let off = row * 64;
-        for (i, out) in outputs.iter_mut().enumerate() {
-            let dst = &mut out[off..off + 64];
-            for (j, src) in sources.iter().enumerate() {
-                mul_add_slice_simd(&tables[i * k + j], &src[off..off + 64], dst);
-            }
-        }
-    }
-
-    // Tail: partial final row handled by the standard kernel.
-    let tail = (rows as usize) * 64;
-    if tail < len {
-        for (i, out) in outputs.iter_mut().enumerate() {
-            let dst = &mut out[tail..];
-            for (j, src) in sources.iter().enumerate() {
-                mul_add_slice_simd(&tables[i * k + j], &src[tail..], dst);
-            }
-        }
-    }
+    dot_prod_fused(tables, sources, outputs, sched);
 }
 
 /// Check that `sources`/`outputs` agree with the table geometry and with
@@ -195,7 +163,16 @@ impl DecodePlan {
             survivors,
             outputs,
         )?;
-        apply_tables(&self.data_tables, survivors, outputs, d, shuffle);
+        apply_tables(
+            &self.data_tables,
+            survivors,
+            outputs,
+            FusedSched {
+                d: Some(d),
+                d_long: None,
+                shuffle,
+            },
+        );
         Ok(())
     }
 
@@ -209,7 +186,16 @@ impl DecodePlan {
         shuffle: bool,
     ) -> Result<(), EcError> {
         check_apply(self.survivors.len(), self.lost_parity.len(), data, outputs)?;
-        apply_tables(&self.parity_tables, data, outputs, d, shuffle);
+        apply_tables(
+            &self.parity_tables,
+            data,
+            outputs,
+            FusedSched {
+                d: Some(d),
+                d_long: None,
+                shuffle,
+            },
+        );
         Ok(())
     }
 }
@@ -248,7 +234,16 @@ impl RepairPlan {
     ) -> Result<(), EcError> {
         let mut outputs = [out];
         check_apply(self.survivors.len(), 1, sources, &outputs)?;
-        apply_tables(&self.tables, sources, &mut outputs, d, shuffle);
+        apply_tables(
+            &self.tables,
+            sources,
+            &mut outputs,
+            FusedSched {
+                d: Some(d),
+                d_long: None,
+                shuffle,
+            },
+        );
         Ok(())
     }
 }
@@ -262,7 +257,8 @@ impl RepairPlan {
 /// use dialga::encoder::{Dialga, DialgaOptions};
 ///
 /// let coder = Dialga::with_options(6, 2, DialgaOptions {
-///     prefetch_distance: Some(12), // d = 2k
+///     prefetch_distance: Some(12),  // d = 2k
+///     bf_first_distance: Some(10),  // §4.3 long distance, k + 4
 ///     shuffle: false,
 /// }).unwrap();
 /// let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 * 7; 1024]).collect();
@@ -280,6 +276,7 @@ pub struct Dialga {
     /// Precomputed split-nibble tables, `m x k` (ISA-L's `gf_table`).
     tables: Vec<NibbleTables>,
     d: u32,
+    d_long: Option<u32>,
     shuffle: bool,
 }
 
@@ -309,6 +306,7 @@ impl Dialga {
             rs,
             tables,
             d: opts.prefetch_distance.unwrap_or(params.k as u32),
+            d_long: opts.bf_first_distance,
             shuffle: opts.shuffle,
         }
     }
@@ -321,6 +319,21 @@ impl Dialga {
     /// The prefetch distance in effect.
     pub fn prefetch_distance(&self) -> u32 {
         self.d
+    }
+
+    /// The §4.3 long distance for XPLine-first cachelines, if enabled.
+    pub fn bf_first_distance(&self) -> Option<u32> {
+        self.d_long
+    }
+
+    /// The schedule the non-override paths ([`Self::encode`],
+    /// [`Self::encode_vec`], [`Self::decode`]) run with.
+    fn sched(&self) -> FusedSched {
+        FusedSched {
+            d: Some(self.d),
+            d_long: self.d_long,
+            shuffle: self.shuffle,
+        }
     }
 
     /// The wrapped Reed–Solomon code.
@@ -361,7 +374,7 @@ impl Dialga {
 
     /// Encode the k data blocks into the m parity blocks.
     pub fn encode(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), EcError> {
-        self.encode_with(data, parity, self.d, self.shuffle)
+        self.encode_sched(data, parity, self.sched())
     }
 
     /// Encode with explicit scheduling overrides, ignoring the distance and
@@ -379,6 +392,23 @@ impl Dialga {
         d: u32,
         shuffle: bool,
     ) -> Result<(), EcError> {
+        self.encode_sched(
+            data,
+            parity,
+            FusedSched {
+                d: Some(d),
+                d_long: None,
+                shuffle,
+            },
+        )
+    }
+
+    fn encode_sched(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        sched: FusedSched,
+    ) -> Result<(), EcError> {
         let len = self.check(data, parity.len())?;
         for p in parity.iter() {
             if p.len() != len {
@@ -388,7 +418,7 @@ impl Dialga {
                 });
             }
         }
-        apply_tables(&self.tables, data, parity, d, shuffle);
+        apply_tables(&self.tables, data, parity, sched);
         Ok(())
     }
 
@@ -397,7 +427,7 @@ impl Dialga {
         let len = self.check(data, self.params().m)?;
         let mut parity = vec![vec![0u8; len]; self.params().m];
         let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
-        apply_tables(&self.tables, data, &mut refs, self.d, self.shuffle);
+        apply_tables(&self.tables, data, &mut refs, self.sched());
         Ok(parity)
     }
 
@@ -614,6 +644,7 @@ mod tests {
                 2048,
                 DialgaOptions {
                     prefetch_distance: Some(d),
+                    bf_first_distance: Some(d + 4),
                     shuffle: false,
                 },
             );
@@ -629,6 +660,7 @@ mod tests {
                 len,
                 DialgaOptions {
                     prefetch_distance: Some(16),
+                    bf_first_distance: Some(20),
                     shuffle: true,
                 },
             );
@@ -646,6 +678,7 @@ mod tests {
                 len,
                 DialgaOptions {
                     prefetch_distance: Some(7),
+                    bf_first_distance: Some(11),
                     shuffle: true,
                 },
             );
@@ -659,6 +692,7 @@ mod tests {
             4,
             DialgaOptions {
                 prefetch_distance: Some(20),
+                bf_first_distance: Some(14),
                 shuffle: true,
             },
         )

@@ -3,11 +3,15 @@
 //! prefetch pointers.
 //!
 //! The *timed* side of these mechanisms lives in `dialga-pipeline`
-//! ([`dialga_pipeline::isal::shuffle_row`] drives the simulator); this
-//! module provides the *functional* equivalents used by the real-bytes
-//! encoder, plus the prefetch-pointer construction of Fig. 9, which tests
-//! verify against its specification (fixed offset, two-group construction
-//! when `d % k != 0`, order preserved under shuffle).
+//! ([`dialga_pipeline::isal::shuffle_row`] drives the simulator). The
+//! real-bytes encoder no longer materializes the pointer array: the fused
+//! kernels ([`dialga_gf::simd::dot_prod_fused`]) issue the same targets
+//! arithmetically from inside their row loop via
+//! [`dialga_gf::sched::for_each_prefetch_target`]. This module keeps
+//! [`build_prefetch_ptrs`] as the executable Fig. 9 *specification* —
+//! tests verify it directly (fixed offset, two-group construction when
+//! `d % k != 0`, order preserved under shuffle) and cross-check the fused
+//! scheduler against it.
 
 pub use dialga_pipeline::isal::shuffle_row;
 
@@ -120,6 +124,36 @@ mod tests {
                 shuffle_row(a.row, rows),
                 "row remapped by the static map"
             );
+        }
+    }
+
+    #[test]
+    fn fused_scheduler_matches_fig9_spec() {
+        // The fused kernels compute prefetch targets arithmetically
+        // (dialga_gf::sched); this array is the Fig. 9 specification. The
+        // two must agree for every (k, d, shuffle, row).
+        use dialga_gf::sched::{for_each_prefetch_target, FusedSched};
+        for k in [1usize, 3, 4, 6, 10] {
+            let rows = 24u64;
+            for d in [1u32, 4, 6, 13, 100] {
+                for shuffle in [false, true] {
+                    let sched = FusedSched {
+                        d: Some(d),
+                        d_long: None,
+                        shuffle,
+                    };
+                    for vr in 0..rows {
+                        let spec: Vec<(usize, u64)> = build_prefetch_ptrs(vr, k, rows, d, shuffle)
+                            .into_iter()
+                            .flatten()
+                            .map(|p| (p.block, p.row))
+                            .collect();
+                        let mut fused = Vec::new();
+                        for_each_prefetch_target(vr, k, rows, &sched, |b, r| fused.push((b, r)));
+                        assert_eq!(fused, spec, "k={k} d={d} shuffle={shuffle} vr={vr}");
+                    }
+                }
+            }
         }
     }
 

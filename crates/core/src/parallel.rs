@@ -6,9 +6,11 @@
 //! [`crate::pool`] — the old implementation spawned (and joined) a fresh
 //! scoped thread per chunk on every call, which at the paper's 4 KiB
 //! default block size cost more than the encode itself. Pools are cached
-//! per thread count and reused across calls. Results are bit-exact with
-//! single-threaded encoding (RS coding is independent per 64 B row, so any
-//! horizontal split is exact).
+//! per thread count and reused across calls. Every chunk runs the fused
+//! multi-output kernel ([`dialga_gf::simd::dot_prod_fused`]) with the
+//! coordinator's live schedule. Results are bit-exact with single-threaded
+//! encoding (RS coding is independent per 64 B row, so any horizontal
+//! split is exact).
 
 use crate::encoder::Dialga;
 use crate::pool::{EncodePool, CHUNK_ALIGN};
@@ -130,6 +132,32 @@ mod tests {
             let serial = coder.encode_vec(&refs).unwrap();
             let par = encode_parallel_vec(&coder, &refs, threads).unwrap();
             assert_eq!(par, serial, "threads={threads} len={len}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_full_schedule() {
+        // Every scheduling knob active (d, §4.3 long distance, shuffle):
+        // the fused dispatch must stay bit-exact with the unscheduled
+        // serial reference across worker splits.
+        use crate::encoder::DialgaOptions;
+        let plain = Dialga::new(10, 4).unwrap();
+        let tuned = Dialga::with_options(
+            10,
+            4,
+            DialgaOptions {
+                prefetch_distance: Some(10),
+                bf_first_distance: Some(14),
+                shuffle: true,
+            },
+        )
+        .unwrap();
+        let data = make_data(10, 32 * 1024 + 100);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let want = plain.encode_vec(&refs).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let got = encode_parallel_vec(&tuned, &refs, threads).unwrap();
+            assert_eq!(got, want, "threads={threads}");
         }
     }
 

@@ -384,6 +384,8 @@ struct RawJob {
     len: usize,
     /// Distance fallback when the knob cell carries no override.
     default_d: u32,
+    /// §4.3 long-distance fallback when the knob cell carries no override.
+    default_bf: Option<u32>,
 }
 
 /// One unit of worker work: apply `tables` to `sources[range]` →
@@ -400,6 +402,7 @@ struct Chunk {
     sources: Vec<SrcSpan>,
     outputs: Vec<OutSpan>,
     default_d: u32,
+    default_bf: Option<u32>,
     batch: Arc<BatchState>,
     finished: bool,
 }
@@ -665,6 +668,7 @@ impl EncodePool {
         // Build one apply-tables job per stripe; `run_jobs` chunks them.
         let tables = coder.tables();
         let default_d = coder.prefetch_distance();
+        let default_bf = coder.bf_first_distance();
         let mut jobs: Vec<RawJob> = Vec::with_capacity(stripes.len());
         for s in stripes.iter_mut() {
             let len = s.data.first().map_or(0, |d| d.len());
@@ -674,6 +678,7 @@ impl EncodePool {
                 outputs: s.parity.iter_mut().map(|p| OutSpan::new(p)).collect(),
                 len,
                 default_d,
+                default_bf,
             });
         }
         self.shared
@@ -715,6 +720,7 @@ impl EncodePool {
         stripes: &mut [DecodeJob<'_>],
     ) -> Result<(), EcError> {
         let default_d = coder.prefetch_distance();
+        let default_bf = coder.bf_first_distance();
         let plans: Vec<crate::encoder::DecodePlan> = stripes
             .iter()
             .map(|s| coder.decode_plan(s.shards))
@@ -754,6 +760,7 @@ impl EncodePool {
                 outputs,
                 len: plan.shard_len(),
                 default_d,
+                default_bf,
             });
         }
         self.run_jobs(&jobs)?;
@@ -782,6 +789,7 @@ impl EncodePool {
                 outputs,
                 len: plan.shard_len(),
                 default_d,
+                default_bf,
             });
         }
         self.run_jobs(&jobs)
@@ -841,6 +849,7 @@ impl EncodePool {
             outputs: vec![OutSpan::new(&mut out)],
             len,
             default_d: coder.prefetch_distance(),
+            default_bf: coder.bf_first_distance(),
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
@@ -892,6 +901,7 @@ impl EncodePool {
             outputs: vec![OutSpan::new(&mut out)],
             len,
             default_d: gs as u32,
+            default_bf: None,
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
@@ -948,6 +958,7 @@ impl EncodePool {
                 sources,
                 outputs,
                 default_d: job.default_d,
+                default_bf: job.default_bf,
                 batch: Arc::clone(&batch),
                 finished: false,
             });
@@ -1010,12 +1021,18 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
                 .iter()
                 .map(|o| unsafe { o.as_mut_slice() })
                 .collect();
-            let d = knobs.sw_distance.unwrap_or(chunk.default_d);
-            crate::encoder::apply_tables(tables, &sources, &mut outputs, d, knobs.shuffle);
+            // The coordinator's live knobs win; the job's defaults fill in
+            // when the knob cell carries no override.
+            let sched = dialga_gf::sched::FusedSched {
+                d: Some(knobs.sw_distance.unwrap_or(chunk.default_d)),
+                d_long: knobs.bf_first_distance.or(chunk.default_bf),
+                shuffle: knobs.shuffle,
+            };
+            crate::encoder::apply_tables(tables, &sources, &mut outputs, sched);
         }));
 
         let len = chunk.sources.first().map_or(0, |s| s.len);
-        let rows = (len / 64) as u64 * chunk.sources.len() as u64;
+        let rows = (len / dialga_gf::CACHELINE) as u64 * chunk.sources.len() as u64;
         let s = &shared.stats;
         s.loads.fetch_add(rows, Ordering::Relaxed);
         s.busy_ns
@@ -1211,6 +1228,43 @@ mod tests {
     }
 
     #[test]
+    fn pool_fused_dispatch_is_bit_exact_under_full_schedule() {
+        // Encode AND decode through the fused dispatch with every schedule
+        // knob active (d, §4.3 long distance, shuffle) must match the
+        // unscheduled serial reference — prefetch scheduling may move
+        // hints, never bytes.
+        let plain = Dialga::new(10, 4).unwrap();
+        let tuned = Dialga::with_options(
+            10,
+            4,
+            crate::encoder::DialgaOptions {
+                prefetch_distance: Some(10),
+                bf_first_distance: Some(14),
+                shuffle: true,
+            },
+        )
+        .unwrap();
+        let data = make_data(10, 16 * 1024 + 100); // unaligned tail
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let want_parity = plain.encode_vec(&refs).unwrap();
+        let full = encode_shards(&plain, &data);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = EncodePool::new(threads);
+            assert_eq!(
+                pool.encode_vec(&tuned, &refs).unwrap(),
+                want_parity,
+                "encode threads={threads}"
+            );
+            let mut shards = full.clone();
+            shards[2] = None; // data
+            shards[9] = None; // data
+            shards[12] = None; // parity
+            pool.decode(&tuned, &mut shards).unwrap();
+            assert_eq!(shards, full, "decode threads={threads}");
+        }
+    }
+
+    #[test]
     fn pool_decode_batch_repairs_every_stripe() {
         let coder = Dialga::new(6, 3).unwrap();
         let pool = EncodePool::new(4);
@@ -1342,6 +1396,7 @@ mod tests {
             outputs: vec![OutSpan::new(&mut out)],
             len: 1024,
             default_d: 4,
+            default_bf: None,
         };
         assert!(matches!(
             pool.run_jobs(std::slice::from_ref(&job)),

@@ -21,9 +21,16 @@
 
 pub mod arith;
 pub mod bitmatrix;
+pub mod sched;
 pub mod simd;
 pub mod slice;
 pub mod tables;
 
 pub use arith::Gf8;
 pub use bitmatrix::BitMatrix;
+
+/// Cacheline granularity of the row-pipelined kernels: every fused
+/// dot-product step processes one 64 B line per source block, and prefetch
+/// distances count in these units. Name this constant instead of writing a
+/// bare `64` so the geometry cannot drift (lint rule R6).
+pub const CACHELINE: usize = 64;

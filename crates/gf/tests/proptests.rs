@@ -136,3 +136,131 @@ fn bitmatrix_inverse_roundtrip() {
         assert_eq!(m.matmul(&inv), BitMatrix::identity(16));
     });
 }
+
+// ---------------------------------------------------------------------------
+// Fused multi-output dot-product vs. the scalar reference (PR 4).
+// ---------------------------------------------------------------------------
+
+use dialga_gf::sched::FusedSched;
+use dialga_gf::simd::{dot_prod_fused, set_kernel_override, Kernel, FUSED_GROUP};
+use dialga_gf::tables::NibbleTables;
+
+/// Scalar, table-free-of-SIMD reference: `out[r][i] = XOR_b tab[r*k+b](src[b][i])`.
+/// Overwrite semantics, matching `dot_prod_fused`.
+fn reference_dot_prod(tables: &[NibbleTables], sources: &[&[u8]], outputs: &mut [&mut [u8]]) {
+    let k = sources.len();
+    for (r, out) in outputs.iter_mut().enumerate() {
+        for i in 0..out.len() {
+            let mut acc = 0u8;
+            for (b, src) in sources.iter().enumerate() {
+                acc ^= tables[r * k + b].mul(src[i]);
+            }
+            out[i] = acc;
+        }
+    }
+}
+
+/// Schedule shapes that exercise every branch of the fused inner loop:
+/// no prefetch, §4.2 two-group construction (`d % k != 0` via d=7, k=5),
+/// §4.3 long/short split, shuffle remapping, and an out-of-range distance.
+fn sched_variants(k: usize) -> Vec<FusedSched> {
+    vec![
+        FusedSched::plain(),
+        FusedSched::distance(k.max(1) as u32),
+        FusedSched {
+            d: Some(7),
+            d_long: Some(13),
+            shuffle: false,
+        },
+        FusedSched {
+            d: Some(3),
+            d_long: None,
+            shuffle: true,
+        },
+        FusedSched::distance(1000),
+    ]
+}
+
+fn check_fused_case(k: usize, n_out: usize, len: usize, sched: FusedSched) {
+    let tables: Vec<NibbleTables> = (0..n_out * k)
+        .map(|i| {
+            // Deterministic coefficients including 0 and 1.
+            let c = (i as u32 * 37 + 1) % 256;
+            NibbleTables::new(if i == 1 { 0 } else { c as u8 })
+        })
+        .collect();
+    let srcs: Vec<Vec<u8>> = (0..k)
+        .map(|b| (0..len).map(|i| ((b * 31 + i * 7) & 0xFF) as u8).collect())
+        .collect();
+    let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+
+    // Prefill with garbage so accumulate-instead-of-overwrite bugs show.
+    let mut got: Vec<Vec<u8>> = (0..n_out).map(|r| vec![r as u8 ^ 0xA5; len]).collect();
+    let mut want: Vec<Vec<u8>> = (0..n_out).map(|r| vec![r as u8 ^ 0x5A; len]).collect();
+    {
+        let mut got_refs: Vec<&mut [u8]> = got.iter_mut().map(|o| o.as_mut_slice()).collect();
+        dot_prod_fused(&tables, &src_refs, &mut got_refs, sched);
+        let mut want_refs: Vec<&mut [u8]> = want.iter_mut().map(|o| o.as_mut_slice()).collect();
+        reference_dot_prod(&tables, &src_refs, &mut want_refs);
+    }
+    assert_eq!(
+        got, want,
+        "fused != reference for k={k} n_out={n_out} len={len} sched={sched:?}"
+    );
+}
+
+/// Every kernel tier × output counts spanning a group boundary × tail
+/// shapes (empty, sub-cacheline, exact lines, ragged tails, exactly one
+/// XPLine = 256 B) × every schedule branch. Tier overrides are process
+/// global, so the whole sweep lives in one test body.
+#[test]
+fn fused_matches_reference_for_all_tiers_and_tail_shapes() {
+    let lens = [0usize, 1, 63, 64, 65, 192, 256, 257, 320, 1000];
+    for tier in [Kernel::Portable, Kernel::Ssse3, Kernel::Avx2] {
+        // Clamped to the detected tier: on a host without AVX2 the Avx2
+        // request re-checks the best available kernel instead.
+        set_kernel_override(Some(tier));
+        for &len in &lens {
+            for n_out in 1..=(FUSED_GROUP + 2) {
+                for sched in sched_variants(5) {
+                    check_fused_case(5, n_out, len, sched);
+                }
+            }
+        }
+        // k = 0 must zero-fill; k = 1 exercises the single-source path.
+        check_fused_case(0, 3, 256, FusedSched::plain());
+        check_fused_case(1, 2, 257, FusedSched::distance(4));
+    }
+    set_kernel_override(None);
+}
+
+/// Randomized geometry sweep on the auto-selected kernel. The assertion
+/// holds for *every* tier, so this stays correct even if it interleaves
+/// with the tier-override sweep above.
+#[test]
+fn fused_matches_reference_randomized() {
+    run_cases(64, |rng| {
+        let k = rng.range(1, 11);
+        let n_out = rng.range(1, 9);
+        let len = rng.range(0, 1500);
+        let sched = FusedSched {
+            d: rng.bool().then(|| rng.range_u32(1, 64)),
+            d_long: rng.bool().then(|| rng.range_u32(1, 128)),
+            shuffle: rng.bool(),
+        };
+        let tables: Vec<NibbleTables> = (0..n_out * k)
+            .map(|_| NibbleTables::new(rng.u8()))
+            .collect();
+        let srcs: Vec<Vec<u8>> = (0..k).map(|_| rng.bytes(len)).collect();
+        let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut got: Vec<Vec<u8>> = (0..n_out).map(|_| rng.bytes(len)).collect();
+        let mut want: Vec<Vec<u8>> = (0..n_out).map(|_| rng.bytes(len)).collect();
+        {
+            let mut got_refs: Vec<&mut [u8]> = got.iter_mut().map(|o| o.as_mut_slice()).collect();
+            dot_prod_fused(&tables, &src_refs, &mut got_refs, sched);
+            let mut want_refs: Vec<&mut [u8]> = want.iter_mut().map(|o| o.as_mut_slice()).collect();
+            reference_dot_prod(&tables, &src_refs, &mut want_refs);
+        }
+        assert_eq!(got, want, "k={k} n_out={n_out} len={len} sched={sched:?}");
+    });
+}

@@ -1,0 +1,21 @@
+// Fixture (never compiled): bare geometry literals shadowing the guarded
+// constants — 256 (`CHUNK_ALIGN`/`XPLINE`) and 64 (`CACHELINE`) — in
+// library code. Each spelling (decimal, hex, separators, suffix) is the
+// same drift hazard.
+pub fn split(len: usize, workers: usize) -> usize {
+    let units = len.div_ceil(256);
+    let per = (units / workers) * 256;
+    per
+}
+
+pub fn rows(len: usize) -> usize {
+    len / 64
+}
+
+pub fn hex_spelling(addr: u64) -> u64 {
+    addr & !(0x100 - 1)
+}
+
+pub fn suffixed(len: u64) -> u64 {
+    len * 64u64 + 2_5_6
+}

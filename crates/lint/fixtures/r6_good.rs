@@ -1,0 +1,28 @@
+// Fixture (never compiled): R6-clean geometry code — named constants on
+// library paths, literals confined to tests, one justified suppression,
+// and near-miss values (255, 63, 2566) that must not fire.
+pub fn split(len: usize, workers: usize) -> usize {
+    let units = len.div_ceil(CHUNK_ALIGN);
+    (units / workers) * CHUNK_ALIGN
+}
+
+pub fn rows(len: usize) -> usize {
+    len / CACHELINE
+}
+
+pub fn near_misses(len: usize) -> usize {
+    (len & 255) + (len >> 63) + 2566
+}
+
+pub fn justified(len: usize) -> usize {
+    // lint:allow(const-drift): mirrors ISA-L's hard-coded 256 B alignment.
+    len.div_ceil(256)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_geometry_reads_clearer_in_assertions() {
+        assert_eq!(super::rows(256), 256 / 64);
+    }
+}

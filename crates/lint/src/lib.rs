@@ -21,6 +21,7 @@
 //! | R3 | `atomic-order` | packed knob word: `store(Release)` / `load(Acquire)` only; `Relaxed` only on declared stat counters |
 //! | R4 | `panic-path` | no `unwrap()`/`expect()`/`panic!` on library paths of `core`, `ec`, `gf`, `pipeline` (tests/benches/bins exempt) |
 //! | R5 | `raw-ptr` | raw-pointer arithmetic and `from_raw_parts` only in whitelisted kernel modules |
+//! | R6 | `const-drift` | no bare `256` (`CHUNK_ALIGN`/`XPLINE`) or `64` (`CACHELINE`) literals in geometry-bearing library code outside the constants' defining modules |
 //!
 //! Per-site suppressions use `// lint:allow(<key>): <justification>` on the
 //! finding's line or the line above; the justification lives in the source
@@ -38,7 +39,7 @@
 pub mod rules;
 pub mod scan;
 
-pub use rules::{check_source, Config, Finding, Rule};
+pub use rules::{check_source, Config, Finding, LiteralGuard, Rule};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -88,6 +89,28 @@ pub fn workspace_config() -> Config {
             "policy_changes",
             "next_worker",
         ]),
+        literal_guards: vec![
+            LiteralGuard {
+                value: 256,
+                name: "`CHUNK_ALIGN` (dialga::pool) / `XPLINE` (dialga-memsim)".to_string(),
+                scope_prefixes: s(&[
+                    "crates/core/src/",
+                    "crates/memsim/src/",
+                    "crates/pipeline/src/",
+                ]),
+                defining_modules: s(&["crates/core/src/pool.rs", "crates/memsim/src/lib.rs"]),
+            },
+            LiteralGuard {
+                value: 64,
+                name: "`CACHELINE` (dialga-gf / dialga-memsim)".to_string(),
+                scope_prefixes: s(&[
+                    "crates/core/src/",
+                    "crates/gf/src/simd.rs",
+                    "crates/pipeline/src/",
+                ]),
+                defining_modules: s(&["crates/gf/src/lib.rs", "crates/memsim/src/lib.rs"]),
+            },
+        ],
     }
 }
 

@@ -1,4 +1,4 @@
-//! The rule engine: R1–R5 over a scanned source file, with per-rule inline
+//! The rule engine: R1–R6 over a scanned source file, with per-rule inline
 //! allow directives.
 //!
 //! Every rule reports `file:line`, a rule id and a rationale. A finding may
@@ -11,9 +11,9 @@
 //! ```
 //!
 //! The directive names the rule key (`safety-comment`, `unsafe-confine`,
-//! `atomic-order`, `panic-path`, `raw-ptr`), never a blanket "allow all" —
-//! suppressions stay per-rule and per-site, and the justification text
-//! travels with the site in the source.
+//! `atomic-order`, `panic-path`, `raw-ptr`, `const-drift`), never a
+//! blanket "allow all" — suppressions stay per-rule and per-site, and the
+//! justification text travels with the site in the source.
 
 use crate::scan::{scan, Scanned, TokKind};
 
@@ -38,6 +38,10 @@ pub enum Rule {
     PanicPath,
     /// R5: raw-pointer arithmetic only inside whitelisted kernel modules.
     RawPtr,
+    /// R6: integer literals shadowing guarded geometry constants
+    /// (`CHUNK_ALIGN`/`XPLINE` = 256, `CACHELINE` = 64) outside the
+    /// constants' defining modules.
+    ConstDrift,
 }
 
 impl Rule {
@@ -49,6 +53,7 @@ impl Rule {
             Rule::AtomicOrder => "R3 atomic-order",
             Rule::PanicPath => "R4 panic-path",
             Rule::RawPtr => "R5 raw-ptr",
+            Rule::ConstDrift => "R6 const-drift",
         }
     }
 
@@ -60,6 +65,7 @@ impl Rule {
             Rule::AtomicOrder => "atomic-order",
             Rule::PanicPath => "panic-path",
             Rule::RawPtr => "raw-ptr",
+            Rule::ConstDrift => "const-drift",
         }
     }
 }
@@ -112,6 +118,24 @@ pub struct Config {
     /// Atomic fields that are plain stat counters, where `Relaxed` is the
     /// documented protocol (R3).
     pub counter_fields: Vec<String>,
+    /// Guarded geometry constants: integer literals equal to a guard's
+    /// value are flagged inside its scope (R6).
+    pub literal_guards: Vec<LiteralGuard>,
+}
+
+/// One R6 guard: a named geometry constant whose raw value must not be
+/// written as a bare literal inside its scope.
+#[derive(Debug, Clone, Default)]
+pub struct LiteralGuard {
+    /// The guarded value (e.g. 256).
+    pub value: u64,
+    /// Human name of the constant(s), used in diagnostics.
+    pub name: String,
+    /// Path prefixes the guard applies to (library code where the value
+    /// has the constant's meaning).
+    pub scope_prefixes: Vec<String>,
+    /// Files that define (and may therefore spell out) the constant.
+    pub defining_modules: Vec<String>,
 }
 
 /// Atomic methods whose call sites R3 inspects. A call only counts as
@@ -175,6 +199,7 @@ pub fn check_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     rule_atomic_order(path, &s, cfg, &mut findings);
     rule_panic_path(path, &s, cfg, &test_regions, &mut findings);
     rule_raw_ptr(path, &s, whitelisted, &unsafe_regions, &mut findings);
+    rule_const_drift(path, &s, cfg, &test_regions, &mut findings);
 
     apply_allow_directives(&s, &mut findings);
     findings.sort_by_key(|f| f.line);
@@ -426,6 +451,78 @@ fn rule_raw_ptr(
                  the whitelisted kernel modules where its invariants are checked"
             ),
         });
+    }
+}
+
+/// Parse an integer literal's value from its raw text: `_` separators,
+/// `0x`/`0o`/`0b` radix prefixes and `u*`/`i*` type suffixes are handled;
+/// floats and exponent forms are out of scope (they can't spell a
+/// geometry constant).
+fn num_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(r) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (r, 16u32)
+    } else if let Some(r) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (r, 8)
+    } else if let Some(r) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (r, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    let (val, suffix) = digits.split_at(end);
+    if val.is_empty() || !(suffix.is_empty() || suffix.starts_with('u') || suffix.starts_with('i'))
+    {
+        return None;
+    }
+    u64::from_str_radix(val, radix).ok()
+}
+
+/// R6: integer literals whose value shadows a guarded geometry constant
+/// (e.g. a bare `256` where `CHUNK_ALIGN`/`XPLINE` is meant, `64` for
+/// `CACHELINE`), outside the constant's defining module. Bare values
+/// compile fine when the constant changes — which is exactly the drift
+/// this rule pins. Test code is exempt (literal geometry in assertions is
+/// often the clearer spelling).
+fn rule_const_drift(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    test_regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    for guard in &cfg.literal_guards {
+        if !guard
+            .scope_prefixes
+            .iter()
+            .any(|p| path.starts_with(p.as_str()) || matches_path(path, p))
+        {
+            continue;
+        }
+        if guard.defining_modules.iter().any(|m| matches_path(path, m)) {
+            continue;
+        }
+        for t in &s.tokens {
+            let TokKind::Num(text) = &t.kind else {
+                continue;
+            };
+            if num_value(text) != Some(guard.value) || in_any_region(t.line, test_regions) {
+                continue;
+            }
+            out.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: Rule::ConstDrift,
+                message: format!(
+                    "bare `{text}` shadows {} = {} — name the constant so the \
+                     geometry cannot drift, or justify with \
+                     `// lint:allow(const-drift): <why>`",
+                    guard.name, guard.value
+                ),
+            });
+        }
     }
 }
 

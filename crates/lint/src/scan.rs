@@ -29,9 +29,13 @@ pub enum TokKind {
     Ident(String),
     /// Single punctuation character.
     Punct(char),
-    /// String, char, byte or number literal (contents dropped on purpose:
-    /// no rule may ever match inside a literal).
+    /// String, char or byte literal (contents dropped on purpose: no rule
+    /// may ever match inside a text literal).
     Lit,
+    /// Number literal with its raw text (radix prefix, `_` separators and
+    /// type suffix intact) — rule R6 checks values against guarded
+    /// constants.
+    Num(String),
 }
 
 /// One comment (line or block) with its text preserved, so rules can look
@@ -197,14 +201,17 @@ pub fn scan(src: &str) -> Scanned {
         }
         if ch.is_ascii_digit() {
             let start = line;
+            let mut text = String::new();
             while i < n {
                 if c[i].is_alphanumeric() || c[i] == '_' {
+                    text.push(c[i]);
                     i += 1;
                     continue;
                 }
                 // Consume a '.' only when a digit follows (float literal,
                 // not a method call like `0.add(…)` or tuple access).
                 if c[i] == '.' && i + 1 < n && c[i + 1].is_ascii_digit() {
+                    text.push('.');
                     i += 1;
                     continue;
                 }
@@ -212,7 +219,7 @@ pub fn scan(src: &str) -> Scanned {
             }
             out.tokens.push(Token {
                 line: start,
-                kind: TokKind::Lit,
+                kind: TokKind::Num(text),
             });
             continue;
         }
@@ -550,6 +557,20 @@ let y = r#"panic!"#; /* unsafe
     fn float_literals_keep_method_calls_intact() {
         let s = scan("let a = 1.0f64; let b = p.add(1); let t = x.0;");
         assert!(idents(&s).contains(&"add"));
+    }
+
+    #[test]
+    fn number_literals_keep_their_text() {
+        let s = scan("let a = 256; let b = 0xFF_u32; let c = 1.5; let d = x.0;");
+        let nums: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["256", "0xFF_u32", "1.5", "0"]);
     }
 
     #[test]

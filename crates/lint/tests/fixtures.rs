@@ -134,3 +134,43 @@ fn diagnostics_carry_file_line_rule_and_rationale() {
     assert!(rendered.contains("[R4 panic-path]"), "{rendered}");
     assert!(rendered.contains("EcError"), "{rendered}");
 }
+
+#[test]
+fn r6_fires_on_bare_geometry_literals() {
+    // Both guards in scope: 256 spelled four ways + 64 spelled twice.
+    let findings = findings_for("crates/core/src/fixture.rs", "r6_bad.rs");
+    let r6 = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ConstDrift)
+        .count();
+    assert_eq!(r6, 6, "{findings:?}");
+}
+
+#[test]
+fn r6_scopes_guards_independently() {
+    // memsim is in the 256 guard's scope but not the 64 guard's: only the
+    // four 256-spellings fire.
+    let findings = findings_for("crates/memsim/src/fixture.rs", "r6_bad.rs");
+    let r6 = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ConstDrift)
+        .count();
+    assert_eq!(r6, 4, "{findings:?}");
+    // pool.rs *defines* CHUNK_ALIGN (256 exempt) but not CACHELINE: only
+    // the two 64-spellings fire.
+    let findings = findings_for(KERNEL, "r6_bad.rs");
+    let r6 = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ConstDrift)
+        .count();
+    assert_eq!(r6, 2, "{findings:?}");
+    // Outside every scope the same content is silent.
+    let fired = rules_fired(LIB_EC, "r6_bad.rs");
+    assert!(!fired.contains(&Rule::ConstDrift), "{fired:?}");
+}
+
+#[test]
+fn r6_accepts_named_constants_tests_near_misses_and_allows() {
+    let fired = rules_fired("crates/core/src/fixture.rs", "r6_good.rs");
+    assert!(!fired.contains(&Rule::ConstDrift), "{fired:?}");
+}

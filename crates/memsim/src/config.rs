@@ -178,7 +178,7 @@ impl Default for MachineConfig {
             interleave_bytes: 4096,
             mem: MemKind::Pm,
             pm: PmConfig {
-                unit_bytes: 256,
+                unit_bytes: crate::XPLINE,
                 media_latency_ns: 380.0,
                 buffer_hit_ns: 165.0,
                 media_slots: 8,

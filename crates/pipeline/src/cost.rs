@@ -36,8 +36,13 @@ pub struct CostModel {
     pub gf_mad_cycles: f64,
     /// Cycles per 64 B XOR (AVX512 baseline).
     pub xor_cycles: f64,
-    /// Fixed per-row loop overhead, cycles (pointer bumps, loop control).
+    /// Fixed per-group loop overhead, cycles (pointer bumps, loop control),
+    /// charged once per register-blocked output group in the fused kernels.
     pub row_overhead_cycles: f64,
+    /// Per-call dispatch overhead of the unfused per-slice path (kernel
+    /// selection, bounds checks, dst reload), charged per (output, source)
+    /// pair by [`CostModel::rs_row_cycles_per_slice`].
+    pub call_overhead_cycles: f64,
 }
 
 impl CostModel {
@@ -48,13 +53,28 @@ impl CostModel {
             gf_mad_cycles: 2.0,
             xor_cycles: 1.0,
             row_overhead_cycles: 4.0,
+            call_overhead_cycles: 3.0,
         }
     }
 
-    /// Compute cycles for one dot-product row: `k` source lines folded into
-    /// `m` parity lines (the ISA-L `ec_encode_data` inner iteration).
+    /// Compute cycles for one fused dot-product row: `k` source lines
+    /// loaded once and folded into `m` register-resident parity
+    /// accumulators (the ISA-L `gf_{1..6}vect_dot_prod` shape). Outputs
+    /// beyond the register-blocking group size split into
+    /// `ceil(m / FUSED_GROUP)` groups, each paying the loop overhead once.
     pub fn rs_row_cycles(&self, k: usize, m: usize) -> f64 {
-        (k * m) as f64 * self.gf_mad_cycles * self.simd.width_factor() + self.row_overhead_cycles
+        let groups = m.div_ceil(dialga_gf::simd::FUSED_GROUP).max(1);
+        (k * m) as f64 * self.gf_mad_cycles * self.simd.width_factor()
+            + groups as f64 * self.row_overhead_cycles
+    }
+
+    /// Compute cycles for the same row on the unfused per-slice path: one
+    /// kernel call per (output, source) pair, each re-streaming the source
+    /// line and reloading/restoring the destination. This is the baseline
+    /// the `kernel_fusion` ablation measures against.
+    pub fn rs_row_cycles_per_slice(&self, k: usize, m: usize) -> f64 {
+        (k * m) as f64 * (self.gf_mad_cycles * self.simd.width_factor() + self.call_overhead_cycles)
+            + self.row_overhead_cycles
     }
 
     /// Compute cycles for one source's contribution to `m` parities over
@@ -97,6 +117,27 @@ mod tests {
         assert!(c.rs_row_cycles(12, 8) > c.rs_row_cycles(12, 4));
         let km = c.rs_row_cycles(12, 4) - c.row_overhead_cycles;
         assert!((km - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_row_never_costs_more_than_per_slice() {
+        let c = CostModel::default();
+        for k in [1usize, 4, 10, 24] {
+            for m in [1usize, 2, 4, 6, 8, 12] {
+                assert!(c.rs_row_cycles(k, m) <= c.rs_row_cycles_per_slice(k, m));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_output_sets_charge_one_overhead_per_group() {
+        let c = CostModel::default();
+        // m = 12 splits into two register-blocked groups of 6.
+        let mad = c.rs_row_cycles(10, 12) - 2.0 * c.row_overhead_cycles;
+        assert!((mad - (10 * 12) as f64 * c.gf_mad_cycles).abs() < 1e-12);
+        // m = 6 is a single group.
+        let one = c.rs_row_cycles(10, 6) - c.row_overhead_cycles;
+        assert!((one - (10 * 6) as f64 * c.gf_mad_cycles).abs() < 1e-12);
     }
 
     #[test]

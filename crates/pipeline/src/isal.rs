@@ -35,46 +35,9 @@ pub struct Knobs {
     pub xpline_expand: bool,
 }
 
-/// Greatest common divisor.
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// Stride for the shuffle permutation within a window of `w` rows: coprime
-/// to `w`, avoiding +1/−1 deltas where possible.
-fn pick_stride(w: u64) -> u64 {
-    if w <= 2 {
-        return 1;
-    }
-    let mut s = 3;
-    while s < w {
-        if gcd(s, w) == 1 && s != w - 1 {
-            return s;
-        }
-        s += 2;
-    }
-    w - 1
-}
-
-/// The static shuffle mapping: a bijection on row indices, applied within
-/// windows of at most 64 rows (one 4 KiB page) so no in-page access ever
-/// follows its predecessor at delta +1.
-pub fn shuffle_row(r: u64, rows: u64) -> u64 {
-    let w = rows.clamp(1, 64);
-    let window = r / w;
-    let x = r % w;
-    let base = window * w;
-    // The last window may be short; permute within its actual size.
-    let wlen = w.min(rows - base);
-    if wlen <= 1 {
-        return r;
-    }
-    base + (x % wlen) * pick_stride(wlen) % wlen
-}
+// The shuffle mapping is shared with the real-bytes fused kernels — one
+// definition in `dialga_gf::sched`, re-exported here for the simulator.
+pub use dialga_gf::sched::shuffle_row;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Cursor {

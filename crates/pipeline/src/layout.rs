@@ -8,7 +8,7 @@
 //! loaded). Each logical thread encodes its own region, as in the paper's
 //! multi-thread benchmark where threads encode disjoint data.
 
-use dialga_memsim::PAGE;
+use dialga_memsim::{CACHELINE, PAGE};
 
 /// Scatter-permutation domain: blocks per thread region (2^22 slots).
 const SCATTER_BITS: u32 = 22;
@@ -53,7 +53,11 @@ impl StripeLayout {
         scatter: bool,
     ) -> Self {
         assert!(k > 0 && m > 0 && block_bytes > 0, "degenerate layout");
-        assert_eq!(block_bytes % 64, 0, "block size must be cacheline-aligned");
+        assert_eq!(
+            block_bytes % CACHELINE,
+            0,
+            "block size must be cacheline-aligned"
+        );
         let block_span = if page_aligned {
             block_bytes.next_multiple_of(PAGE)
         } else {
@@ -91,7 +95,7 @@ impl StripeLayout {
 
     /// Cachelines (64 B rows) per block.
     pub fn rows_per_block(&self) -> u64 {
-        self.block_bytes / 64
+        self.block_bytes / CACHELINE
     }
 
     /// Data bytes per stripe (the throughput numerator counts data only).
@@ -129,13 +133,13 @@ impl StripeLayout {
     /// Address of cacheline row `r` of data block `j`.
     pub fn data_line(&self, tid: usize, s: u64, j: usize, r: u64) -> u64 {
         debug_assert!(r < self.rows_per_block());
-        self.data_block(tid, s, j) + r * 64
+        self.data_block(tid, s, j) + r * CACHELINE
     }
 
     /// Address of cacheline row `r` of parity block `i`.
     pub fn parity_line(&self, tid: usize, s: u64, i: usize, r: u64) -> u64 {
         debug_assert!(r < self.rows_per_block());
-        self.parity_block(tid, s, i) + r * 64
+        self.parity_block(tid, s, i) + r * CACHELINE
     }
 }
 

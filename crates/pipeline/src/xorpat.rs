@@ -14,7 +14,7 @@
 use crate::cost::CostModel;
 use crate::layout::StripeLayout;
 use dialga_ec::schedule::{Dst, Schedule, Src};
-use dialga_memsim::{Counters, RowTask, TaskSource};
+use dialga_memsim::{Counters, RowTask, TaskSource, CACHELINE};
 
 /// Scratch region base for intermediate (temp) packets, far away from any
 /// stripe data.
@@ -65,7 +65,7 @@ impl XorSource {
 
     /// 64 B lines a packet access touches (at least one).
     pub fn packet_lines(&self) -> u64 {
-        self.packet_bytes().div_ceil(64).max(1)
+        self.packet_bytes().div_ceil(CACHELINE).max(1)
     }
 
     fn packet_addr_data(&self, tid: usize, stripe: u64, bitcol: usize) -> u64 {
@@ -79,12 +79,12 @@ impl XorSource {
     }
 
     fn packet_addr_temp(&self, tid: usize, idx: usize) -> u64 {
-        TEMP_BASE + tid as u64 * TEMP_STRIDE + idx as u64 * self.packet_bytes().max(64)
+        TEMP_BASE + tid as u64 * TEMP_STRIDE + idx as u64 * self.packet_bytes().max(CACHELINE)
     }
 
     fn push_packet_lines(&self, base: u64, out: &mut Vec<u64>) {
         for l in 0..self.packet_lines() {
-            out.push(base + l * 64);
+            out.push(base + l * CACHELINE);
         }
     }
 

@@ -30,3 +30,8 @@ repair-bench:
 # Host microbenchmarks (in-tree harness, no external deps)
 bench:
     cargo bench -p dialga-bench
+
+# Kernel-fusion ablation (fused vs per-row GF dot-product), full sweep,
+# committed as BENCH_PR4.json
+kernel-bench:
+    cargo run --release -p dialga-bench --bin kernel_fusion -- --json BENCH_PR4.json

@@ -11,7 +11,10 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== dialga-lint (unsafe surface, atomic ordering, panic paths) =="
+echo "== dialga-lint (unsafe surface, atomic ordering, panic paths, const drift) =="
 cargo run -q -p dialga-lint
+
+echo "== kernel_fusion smoke (fused/per-row bit-exactness gate) =="
+cargo run -q -p dialga-bench --bin kernel_fusion -- --smoke
 
 echo "lint OK"

@@ -36,10 +36,12 @@ fn dialga_encoder_is_bit_exact_with_rs() {
             DialgaOptions::default(),
             DialgaOptions {
                 prefetch_distance: Some(3 * k as u32 + 1),
+                bf_first_distance: Some(k as u32 + 4),
                 shuffle: false,
             },
             DialgaOptions {
                 prefetch_distance: Some(k as u32),
+                bf_first_distance: None,
                 shuffle: true,
             },
         ] {
