@@ -50,6 +50,7 @@ fn bench_rs_encode() {
             prefetch_distance: Some(2 * k as u32),
             bf_first_distance: Some(k as u32 + 4),
             shuffle: true,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -85,6 +85,11 @@ pub struct Coordinator {
     /// Timestamped policy changes (ring buffer of the most recent
     /// [`LOG_CAP`]), for tracing/telemetry.
     log: VecDeque<(f64, Policy)>,
+    /// Deterministic fault cell shared with the owning pool (see
+    /// [`crate::pool::EncodePool::arm_faults`]); scripted sample spikes
+    /// multiply the observed load latency to provoke policy churn.
+    #[cfg(feature = "fault-injection")]
+    fault: Option<std::sync::Arc<dialga_faultkit::FaultCell>>,
 }
 
 /// Maximum retained policy-log entries (oldest are evicted first).
@@ -143,7 +148,17 @@ impl Coordinator {
             },
             samples: 0,
             log: VecDeque::new(),
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
+    }
+
+    /// Attach the pool's shared fault cell so scripted sample spikes
+    /// reach this coordinator. Hooks stay one disarmed atomic load when
+    /// no plan is armed.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_cell(&mut self, cell: std::sync::Arc<dialga_faultkit::FaultCell>) {
+        self.fault = Some(cell);
     }
 
     /// Change the sampling interval (and realign the next sample).
@@ -184,7 +199,14 @@ impl Coordinator {
         if delta.loads == 0 {
             return None;
         }
-        let latency = delta.avg_load_latency_ns(self.l2_hit_ns);
+        #[allow(unused_mut)]
+        let mut latency = delta.avg_load_latency_ns(self.l2_hit_ns);
+        // Scripted fault: inflate this sample's observed latency, as a PM
+        // pressure transient would, and let the policy react.
+        #[cfg(feature = "fault-injection")]
+        if let Some(factor) = self.fault.as_ref().and_then(|f| f.on_sample()) {
+            latency *= factor;
+        }
         let useless = (delta.useless_prefetches + delta.late_prefetches) as f64;
 
         // First sample establishes the low-pressure baselines (§4.1).

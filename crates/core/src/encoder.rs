@@ -17,6 +17,10 @@ use dialga_gf::simd::dot_prod_fused;
 use dialga_gf::tables::NibbleTables;
 use dialga_gf::Gf8;
 
+/// Default bound on batch retries after a worker death/panic (see
+/// [`DialgaOptions::max_batch_retries`]).
+pub const DEFAULT_BATCH_RETRIES: u32 = 2;
+
 /// Scheduling options for the functional kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DialgaOptions {
@@ -29,6 +33,13 @@ pub struct DialgaOptions {
     pub bf_first_distance: Option<u32>,
     /// Apply the static shuffle mapping to the row order.
     pub shuffle: bool,
+    /// How many times the persistent pool may *retry* a batch that failed
+    /// because a worker died or panicked mid-run, after healing the dead
+    /// workers (default: [`DEFAULT_BATCH_RETRIES`]). Retries are safe:
+    /// the fused kernel overwrites its outputs, so re-running a batch is
+    /// idempotent, and the batch latch quiesces every chunk before a
+    /// retry starts. `Some(0)` disables retries (heal-only).
+    pub max_batch_retries: Option<u32>,
 }
 
 /// Row-pipelined multiply-accumulate: `outputs[i] = sum_j T[i][j] src[j]`
@@ -260,6 +271,7 @@ impl RepairPlan {
 ///     prefetch_distance: Some(12),  // d = 2k
 ///     bf_first_distance: Some(10),  // §4.3 long distance, k + 4
 ///     shuffle: false,
+///     ..Default::default()
 /// }).unwrap();
 /// let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 * 7; 1024]).collect();
 /// let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
@@ -278,6 +290,7 @@ pub struct Dialga {
     d: u32,
     d_long: Option<u32>,
     shuffle: bool,
+    max_batch_retries: u32,
 }
 
 impl Dialga {
@@ -308,6 +321,7 @@ impl Dialga {
             d: opts.prefetch_distance.unwrap_or(params.k as u32),
             d_long: opts.bf_first_distance,
             shuffle: opts.shuffle,
+            max_batch_retries: opts.max_batch_retries.unwrap_or(DEFAULT_BATCH_RETRIES),
         }
     }
 
@@ -324,6 +338,11 @@ impl Dialga {
     /// The §4.3 long distance for XPLine-first cachelines, if enabled.
     pub fn bf_first_distance(&self) -> Option<u32> {
         self.d_long
+    }
+
+    /// Bound on pool batch retries after worker death/panic healing.
+    pub fn max_batch_retries(&self) -> u32 {
+        self.max_batch_retries
     }
 
     /// The schedule the non-override paths ([`Self::encode`],
@@ -601,6 +620,167 @@ impl Dialga {
         }
         Ok(())
     }
+
+    /// Which parity rows disagree with parity recomputed from `data`
+    /// (sorted ascending, window-early-exit via the fused verification
+    /// kernel). Empty means the stripe is consistent. A corrupt *data*
+    /// shard mismatches every row (all MDS parity coefficients are
+    /// nonzero); a corrupt parity shard mismatches only its own row —
+    /// the localization signal [`Self::scrub`] is built on.
+    fn parity_syndromes(&self, data: &[&[u8]], parity: &[&[u8]]) -> Result<Vec<usize>, EcError> {
+        let len = self.check(data, parity.len())?;
+        for p in parity.iter() {
+            if p.len() != len {
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(dialga_gf::simd::dot_prod_verify(
+            &self.tables,
+            data,
+            parity,
+            self.sched(),
+        ))
+    }
+
+    /// Verify stripe integrity: recompute all m parity rows from `data`
+    /// through the fused kernel (windowed, early-exit — no full parity
+    /// allocation) and compare against the stored `parity`.
+    ///
+    /// On mismatch returns [`EcError::Corrupt`] naming the disagreeing
+    /// *parity rows* (indices `k..k+m`). A mismatch proves the stripe is
+    /// inconsistent but not *which* shard is bad — a corrupt data shard
+    /// also trips every row. Use [`Self::scrub`] to localize.
+    pub fn verify(&self, data: &[&[u8]], parity: &[&[u8]]) -> Result<(), EcError> {
+        let k = self.params().k;
+        let bad = self.parity_syndromes(data, parity)?;
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(EcError::Corrupt {
+                shards: bad.into_iter().map(|r| k + r).collect(),
+            })
+        }
+    }
+
+    /// Localize corrupt shards in a full stripe (`shards.len() == k + m`,
+    /// data first). Returns the corrupt shard indices, sorted (empty =
+    /// stripe consistent). Localizes any corruption of up to `m - 1`
+    /// shards; [`EcError::Corrupt`] with the mismatching parity rows as
+    /// evidence when the corruption is beyond that (or ambiguous).
+    ///
+    /// Localization treats syndromes as erasure candidates (the scrub
+    /// half of the tentpole): mismatching parity rows `S` with `|S| < m`
+    /// can only come from corrupt parity shards — a corrupt data byte
+    /// trips *every* row, since every MDS parity coefficient is nonzero —
+    /// so the corrupt set is exactly `S`. When `|S| == m`, candidate
+    /// subsets are erased, re-decoded, and the fixed stripe re-verified;
+    /// a unique minimal consistent candidate is the corrupt set (unique
+    /// for single-shard corruption by the MDS distance bound: two
+    /// codewords cannot differ in fewer than `m + 1` positions).
+    pub fn scrub(&self, shards: &[&[u8]]) -> Result<Vec<usize>, EcError> {
+        let params = self.params();
+        let (k, m) = (params.k, params.m);
+        if shards.len() != k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: shards.len(),
+            });
+        }
+        let syndromes = self.parity_syndromes(&shards[..k], &shards[k..])?;
+        if syndromes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if syndromes.len() < m {
+            // Data must be clean, so the mismatching rows are themselves
+            // the corrupt shards.
+            return Ok(syndromes.into_iter().map(|r| k + r).collect());
+        }
+        // Every row mismatches: at least one data shard is suspect. Erase
+        // candidate subsets, re-decode, and keep candidates whose fixed
+        // stripe is a codeword again and whose members all actually
+        // changed (otherwise a smaller subset explains the stripe).
+        let evidence: Vec<usize> = syndromes.iter().map(|&r| k + r).collect();
+        let max_t = m.saturating_sub(1).max(1);
+        for t in 1..=max_t {
+            let mut found: Option<Vec<usize>> = None;
+            let mut candidate = vec![0usize; t];
+            if !self.scrub_candidates(shards, &mut candidate, 0, 0, &mut found)? {
+                // Ambiguous at this cardinality: more than one consistent
+                // candidate — the corruption cannot be localized.
+                return Err(EcError::Corrupt { shards: evidence });
+            }
+            if let Some(bad) = found {
+                return Ok(bad);
+            }
+        }
+        Err(EcError::Corrupt { shards: evidence })
+    }
+
+    /// Depth-first sweep over `t`-subsets (positions `depth..` filled from
+    /// `from..k+m`) for [`Self::scrub`]. Returns `false` the moment two
+    /// distinct consistent candidates exist (ambiguous).
+    fn scrub_candidates(
+        &self,
+        shards: &[&[u8]],
+        candidate: &mut Vec<usize>,
+        depth: usize,
+        from: usize,
+        found: &mut Option<Vec<usize>>,
+    ) -> Result<bool, EcError> {
+        let n = shards.len();
+        if depth == candidate.len() {
+            if !self.scrub_candidate_fits(shards, candidate)? {
+                return Ok(true);
+            }
+            if found.is_some() {
+                return Ok(false);
+            }
+            *found = Some(candidate.clone());
+            return Ok(true);
+        }
+        for i in from..n {
+            candidate[depth] = i;
+            if !self.scrub_candidates(shards, candidate, depth + 1, i + 1, found)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Does erasing `candidate` and re-decoding yield a consistent stripe
+    /// in which every candidate member actually changed?
+    fn scrub_candidate_fits(&self, shards: &[&[u8]], candidate: &[usize]) -> Result<bool, EcError> {
+        let k = self.params().k;
+        let mut trial: Vec<Option<Vec<u8>>> = shards.iter().map(|s| Some(s.to_vec())).collect();
+        for &c in candidate {
+            trial[c] = None;
+        }
+        if self.decode(&mut trial).is_err() {
+            return Ok(false);
+        }
+        let all_changed = candidate
+            .iter()
+            .all(|&c| trial[c].as_deref().is_some_and(|fixed| fixed != shards[c]));
+        if !all_changed {
+            return Ok(false);
+        }
+        let data: Vec<&[u8]> = (0..k)
+            .map(|i| dialga_ec::present_shard(&trial, i, "scrub trial data absent"))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let parity: Vec<&[u8]> = (k..shards.len())
+            .map(|i| dialga_ec::present_shard(&trial, i, "scrub trial parity absent"))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|v| v.as_slice())
+            .collect();
+        Ok(self.parity_syndromes(&data, &parity)?.is_empty())
+    }
 }
 
 #[cfg(test)]
@@ -646,6 +826,7 @@ mod tests {
                     prefetch_distance: Some(d),
                     bf_first_distance: Some(d + 4),
                     shuffle: false,
+                    ..Default::default()
                 },
             );
         }
@@ -662,6 +843,7 @@ mod tests {
                     prefetch_distance: Some(16),
                     bf_first_distance: Some(20),
                     shuffle: true,
+                    ..Default::default()
                 },
             );
         }
@@ -680,6 +862,7 @@ mod tests {
                     prefetch_distance: Some(7),
                     bf_first_distance: Some(11),
                     shuffle: true,
+                    ..Default::default()
                 },
             );
         }
@@ -694,6 +877,7 @@ mod tests {
                 prefetch_distance: Some(20),
                 bf_first_distance: Some(14),
                 shuffle: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -852,5 +1036,84 @@ mod tests {
             dialga.encode_vec(&refs),
             Err(EcError::BlockCount { .. })
         ));
+    }
+
+    fn encoded_stripe(dialga: &Dialga, len: usize) -> Vec<Vec<u8>> {
+        let k = dialga.params().k;
+        let data = make_data(k, len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = dialga.encode_vec(&refs).unwrap();
+        data.into_iter().chain(parity).collect()
+    }
+
+    #[test]
+    fn verify_accepts_clean_and_names_mismatching_rows() {
+        let dialga = Dialga::new(6, 3).unwrap();
+        let mut stripe = encoded_stripe(&dialga, 2048 + 17);
+        {
+            let refs: Vec<&[u8]> = stripe.iter().map(|s| s.as_slice()).collect();
+            dialga.verify(&refs[..6], &refs[6..]).unwrap();
+        }
+        // Flip one byte of parity row 1: exactly that row mismatches.
+        stripe[7][100] ^= 0x40;
+        let refs: Vec<&[u8]> = stripe.iter().map(|s| s.as_slice()).collect();
+        assert!(matches!(
+            dialga.verify(&refs[..6], &refs[6..]),
+            Err(EcError::Corrupt { shards }) if shards == vec![7]
+        ));
+        // A corrupt data shard trips every parity row.
+        let mut stripe2 = encoded_stripe(&dialga, 512);
+        stripe2[2][13] ^= 0x01;
+        let refs2: Vec<&[u8]> = stripe2.iter().map(|s| s.as_slice()).collect();
+        assert!(matches!(
+            dialga.verify(&refs2[..6], &refs2[6..]),
+            Err(EcError::Corrupt { shards }) if shards == vec![6, 7, 8]
+        ));
+    }
+
+    #[test]
+    fn scrub_localizes_data_and_parity_corruption() {
+        let dialga = Dialga::new(4, 2).unwrap();
+        let clean = encoded_stripe(&dialga, 1024 + 5);
+        {
+            let refs: Vec<&[u8]> = clean.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(dialga.scrub(&refs).unwrap(), Vec::<usize>::new());
+        }
+        for victim in 0..6usize {
+            let mut stripe = clean.clone();
+            stripe[victim][511] ^= 0x80;
+            let refs: Vec<&[u8]> = stripe.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                dialga.scrub(&refs).unwrap(),
+                vec![victim],
+                "victim={victim}"
+            );
+        }
+        // Two corrupt parity shards stay localizable for m = 3 codes.
+        let dialga3 = Dialga::new(4, 3).unwrap();
+        let mut stripe = encoded_stripe(&dialga3, 700);
+        stripe[4][0] ^= 0xAA;
+        stripe[6][699] ^= 0x11;
+        let refs: Vec<&[u8]> = stripe.iter().map(|s| s.as_slice()).collect();
+        assert_eq!(dialga3.scrub(&refs).unwrap(), vec![4, 6]);
+    }
+
+    #[test]
+    fn scrub_rejects_bad_geometry_and_overwhelming_corruption() {
+        let dialga = Dialga::new(4, 2).unwrap();
+        let stripe = encoded_stripe(&dialga, 256);
+        let refs: Vec<&[u8]> = stripe[..5].iter().map(|s| s.as_slice()).collect();
+        assert!(matches!(
+            dialga.scrub(&refs),
+            Err(EcError::BlockCount { .. })
+        ));
+        // m = 2 tolerates localizing one corrupt shard; corrupting two
+        // (one data + one parity) must surface Corrupt, not a wrong
+        // localization.
+        let mut bad = stripe.clone();
+        bad[0][0] ^= 0x01;
+        bad[5][1] ^= 0x02;
+        let refs: Vec<&[u8]> = bad.iter().map(|s| s.as_slice()).collect();
+        assert!(matches!(dialga.scrub(&refs), Err(EcError::Corrupt { .. })));
     }
 }

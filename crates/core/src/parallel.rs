@@ -149,6 +149,7 @@ mod tests {
                 prefetch_distance: Some(10),
                 bf_first_distance: Some(14),
                 shuffle: true,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -35,8 +35,10 @@
 //! exact, and scheduling knobs never change the bytes produced.
 
 use crate::coordinator::Coordinator;
-use crate::encoder::Dialga;
+use crate::encoder::{Dialga, DEFAULT_BATCH_RETRIES};
 use dialga_ec::{EcError, Lrc};
+#[cfg(feature = "fault-injection")]
+use dialga_faultkit::{ChunkFault, FaultCell, FaultPlan};
 use dialga_gf::tables::NibbleTables;
 use dialga_memsim::Counters;
 use dialga_pipeline::Knobs;
@@ -46,7 +48,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Chunk boundaries are multiples of this (keeps rows and XPLines intact).
 pub const CHUNK_ALIGN: usize = 256;
@@ -141,6 +143,12 @@ struct PoolCounters {
     knob_switches: AtomicU64,
     /// Coordinator policy changes published to the knob cell.
     policy_changes: AtomicU64,
+    /// Workers observed dead (exited or unreachable) during healing.
+    worker_deaths: AtomicU64,
+    /// Workers respawned by [`EncodePool::heal_workers`].
+    worker_respawns: AtomicU64,
+    /// Batches re-submitted after a worker death/panic.
+    batch_retries: AtomicU64,
 }
 
 /// Read-only snapshot of pool activity.
@@ -160,6 +168,17 @@ pub struct PoolStats {
     pub knob_switches: u64,
     /// Coordinator policy changes published to workers.
     pub policy_changes: u64,
+    /// Workers observed dead during healing (a worker that dies and is
+    /// respawned counts once here and once in `worker_respawns`).
+    pub worker_deaths: u64,
+    /// Workers respawned after a death.
+    pub worker_respawns: u64,
+    /// Batches re-submitted after a worker death/panic (bounded by
+    /// [`crate::encoder::DialgaOptions::max_batch_retries`]).
+    pub batch_retries: u64,
+    /// Workers currently alive (== [`EncodePool::threads`] unless a
+    /// worker died and could not be respawned).
+    pub workers_alive: usize,
 }
 
 /// Coordinator state guarded by one lock; workers `try_lock` it so the
@@ -194,6 +213,12 @@ struct PoolShared {
     coord: Option<Mutex<CoordState>>,
     /// Wall-clock origin for coordinator timestamps.
     origin: Instant,
+    /// Deterministic fault-injection cell (disarmed unless a test arms
+    /// it via [`EncodePool::arm_faults`]). The cell reuses the knob-word
+    /// Release/Acquire protocol, so a disarmed hook costs one `Acquire`
+    /// load of zero on the worker path.
+    #[cfg(feature = "fault-injection")]
+    fault: Arc<FaultCell>,
 }
 
 impl PoolShared {
@@ -459,29 +484,78 @@ impl BatchState {
         }
     }
 
-    /// Block until every chunk has reported in. `Err` means at least one
-    /// chunk panicked in its kernel or never reached a live worker; the
-    /// batch is still fully quiesced on return either way, so the caller's
-    /// borrows are safe to release.
-    fn wait(&self) -> Result<(), ()> {
+    /// Block until every chunk has reported in, or until `watchdog`
+    /// elapses ([`BatchWait::TimedOut`]).
+    ///
+    /// On `Clean`/`Failed` the batch is fully quiesced: every chunk
+    /// reported through `finish` or `Drop`, so the caller's borrows are
+    /// safe to release (and `Failed` batches are safe to retry — the
+    /// kernel overwrites outputs). `TimedOut` can only happen if a chunk
+    /// was *lost* — neither run, nor dropped — which the latch/Drop
+    /// protocol rules out on every known path; the watchdog exists so a
+    /// future regression in that protocol degrades into an error instead
+    /// of blocking the submitter forever. After a timeout the borrows are
+    /// formally released while a stuck worker could still hold spans, so
+    /// the caller must surface the error and must NOT retry.
+    fn wait_with_deadline(&self, watchdog: Option<Duration>) -> BatchWait {
+        let start = Instant::now();
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while inner.remaining > 0 {
-            inner = self
-                .done
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
+            match watchdog {
+                None => {
+                    inner = self
+                        .done
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        return BatchWait::TimedOut;
+                    }
+                    inner = self
+                        .done
+                        .wait_timeout(inner, limit - elapsed)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
         }
         if inner.panicked {
-            Err(())
+            BatchWait::Failed
         } else {
-            Ok(())
+            BatchWait::Clean
         }
     }
 }
 
 enum Msg {
     Run(Chunk),
+    /// Liveness probe: healing sends one to distinguish "thread still
+    /// winding down" from "alive" without blocking (a send to a dropped
+    /// receiver fails immediately). Workers ignore it.
+    Ping,
     Shutdown,
+}
+
+/// One worker: its queue's send half plus the thread handle, kept
+/// together so healing can replace both atomically under the slot lock.
+struct WorkerSlot {
+    sender: Sender<Msg>,
+    handle: JoinHandle<()>,
+}
+
+/// How a batch wait ended (see [`BatchState::wait_with_deadline`]).
+enum BatchWait {
+    /// Every chunk completed cleanly.
+    Clean,
+    /// Every chunk is accounted for, but at least one failed (kernel
+    /// panic, dead worker, dropped send). Safe to retry.
+    Failed,
+    /// The watchdog deadline expired with chunks still unaccounted for —
+    /// a lost-completion bug. NOT safe to retry (spans may still be
+    /// referenced); surfaced as [`EcError::Internal`] instead of a hang.
+    TimedOut,
 }
 
 /// A persistent pool of encoding workers with per-worker task queues and
@@ -502,11 +576,35 @@ enum Msg {
 /// ```
 pub struct EncodePool {
     shared: Arc<PoolShared>,
-    senders: Vec<Sender<Msg>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The worker slots. Submission clones the senders out under this
+    /// lock; healing replaces dead slots in place under it, so a slot
+    /// index is a stable worker identity across respawns.
+    slots: Mutex<Vec<WorkerSlot>>,
+    /// Nominal worker count (slot count never changes after build).
+    threads: usize,
     /// Round-robin cursor so consecutive small submissions spread over
     /// different workers.
     next_worker: AtomicU64,
+    /// Watchdog deadline for one batch wait, in milliseconds; 0 disables
+    /// the watchdog. Not a counter: read/written with Acquire/Release.
+    watchdog_ms: AtomicU64,
+}
+
+/// Default batch watchdog: generous — a batch is chunks of at most a few
+/// MiB each, so half a minute only elapses if completions were *lost*,
+/// not merely slow.
+const DEFAULT_WATCHDOG_MS: u64 = 30_000;
+
+/// Spawn one worker thread for `slot`. Respawned workers reuse the slot
+/// index (stable identity for stats and fault plans) and read the live
+/// knob word from `shared` on their first chunk — a healed worker starts
+/// at the coordinator's *current* policy, not the policy at pool build.
+fn spawn_worker(slot: usize, shared: Arc<PoolShared>) -> std::io::Result<WorkerSlot> {
+    let (tx, rx) = channel::<Msg>();
+    let handle = std::thread::Builder::new()
+        .name(format!("dialga-enc-{slot}"))
+        .spawn(move || worker_loop(slot, rx, shared))?;
+    Ok(WorkerSlot { sender: tx, handle })
 }
 
 impl EncodePool {
@@ -527,6 +625,13 @@ impl EncodePool {
             || pack_knobs(&Knobs::default()),
             |c| pack_knobs(&c.policy().knobs),
         );
+        #[cfg(feature = "fault-injection")]
+        let fault: Arc<FaultCell> = Arc::new(FaultCell::new());
+        #[cfg(feature = "fault-injection")]
+        let coordinator = coordinator.map(|mut c| {
+            c.set_fault_cell(Arc::clone(&fault));
+            c
+        });
         let shared = Arc::new(PoolShared {
             knobs: AtomicU64::new(initial),
             stats: PoolCounters::default(),
@@ -537,38 +642,86 @@ impl EncodePool {
                 })
             }),
             origin: Instant::now(),
+            #[cfg(feature = "fault-injection")]
+            fault,
         });
-        let mut senders = Vec::with_capacity(threads);
-        let mut workers = Vec::with_capacity(threads);
+        let mut slots = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx) = channel::<Msg>();
-            let sh = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("dialga-enc-{i}"))
-                    .spawn(move || worker_loop(rx, sh))
+            slots.push(
+                spawn_worker(i, Arc::clone(&shared))
                     // A host that cannot spawn threads cannot make progress
                     // anyway; submission tolerates dead workers (`run_jobs`).
                     // lint:allow(panic-path): no Result channel at construction
                     .expect("spawn encode worker"),
             );
-            senders.push(tx);
         }
         EncodePool {
             shared,
-            senders,
-            workers,
+            slots: Mutex::new(slots),
+            threads,
             next_worker: AtomicU64::new(0),
+            watchdog_ms: AtomicU64::new(DEFAULT_WATCHDOG_MS),
         }
     }
 
-    /// Number of workers.
+    /// Number of worker slots (alive or not; see
+    /// [`PoolStats::workers_alive`] for liveness).
     pub fn threads(&self) -> usize {
-        self.senders.len()
+        self.threads
+    }
+
+    fn lock_slots(&self) -> std::sync::MutexGuard<'_, Vec<WorkerSlot>> {
+        // Slot state stays consistent under panic (plain Vec of handles),
+        // so recover a poisoned guard rather than propagate.
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Set the per-batch watchdog deadline (`None` disables it). The
+    /// default is [`DEFAULT_WATCHDOG_MS`] — far above any real batch, so
+    /// it only ever fires on a lost-completion bug.
+    pub fn set_watchdog(&self, deadline: Option<Duration>) {
+        let ms = deadline.map_or(0, |d| d.as_millis().max(1) as u64);
+        self.watchdog_ms.store(ms, Ordering::Release);
+    }
+
+    fn watchdog(&self) -> Option<Duration> {
+        match self.watchdog_ms.load(Ordering::Acquire) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    /// Arm a deterministic fault plan against this pool (and its
+    /// coordinator, when one is attached). Replaces any plan already
+    /// armed; scripted faults fire on the matching hook crossings until
+    /// [`Self::disarm_faults`] (worker indices in the plan are slot
+    /// indices, stable across respawns).
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_faults(&self, plan: &FaultPlan) {
+        self.shared.fault.arm(plan, self.threads);
+    }
+
+    /// Disarm any armed fault plan; hooks revert to a single relaxed
+    /// load of a zero word.
+    #[cfg(feature = "fault-injection")]
+    pub fn disarm_faults(&self) {
+        self.shared.fault.disarm();
+    }
+
+    /// Total scripted faults injected since construction (across all
+    /// armed plans).
+    #[cfg(feature = "fault-injection")]
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.fault.injected()
     }
 
     /// Snapshot of pool activity counters.
     pub fn stats(&self) -> PoolStats {
+        let workers_alive = self
+            .lock_slots()
+            .iter()
+            .filter(|slot| !slot.handle.is_finished())
+            .count();
         let s = &self.shared.stats;
         PoolStats {
             loads: s.loads.load(Ordering::Relaxed),
@@ -578,6 +731,10 @@ impl EncodePool {
             dispatches: s.dispatches.load(Ordering::Relaxed),
             knob_switches: s.knob_switches.load(Ordering::Relaxed),
             policy_changes: s.policy_changes.load(Ordering::Relaxed),
+            worker_deaths: s.worker_deaths.load(Ordering::Relaxed),
+            worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
+            batch_retries: s.batch_retries.load(Ordering::Relaxed),
+            workers_alive,
         }
     }
 
@@ -686,7 +843,7 @@ impl EncodePool {
             .stripes
             .fetch_add(stripes.len() as u64, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(&jobs)
+        self.run_jobs(&jobs, coder.max_batch_retries())
     }
 
     /// Convenience wrapper allocating the parity blocks.
@@ -763,7 +920,7 @@ impl EncodePool {
                 default_bf,
             });
         }
-        self.run_jobs(&jobs)?;
+        self.run_jobs(&jobs, coder.max_batch_retries())?;
 
         // Stage 2: lost parity rows from the (now complete) data blocks.
         // The stage-1 wait orders the reconstructed data before these reads.
@@ -792,7 +949,7 @@ impl EncodePool {
                 default_bf,
             });
         }
-        self.run_jobs(&jobs)
+        self.run_jobs(&jobs, coder.max_batch_retries())
     }
 
     /// Single-block repair fast path (degraded read): reconstruct shard
@@ -853,7 +1010,7 @@ impl EncodePool {
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(std::slice::from_ref(&job))?;
+        self.run_jobs(std::slice::from_ref(&job), coder.max_batch_retries())?;
         Ok(out)
     }
 
@@ -905,13 +1062,249 @@ impl EncodePool {
         };
         self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.run_jobs(std::slice::from_ref(&job))?;
+        self.run_jobs(std::slice::from_ref(&job), DEFAULT_BATCH_RETRIES)?;
         Ok(out)
     }
 
+    /// Verify stripe integrity on the workers: recompute all m parity
+    /// rows from `data` (chunked across the pool like an encode) and
+    /// compare against the stored `parity`. On mismatch returns
+    /// [`EcError::Corrupt`] naming the disagreeing parity rows (indices
+    /// `k..k+m`) — evidence of inconsistency, not a localization (a
+    /// corrupt data shard trips every row; see [`Dialga::scrub`]).
+    pub fn verify(&self, coder: &Dialga, data: &[&[u8]], parity: &[&[u8]]) -> Result<(), EcError> {
+        let params = coder.params();
+        let (k, m) = (params.k, params.m);
+        if data.len() != k {
+            return Err(EcError::BlockCount {
+                expected: k,
+                got: data.len(),
+            });
+        }
+        if parity.len() != m {
+            return Err(EcError::BlockCount {
+                expected: m,
+                got: parity.len(),
+            });
+        }
+        let len = data.first().map_or(0, |d| d.len());
+        for b in data.iter().chain(parity.iter()) {
+            if b.len() != len {
+                return Err(EcError::BlockLength {
+                    expected: len,
+                    got: b.len(),
+                });
+            }
+        }
+        let mut scratch = vec![vec![0u8; len]; m];
+        {
+            let job = RawJob {
+                tables: TabSpan::new(coder.tables()),
+                sources: data.iter().map(|d| SrcSpan::new(d)).collect(),
+                outputs: scratch.iter_mut().map(|o| OutSpan::new(o)).collect(),
+                len,
+                default_d: coder.prefetch_distance(),
+                default_bf: coder.bf_first_distance(),
+            };
+            self.shared.stats.stripes.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+            self.run_jobs(std::slice::from_ref(&job), coder.max_batch_retries())?;
+        }
+        let bad: Vec<usize> = scratch
+            .iter()
+            .zip(parity.iter())
+            .enumerate()
+            .filter(|(_, (got, want))| got.as_slice() != **want)
+            .map(|(r, _)| k + r)
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(EcError::Corrupt { shards: bad })
+        }
+    }
+
+    /// [`Self::decode`] plus an integrity check of the completed stripe
+    /// on the same workers. A corrupted *survivor* silently poisons a
+    /// plain decode (the decode matrix trusts every present byte);
+    /// here the full stripe is re-verified after reconstruction and a
+    /// corrupt survivor is rejected with [`EcError::Corrupt`] naming it
+    /// (localized by leave-one-out re-decode over the original
+    /// survivors when the erasure budget allows, the mismatching parity
+    /// rows as evidence otherwise).
+    ///
+    /// On `Err`, reconstructed shard contents are unspecified (they were
+    /// derived from corrupt input).
+    pub fn decode_verified(
+        &self,
+        coder: &Dialga,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<(), EcError> {
+        let params = coder.params();
+        let (k, m) = (params.k, params.m);
+        let lost: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards.get(i).is_some_and(|s| s.is_none()))
+            .collect();
+        self.decode(coder, shards)?;
+        let data: Vec<&[u8]> = (0..k)
+            .map(|i| dialga_ec::present_shard(shards, i, "data shard absent after decode"))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let parity: Vec<&[u8]> = (k..k + m)
+            .map(|i| dialga_ec::present_shard(shards, i, "parity shard absent after decode"))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|v| v.as_slice())
+            .collect();
+        let evidence = match self.verify(coder, &data, &parity) {
+            Ok(()) => return Ok(()),
+            Err(EcError::Corrupt { shards }) => shards,
+            Err(e) => return Err(e),
+        };
+        // Localize: re-decode with one original survivor additionally
+        // erased; the trial that comes back consistent names the corrupt
+        // survivor (unique for one corrupt shard by the MDS distance
+        // bound). Needs a *spare* parity constraint beyond the trial's
+        // erasures — with `lost + 1 == m` every remaining shard becomes a
+        // survivor and any trial decode is trivially consistent, so the
+        // corruption is detectable but not localizable.
+        if lost.len() + 1 < m {
+            for s in (0..k + m).filter(|i| !lost.contains(i)) {
+                let mut trial: Vec<Option<Vec<u8>>> = shards.to_vec();
+                for &l in &lost {
+                    trial[l] = None;
+                }
+                trial[s] = None;
+                if coder.decode(&mut trial).is_err() {
+                    continue;
+                }
+                let fixed: Vec<&[u8]> = trial.iter().flatten().map(|v| v.as_slice()).collect();
+                if fixed.len() == k + m && coder.verify(&fixed[..k], &fixed[k..]).is_ok() {
+                    return Err(EcError::Corrupt { shards: vec![s] });
+                }
+            }
+        }
+        Err(EcError::Corrupt { shards: evidence })
+    }
+
+    /// [`Self::repair`] plus an integrity check: reconstruct shard
+    /// `target` *and* verify the stripe it came from, rejecting corrupt
+    /// survivors with [`EcError::Corrupt`] (a plain repair would fold a
+    /// corrupted survivor straight into the rebuilt shard). Decodes the
+    /// whole stripe on the workers to make the cross-check possible —
+    /// the verified path trades the degraded-read fast path for
+    /// end-to-end integrity.
+    pub fn repair_verified(
+        &self,
+        coder: &Dialga,
+        shards: &[Option<Vec<u8>>],
+        target: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        let params = coder.params();
+        let (k, m) = (params.k, params.m);
+        if shards.len() != k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: shards.len(),
+            });
+        }
+        if target >= k + m {
+            return Err(EcError::BlockCount {
+                expected: k + m,
+                got: target,
+            });
+        }
+        let mut trial: Vec<Option<Vec<u8>>> = shards.to_vec();
+        // Erasing a present target re-derives (and thus verifies) it too.
+        trial[target] = None;
+        self.decode_verified(coder, &mut trial)?;
+        trial[target].take().ok_or(EcError::Internal {
+            what: "repair_verified target absent after verified decode",
+        })
+    }
+
+    /// Run a batch with healing and bounded retry: submit via
+    /// [`Self::run_jobs_once`]; when the batch fails (worker death,
+    /// kernel panic, dropped send), respawn any dead workers and — up to
+    /// `retries` times — resubmit the whole batch. Resubmission is
+    /// idempotent: the fused kernel *overwrites* its outputs and the
+    /// batch latch quiesced every chunk of the failed attempt first, so
+    /// no byte of a previous attempt can land after (or interleave with)
+    /// the retry. Watchdog timeouts are never retried (see
+    /// [`BatchWait::TimedOut`]).
+    ///
+    /// Healing runs even when `retries` is 0 or exhausted, so the pool
+    /// returns to full capacity for the *next* submission either way.
+    fn run_jobs(&self, jobs: &[RawJob], retries: u32) -> Result<(), EcError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.run_jobs_once(jobs) {
+                BatchWait::Clean => return Ok(()),
+                BatchWait::TimedOut => {
+                    return Err(EcError::Internal {
+                        what: "encode pool batch watchdog expired (lost chunk completion)",
+                    });
+                }
+                BatchWait::Failed => {
+                    self.heal_workers();
+                    if attempt >= retries {
+                        return Err(EcError::Internal {
+                            what: "encode pool worker panicked or exited mid-batch",
+                        });
+                    }
+                    attempt += 1;
+                    self.shared
+                        .stats
+                        .batch_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Respawn every dead worker slot in place (fresh queue, same slot
+    /// index; the replacement reads the current knob word on its first
+    /// chunk). Returns how many workers were respawned. A slot whose
+    /// respawn fails (thread spawn error) stays dead and is retried on
+    /// the next heal.
+    fn heal_workers(&self) -> usize {
+        let mut slots = self.lock_slots();
+        let mut healed = 0;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            // `is_finished` covers a fully-exited thread; the ping probe
+            // covers the window where the receiver is already dropped but
+            // the thread has not finished tearing down.
+            let dead = slot.handle.is_finished() || slot.sender.send(Msg::Ping).is_err();
+            if !dead {
+                continue;
+            }
+            self.shared
+                .stats
+                .worker_deaths
+                .fetch_add(1, Ordering::Relaxed);
+            let Ok(fresh) = spawn_worker(i, Arc::clone(&self.shared)) else {
+                continue;
+            };
+            let old = std::mem::replace(slot, fresh);
+            // The dead worker's receiver is gone (or going); joining reaps
+            // the thread, and cannot block: its loop has already returned.
+            drop(old.sender);
+            let _ = old.handle.join();
+            self.shared
+                .stats
+                .worker_respawns
+                .fetch_add(1, Ordering::Relaxed);
+            healed += 1;
+        }
+        healed
+    }
+
     /// Chunk every job with [`split_ranges`], deal the chunks round-robin
-    /// to the per-worker queues, and block until all complete. Jobs with
-    /// zero-length blocks contribute no chunks.
+    /// to the per-worker queues, and block until all complete (or the
+    /// watchdog expires). Jobs with zero-length blocks contribute no
+    /// chunks.
     ///
     /// This function MUST NOT return (or unwind) before every chunk of the
     /// batch is accounted for: the chunks carry detached spans into the
@@ -919,9 +1312,10 @@ impl EncodePool {
     /// later sends are still in flight. A failed send (worker died, its
     /// receiver dropped) therefore does not bail out — the unsent chunk is
     /// marked failed on the latch and submission continues, so
-    /// [`BatchState::wait`] still quiesces the whole batch before the
-    /// borrows are released. Failure surfaces as [`EcError::Internal`].
-    fn run_jobs(&self, jobs: &[RawJob]) -> Result<(), EcError> {
+    /// [`BatchState::wait_with_deadline`] still quiesces the whole batch
+    /// before the borrows are released. (The single exception is the
+    /// watchdog path, documented on [`BatchWait::TimedOut`].)
+    fn run_jobs_once(&self, jobs: &[RawJob]) -> BatchWait {
         let mut chunks: Vec<Chunk> = Vec::new();
         // Latch count is known only after chunking; build chunk protos
         // first so the batch starts exact.
@@ -932,7 +1326,7 @@ impl EncodePool {
             }
         }
         if protos.is_empty() {
-            return Ok(());
+            return BatchWait::Clean;
         }
         let batch = BatchState::new(protos.len());
         for (j, r) in protos {
@@ -963,38 +1357,76 @@ impl EncodePool {
                 finished: false,
             });
         }
+        // Senders are cloned out so the slot lock is not held across the
+        // batch wait (healing and other submitters stay unblocked). A
+        // concurrent heal can invalidate a cloned sender mid-submission;
+        // the send then fails and the chunk's Drop closes the latch, so
+        // the batch still quiesces and the retry loop recovers.
+        let senders: Vec<Sender<Msg>> =
+            self.lock_slots().iter().map(|s| s.sender.clone()).collect();
         let start = self.next_worker.fetch_add(1, Ordering::Relaxed) as usize;
         for (i, chunk) in chunks.into_iter().enumerate() {
-            let w = (start + i) % self.senders.len();
+            let w = (start + i) % senders.len();
+            // Scripted fault: drop this send as if the queue were gone.
+            #[cfg(feature = "fault-injection")]
+            if self.shared.fault.on_send() {
+                drop(chunk);
+                continue;
+            }
             // A failed send means the worker is gone and its queue will
             // never drain; dropping the returned chunk marks it failed on
             // the latch so it still closes. The old `.expect` here unwound
             // the submitting frame while live workers held spans into it
             // (a use-after-free window).
-            let _ = self.senders[w].send(Msg::Run(chunk));
+            let _ = senders[w].send(Msg::Run(chunk));
         }
-        batch.wait().map_err(|()| EcError::Internal {
-            what: "encode pool worker panicked or exited mid-batch",
-        })
+        batch.wait_with_deadline(self.watchdog())
     }
 }
 
 impl Drop for EncodePool {
     fn drop(&mut self) {
-        for tx in &self.senders {
+        let mut slots = self.lock_slots();
+        for slot in slots.iter() {
             // A worker that already exited (or panicked) has dropped its
             // receiver; nothing to signal then.
-            let _ = tx.send(Msg::Shutdown);
+            let _ = slot.sender.send(Msg::Shutdown);
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for slot in slots.drain(..) {
+            drop(slot.sender);
+            let _ = slot.handle.join();
         }
     }
 }
 
-fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
+/// Worker body for slot `index`. The slot index is the worker's stable
+/// identity: a respawned worker runs the same loop with the same index,
+/// so scripted faults keyed on a worker keep matching across respawns
+/// (their per-slot counters live in the shared [`FaultCell`], not here).
+fn worker_loop(index: usize, rx: Receiver<Msg>, shared: Arc<PoolShared>) {
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = index;
     let mut last_knobs = shared.knobs.load(Ordering::Acquire);
-    while let Ok(Msg::Run(chunk)) = rx.recv() {
+    while let Ok(msg) = rx.recv() {
+        let chunk = match msg {
+            Msg::Run(chunk) => chunk,
+            // Liveness probe from `heal_workers`; nothing to do.
+            Msg::Ping => continue,
+            Msg::Shutdown => break,
+        };
+        #[cfg(feature = "fault-injection")]
+        let scripted_panic = match shared.fault.on_worker_chunk(index) {
+            ChunkFault::None => false,
+            ChunkFault::Panic => true,
+            ChunkFault::Exit => {
+                // Dropping the chunk before running it completes the
+                // latch with a failure (Chunk::drop), exactly like a
+                // worker that died between recv and finish.
+                drop(chunk);
+                return;
+            }
+        };
+
         let packed = shared.knobs.load(Ordering::Acquire);
         if packed != last_knobs {
             shared.stats.knob_switches.fetch_add(1, Ordering::Relaxed);
@@ -1004,6 +1436,15 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<PoolShared>) {
 
         let started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Scripted fault: die exactly where a kernel bug would, inside
+            // the catch_unwind that guards real kernel panics.
+            #[cfg(feature = "fault-injection")]
+            if scripted_panic {
+                // Only reachable with the fault-injection feature and an
+                // armed plan; caught by the surrounding catch_unwind.
+                // lint:allow(panic-path): deliberate scripted worker fault
+                panic!("injected worker panic (slot {index})");
+            }
             // SAFETY: the submitting thread blocks in `BatchState::wait`
             // until this chunk (and its whole batch) completes, so the
             // tables and all spans are live; output sub-spans of distinct
@@ -1241,6 +1682,7 @@ mod tests {
                 prefetch_distance: Some(10),
                 bf_first_distance: Some(14),
                 shuffle: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1359,25 +1801,60 @@ mod tests {
 
     #[test]
     fn dead_worker_surfaces_error_instead_of_unwinding_submitter() {
-        // Regression: the old submission path `.expect`ed every send, so a
-        // dead worker unwound `run_jobs` while live workers still held
-        // spans into the submitting frame (use-after-free window). Now the
-        // batch always quiesces and the failure surfaces as an error.
+        // Regression (PR 1): the old submission path `.expect`ed every
+        // send, so a dead worker unwound `run_jobs` while live workers
+        // still held spans into the submitting frame (use-after-free
+        // window). Since the self-healing pool, the failed attempt still
+        // quiesces, the dead slot is respawned, and the retry succeeds —
+        // so the submission now *recovers* instead of erroring, and the
+        // pool returns to full capacity.
         let coder = Dialga::new(4, 2).unwrap();
         let pool = EncodePool::new(2);
-        pool.senders[0].send(Msg::Shutdown).unwrap();
-        // The worker tears its queue down when it exits; wait for that.
-        while pool.senders[0].send(Msg::Shutdown).is_ok() {
-            std::thread::yield_now();
+        {
+            let slots = pool.lock_slots();
+            slots[0].sender.send(Msg::Shutdown).unwrap();
+            // The worker tears its queue down when it exits; wait for that.
+            while slots[0].sender.send(Msg::Shutdown).is_ok() {
+                std::thread::yield_now();
+            }
         }
         let data = make_data(4, 4096);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        for _ in 0..3 {
+        let expected = coder.encode_vec(&refs).unwrap();
+        assert_eq!(
+            pool.encode_vec(&coder, &refs).unwrap(),
+            expected,
+            "healing + retry must recover from a dead worker"
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.workers_alive, pool.threads(), "slot 0 respawned");
+        assert!(stats.worker_deaths >= 1);
+        assert_eq!(stats.worker_respawns, stats.worker_deaths);
+        assert!(stats.batch_retries >= 1);
+        // With retries disabled the same failure surfaces as an error —
+        // but the pool must still heal for the *next* submission.
+        let pool0 = {
+            let opts = crate::encoder::DialgaOptions {
+                max_batch_retries: Some(0),
+                ..Default::default()
+            };
+            let coder0 = Dialga::with_options(4, 2, opts).unwrap();
+            let pool0 = EncodePool::new(2);
+            {
+                let slots = pool0.lock_slots();
+                slots[0].sender.send(Msg::Shutdown).unwrap();
+                while slots[0].sender.send(Msg::Shutdown).is_ok() {
+                    std::thread::yield_now();
+                }
+            }
             assert!(matches!(
-                pool.encode_vec(&coder, &refs),
+                pool0.encode_vec(&coder0, &refs),
                 Err(EcError::Internal { .. })
             ));
-        }
+            assert_eq!(pool0.encode_vec(&coder0, &refs).unwrap(), expected);
+            pool0
+        };
+        assert_eq!(pool0.stats().workers_alive, pool0.threads());
     }
 
     #[test]
@@ -1385,7 +1862,8 @@ mod tests {
         // A malformed job (zero tables for one output × one source) makes
         // `apply_tables` panic inside the worker; the pool must report
         // `EcError::Internal` — not hang, not unwind the submitter — and
-        // keep serving later submissions.
+        // keep serving later submissions. The panic is deterministic, so
+        // retries cannot mask it (retries=0 keeps the test tight).
         let pool = EncodePool::new(2);
         let src = vec![0u8; 1024];
         let mut out = vec![0u8; 1024];
@@ -1399,7 +1877,7 @@ mod tests {
             default_bf: None,
         };
         assert!(matches!(
-            pool.run_jobs(std::slice::from_ref(&job)),
+            pool.run_jobs(std::slice::from_ref(&job), 0),
             Err(EcError::Internal { .. })
         ));
         let coder = Dialga::new(4, 2).unwrap();
@@ -1409,6 +1887,63 @@ mod tests {
             pool.encode_vec(&coder, &refs).unwrap(),
             coder.encode_vec(&refs).unwrap(),
             "pool must survive a kernel panic"
+        );
+        // The panic is caught inside the worker, so no thread died.
+        let stats = pool.stats();
+        assert_eq!(stats.workers_alive, pool.threads());
+        assert_eq!(stats.worker_deaths, 0);
+    }
+
+    #[test]
+    fn policy_log_snapshots_stay_consistent_under_concurrent_ticks() {
+        // Audit of the `try_lock` race (robustness PR): `maybe_tick`
+        // (worker side, `try_lock`) and `policy_log()` (observer side,
+        // `lock`) guard the coordinator — log ring buffer included —
+        // with the *same* Mutex, so a snapshot can never observe a torn
+        // entry; a tick that loses the race is skipped, not corrupted.
+        // Pin that: hammer snapshots from observer threads while encodes
+        // drive ticks, and check every snapshot is internally ordered
+        // and a prefix-extension of the previous one.
+        let cfg = dialga_memsim::MachineConfig::pm();
+        let mut coord = crate::Coordinator::new(4, 2, 4096, 2, &cfg);
+        // Aggressive interval so real ticks land during the test.
+        coord.set_sample_interval(10_000.0);
+        let pool = std::sync::Arc::new(EncodePool::with_coordinator(2, coord));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let observers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut prev: Vec<(f64, crate::coordinator::Policy)> = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        let snap = pool.policy_log();
+                        for w in snap.windows(2) {
+                            assert!(w[0].0 < w[1].0, "timestamps must increase");
+                        }
+                        assert!(snap.len() >= prev.len(), "log only grows (below cap)");
+                        for (a, b) in prev.iter().zip(snap.iter()) {
+                            assert_eq!(a, b, "snapshot must extend the previous one");
+                        }
+                        prev = snap;
+                    }
+                })
+            })
+            .collect();
+        let coder = Dialga::new(4, 2).unwrap();
+        let data = make_data(4, 8192);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expected = coder.encode_vec(&refs).unwrap();
+        for _ in 0..200 {
+            assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), expected);
+        }
+        stop.store(true, Ordering::Release);
+        for o in observers {
+            o.join().unwrap();
+        }
+        assert!(
+            pool.coordinator_samples() > 0,
+            "ticks must make progress despite concurrent snapshots"
         );
     }
 

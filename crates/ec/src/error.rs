@@ -52,6 +52,16 @@ pub enum EcError {
         /// Which invariant broke, for diagnostics.
         what: &'static str,
     },
+    /// Shard contents failed parity verification: the stripe is
+    /// *corrupt*, not merely erased. `shards` names the corrupt shard
+    /// indices when verification could localize them; when it could not
+    /// (more simultaneous corruptions than the parity budget can pin
+    /// down), it names the mismatching parity shards as evidence.
+    Corrupt {
+        /// Corrupt shard indices (data shards are `0..k`, parity shards
+        /// `k..k+m`), sorted ascending.
+        shards: Vec<usize>,
+    },
 }
 
 impl fmt::Display for EcError {
@@ -78,6 +88,9 @@ impl fmt::Display for EcError {
             }
             EcError::Internal { what } => {
                 write!(f, "internal invariant violated: {what}")
+            }
+            EcError::Corrupt { shards } => {
+                write!(f, "shard contents failed parity verification: {shards:?}")
             }
         }
     }
@@ -114,6 +127,114 @@ pub fn present_shard_mut<'a, T: AsRef<[u8]>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One Display assertion per variant: the rendered message must carry
+    /// every payload field, so a boxed error is diagnosable on its own.
+    #[test]
+    fn display_renders_every_variant_with_its_payload() {
+        let cases: Vec<(EcError, &[&str])> = vec![
+            (
+                EcError::InvalidParams {
+                    k: 10,
+                    m: 4,
+                    reason: "k+m exceeds field size",
+                },
+                &["k=10", "m=4", "k+m exceeds field size"],
+            ),
+            (
+                EcError::BlockLength {
+                    expected: 4096,
+                    got: 4095,
+                },
+                &["length", "4096", "4095"],
+            ),
+            (
+                EcError::BlockCount {
+                    expected: 14,
+                    got: 13,
+                },
+                &["count", "14", "13"],
+            ),
+            (
+                EcError::TooManyErasures {
+                    lost: 5,
+                    tolerance: 4,
+                },
+                &["5", "tolerance 4"],
+            ),
+            (EcError::SingularMatrix, &["singular"]),
+            (EcError::InvalidGroups { l: 3, k: 10 }, &["l=3", "k=10"]),
+            (
+                EcError::Internal {
+                    what: "latch under-completed",
+                },
+                &["internal", "latch under-completed"],
+            ),
+            (
+                EcError::Corrupt { shards: vec![2, 7] },
+                &["parity verification", "[2, 7]"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let rendered = err.to_string();
+            for needle in needles {
+                assert!(
+                    rendered.contains(needle),
+                    "{err:?} rendered as {rendered:?}, missing {needle:?}"
+                );
+            }
+        }
+    }
+
+    /// `EcError` is the crate's public error type; it must box into
+    /// `dyn Error` callers (the `anyhow` shape) and round-trip Display.
+    #[test]
+    fn ec_error_boxes_as_std_error() {
+        let err = EcError::Corrupt { shards: vec![0] };
+        let rendered = err.to_string();
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert_eq!(boxed.to_string(), rendered);
+        assert!(boxed.source().is_none(), "leaf error, no source");
+    }
+
+    #[test]
+    fn present_shard_rejects_missing_and_out_of_range_shards() {
+        let shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2]), None];
+        assert_eq!(
+            present_shard(&shards, 1, "shard absent").unwrap_err(),
+            EcError::Internal {
+                what: "shard absent"
+            }
+        );
+        assert_eq!(
+            present_shard(&shards, 2, "index past stripe").unwrap_err(),
+            EcError::Internal {
+                what: "index past stripe"
+            }
+        );
+    }
+
+    #[test]
+    fn present_shard_mut_rejects_missing_and_out_of_range_shards() {
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2]), None];
+        assert_eq!(
+            present_shard_mut(&mut shards, 1, "shard absent").unwrap_err(),
+            EcError::Internal {
+                what: "shard absent"
+            }
+        );
+        assert_eq!(
+            present_shard_mut(&mut shards, 2, "index past stripe").unwrap_err(),
+            EcError::Internal {
+                what: "index past stripe"
+            }
+        );
+        // The happy path still hands out a usable mutable borrow.
+        present_shard_mut(&mut shards, 0, "present")
+            .unwrap()
+            .push(9);
+        assert_eq!(shards[0].as_deref(), Some(&[1, 2, 9][..]));
+    }
 
     #[test]
     fn present_shard_surfaces_internal_error() {

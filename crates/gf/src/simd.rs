@@ -304,6 +304,78 @@ pub fn dot_prod_fused(
     }
 }
 
+/// Scratch window for [`dot_prod_verify`]: 256 cachelines (16 KiB) per
+/// output row — large enough that the fused kernels run at full stride
+/// with the §4.2/§4.3 prefetch schedule live, small enough that the
+/// scratch stays cache-resident instead of re-materializing whole parity
+/// rows.
+pub const VERIFY_WINDOW: usize = 256 * CACHELINE;
+
+/// Syndrome check on the fused path: recompute
+/// `sum_j tables[i*k + j] · sources[j]` window-by-window through
+/// [`dot_prod_fused`] and compare against `expected[i]`, returning the
+/// indices of the rows that mismatch (sorted ascending; empty = clean).
+///
+/// This is the integrity primitive behind `Dialga::verify`/`scrub`:
+/// `sources` are the data shards, `expected` the stored parity rows, and
+/// a returned index is a *syndrome* — evidence that some shard feeding
+/// that parity row (or the row itself) is corrupt. Scheduling never
+/// changes the bytes produced, so any `sched` gives the same verdict.
+///
+/// A row already known corrupt is still recomputed (the window loop needs
+/// its group pass anyway) but compared no further; once every row has
+/// mismatched the scan stops early.
+///
+/// # Panics
+/// Panics when `tables.len() != sources.len() * expected.len()` or any
+/// source/expected length differs from the first expected row's.
+pub fn dot_prod_verify(
+    tables: &[NibbleTables],
+    sources: &[&[u8]],
+    expected: &[&[u8]],
+    sched: FusedSched,
+) -> Vec<usize> {
+    let k = sources.len();
+    let n_out = expected.len();
+    assert_eq!(
+        tables.len(),
+        k * n_out,
+        "dot_prod_verify table geometry mismatch"
+    );
+    if n_out == 0 {
+        return Vec::new();
+    }
+    let len = expected[0].len();
+    for e in expected.iter() {
+        assert_eq!(e.len(), len, "dot_prod_verify length mismatch");
+    }
+    for s in sources {
+        assert_eq!(s.len(), len, "dot_prod_verify length mismatch");
+    }
+
+    let window = VERIFY_WINDOW.min(len).max(1);
+    let mut scratch: Vec<Vec<u8>> = (0..n_out).map(|_| vec![0u8; window]).collect();
+    let mut bad = vec![false; n_out];
+    let mut start = 0usize;
+    while start < len && !bad.iter().all(|&b| b) {
+        let end = (start + window).min(len);
+        let w = end - start;
+        let srcs: Vec<&[u8]> = sources.iter().map(|s| &s[start..end]).collect();
+        let mut outs: Vec<&mut [u8]> = scratch.iter_mut().map(|b| &mut b[..w]).collect();
+        dot_prod_fused(tables, &srcs, &mut outs, sched);
+        for (i, out) in outs.iter().enumerate() {
+            if !bad[i] && out[..] != expected[i][start..end] {
+                bad[i] = true;
+            }
+        }
+        start = end;
+    }
+    bad.iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect()
+}
+
 /// Monomorphize a group pass over the runtime group width (1..=6 by
 /// construction of `chunks_mut(FUSED_GROUP)`).
 #[cfg(target_arch = "x86_64")]
@@ -624,5 +696,79 @@ mod tests {
         let mut o = [0u8; 64];
         let mut outs: Vec<&mut [u8]> = vec![&mut o];
         dot_prod_fused(&t, &[&a, &a], &mut outs, FusedSched::plain());
+    }
+
+    #[test]
+    fn verify_accepts_clean_rows_and_localizes_flipped_ones() {
+        // Lengths straddle one window, several windows, and a ragged tail.
+        let k = 4;
+        let n_out = 3;
+        for len in [96usize, VERIFY_WINDOW, 2 * VERIFY_WINDOW + 200] {
+            let data: Vec<Vec<u8>> = (0..k).map(|j| pattern(len, j as u8 + 11)).collect();
+            let sources: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let tables: Vec<NibbleTables> = (0..n_out * k)
+                .map(|i| NibbleTables::new((i as u8).wrapping_mul(31).wrapping_add(7)))
+                .collect();
+            let mut rows = vec![vec![0u8; len]; n_out];
+            let mut row_refs: Vec<&mut [u8]> = rows.iter_mut().map(|o| o.as_mut_slice()).collect();
+            reference_dot(&tables, &sources, &mut row_refs);
+            let sched = FusedSched {
+                d: Some(7),
+                d_long: Some(13),
+                shuffle: false,
+            };
+            let clean: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(
+                dot_prod_verify(&tables, &sources, &clean, sched),
+                Vec::<usize>::new()
+            );
+            // Flip one byte in row 1 — deep in the last window, so the
+            // early-out must not skip it.
+            let mut dirty = rows.clone();
+            dirty[1][len - 1] ^= 0x40;
+            let exp: Vec<&[u8]> = dirty.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(
+                dot_prod_verify(&tables, &sources, &exp, sched),
+                vec![1],
+                "len={len}"
+            );
+            // Corrupt every row: all condemned, scan may stop early.
+            let mut all = rows.clone();
+            for r in all.iter_mut() {
+                r[0] ^= 1;
+            }
+            let exp: Vec<&[u8]> = all.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(
+                dot_prod_verify(&tables, &sources, &exp, sched),
+                vec![0, 1, 2]
+            );
+        }
+    }
+
+    #[test]
+    fn verify_verdict_is_schedule_independent() {
+        let k = 3;
+        let len = 640;
+        let data: Vec<Vec<u8>> = (0..k).map(|j| pattern(len, j as u8 + 2)).collect();
+        let sources: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let tables: Vec<NibbleTables> = (0..2 * k)
+            .map(|i| NibbleTables::new((i as u8).wrapping_mul(23).wrapping_add(5)))
+            .collect();
+        let mut rows = vec![vec![0u8; len]; 2];
+        let mut row_refs: Vec<&mut [u8]> = rows.iter_mut().map(|o| o.as_mut_slice()).collect();
+        reference_dot(&tables, &sources, &mut row_refs);
+        rows[0][17] ^= 0x0F;
+        let exp: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let scheds = [
+            FusedSched::plain(),
+            FusedSched {
+                d: Some(4),
+                d_long: Some(16),
+                shuffle: true,
+            },
+        ];
+        for sched in scheds {
+            assert_eq!(dot_prod_verify(&tables, &sources, &exp, sched), vec![0]);
+        }
     }
 }

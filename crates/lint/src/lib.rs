@@ -65,6 +65,10 @@ pub fn workspace_config() -> Config {
             "crates/memsim/src/lib.rs",
             "crates/pipeline/src/lib.rs",
             "crates/testkit/src/lib.rs",
+            // The fault-injection plane stays 100% safe code by design:
+            // its hooks publish through an atomic word and a Mutex, never
+            // raw pointers (so it needs no R2/R5 whitelisting either).
+            "crates/faultkit/src/lib.rs",
             "crates/bench/src/lib.rs",
             "crates/lint/src/lib.rs",
             "src/lib.rs",
@@ -75,8 +79,11 @@ pub fn workspace_config() -> Config {
             "crates/ec/src/",
             "crates/gf/src/",
             "crates/pipeline/src/",
+            "crates/faultkit/src/",
         ]),
-        knob_fields: s(&["knobs"]),
+        // `fault_word` (dialga-faultkit) reuses the knob-word protocol:
+        // Release on arm/disarm, Acquire on the hook's disarmed check.
+        knob_fields: s(&["knobs", "fault_word"]),
         counter_fields: s(&[
             // `PoolCounters` stats plus the round-robin dispatch cursor —
             // monotone counters with no cross-field consistency contract.
@@ -87,7 +94,13 @@ pub fn workspace_config() -> Config {
             "dispatches",
             "knob_switches",
             "policy_changes",
+            "worker_deaths",
+            "worker_respawns",
+            "batch_retries",
             "next_worker",
+            // dialga-faultkit's arm-generation stamp: a monotone tag, all
+            // consistency goes through `fault_word`'s Release/Acquire.
+            "generation",
         ]),
         literal_guards: vec![
             LiteralGuard {

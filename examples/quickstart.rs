@@ -21,6 +21,7 @@ fn main() {
             prefetch_distance: Some(2 * k as u32), // or None for d = k
             bf_first_distance: Some(k as u32 + 4), // §4.3 long distance
             shuffle: false,
+            ..Default::default()
         },
     )
     .expect("valid geometry");

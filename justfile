@@ -13,6 +13,11 @@ lint:
 lint-fixtures:
     cargo test -q -p dialga-lint
 
+# Fixed-seed chaos smoke: seeded fault plans through the self-healing
+# pool plus the stripe-integrity suite (deterministic, <= 5 s)
+chaos:
+    cargo test -q --test chaos --test integrity
+
 # Figure tables (see crates/bench/src/bin)
 figures:
     cargo run --release -p dialga-bench --bin all_figures

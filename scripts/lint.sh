@@ -17,4 +17,7 @@ cargo run -q -p dialga-lint
 echo "== kernel_fusion smoke (fused/per-row bit-exactness gate) =="
 cargo run -q -p dialga-bench --bin kernel_fusion -- --smoke
 
+echo "== chaos smoke (fixed-seed fault plans + stripe integrity) =="
+cargo test -q --test chaos --test integrity
+
 echo "lint OK"

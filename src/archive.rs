@@ -209,67 +209,168 @@ fn read_shards(
 pub struct ArchiveStatus {
     /// Indices of missing or wrong-sized shard files.
     pub missing: Vec<usize>,
-    /// Indices present but failing the parity check.
+    /// Indices present but scrubbed as byte-corrupted.
     pub corrupt: Vec<usize>,
+    /// Parity detected corruption the code cannot pin to specific
+    /// shards (too many altered shards, or no spare parity constraint
+    /// left next to the missing ones).
+    pub unlocalized: bool,
 }
 
 impl ArchiveStatus {
     /// True when every shard is present and consistent.
     pub fn healthy(&self) -> bool {
-        self.missing.is_empty() && self.corrupt.is_empty()
+        self.missing.is_empty() && self.corrupt.is_empty() && !self.unlocalized
+    }
+}
+
+/// A stripe in memory: `None` marks a missing/erased shard.
+type Shards = Vec<Option<Vec<u8>>>;
+
+/// Outcome of trial-rebuilding a stripe with a set of shards erased.
+enum Rebuild {
+    /// Decoded stripe re-verified clean end to end.
+    Verified(Shards),
+    /// Decoded, but parity still disagrees: the mismatching parity
+    /// rows (as shard indices) are the evidence.
+    Tainted(Vec<usize>),
+}
+
+/// Erase `erase`, decode, and re-verify the full stripe. Never writes.
+fn rebuild_verified(
+    coder: &Dialga,
+    shards: &[Option<Vec<u8>>],
+    erase: &[usize],
+) -> Result<Rebuild, ArchiveError> {
+    let mut trial: Vec<Option<Vec<u8>>> = shards.to_vec();
+    for &i in erase {
+        trial[i] = None;
+    }
+    coder.decode(&mut trial)?;
+    let k = coder.params().k;
+    let refs: Vec<&[u8]> = trial
+        .iter()
+        .map(|s| s.as_ref().unwrap().as_slice())
+        .collect();
+    match coder.verify(&refs[..k], &refs[k..]) {
+        Ok(()) => Ok(Rebuild::Verified(trial)),
+        Err(dialga_ec::EcError::Corrupt { shards: rows }) => Ok(Rebuild::Tainted(rows)),
+        Err(e) => Err(e.into()),
     }
 }
 
 /// Verify an archive: all shards present and parity consistent.
 ///
-/// Corruption localization: if exactly one shard was altered, recomputing
-/// parity from data identifies it (any parity mismatch with all data
-/// present is reported as corrupt parity; corrupt *data* surfaces as a
-/// global mismatch and is reported as such).
+/// With every shard on disk this runs the full `Dialga::scrub`, so a
+/// single altered shard — data *or* parity — is named exactly. With
+/// shards missing (but recoverable) the survivors are integrity-checked
+/// by a trial decode plus full-stripe re-verify; corruption found that
+/// way is reported as `unlocalized` (localization is `repair`'s job).
 pub fn verify(manifest_path: &Path) -> Result<ArchiveStatus, ArchiveError> {
     let manifest = Manifest::load(manifest_path)?;
     let shards = read_shards(&manifest, manifest_path)?;
     let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
     let mut corrupt = Vec::new();
+    let mut unlocalized = false;
     if missing.is_empty() {
         let coder = Dialga::new(manifest.k, manifest.m)?;
-        let data: Vec<&[u8]> = shards[..manifest.k]
+        let refs: Vec<&[u8]> = shards
             .iter()
             .map(|s| s.as_ref().unwrap().as_slice())
             .collect();
-        let expect = coder.encode_vec(&data)?;
-        for (i, p) in expect.iter().enumerate() {
-            if shards[manifest.k + i].as_ref().unwrap() != p {
-                corrupt.push(manifest.k + i);
-            }
+        match coder.scrub(&refs) {
+            Ok(bad) => corrupt = bad,
+            Err(dialga_ec::EcError::Corrupt { .. }) => unlocalized = true,
+            Err(e) => return Err(e.into()),
+        }
+    } else if missing.len() <= manifest.m {
+        let coder = Dialga::new(manifest.k, manifest.m)?;
+        if let Rebuild::Tainted(_) = rebuild_verified(&coder, &shards, &missing)? {
+            unlocalized = true;
         }
     }
-    Ok(ArchiveStatus { missing, corrupt })
+    Ok(ArchiveStatus {
+        missing,
+        corrupt,
+        unlocalized,
+    })
 }
 
-/// Rebuild missing shard files in place; returns how many were rebuilt.
+/// Rebuild missing shard files — and, where parity can localize them,
+/// byte-corrupted shard files — in place; returns how many were
+/// rewritten.
+///
+/// Nothing is written unless the repaired stripe re-verifies clean end
+/// to end: corruption the code cannot pin down surfaces as
+/// [`dialga_ec::EcError::Corrupt`] and leaves the archive untouched,
+/// rather than silently folding bad bytes into the rebuilt shards.
 pub fn repair(manifest_path: &Path) -> Result<usize, ArchiveError> {
     let manifest = Manifest::load(manifest_path)?;
-    let mut shards = read_shards(&manifest, manifest_path)?;
-    let lost: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
-    if lost.is_empty() {
-        return Ok(0);
-    }
-    if lost.len() > manifest.m {
+    let shards = read_shards(&manifest, manifest_path)?;
+    let m = manifest.m;
+    let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+    if missing.len() > m {
         return Err(ArchiveError::Unrecoverable {
-            lost: lost.len(),
-            tolerance: manifest.m,
+            lost: missing.len(),
+            tolerance: m,
         });
     }
-    let coder = Dialga::new(manifest.k, manifest.m)?;
-    coder.decode(&mut shards)?;
-    for &i in &lost {
+    let coder = Dialga::new(manifest.k, m)?;
+    let mut suspects = missing.clone();
+    if suspects.is_empty() {
+        let refs: Vec<&[u8]> = shards
+            .iter()
+            .map(|s| s.as_ref().unwrap().as_slice())
+            .collect();
+        // Err(Corrupt) here means the scrub itself could not localize.
+        suspects = coder.scrub(&refs)?;
+        if suspects.is_empty() {
+            return Ok(0);
+        }
+    }
+    let evidence = match rebuild_verified(&coder, &shards, &suspects)? {
+        Rebuild::Verified(trial) => return persist(&manifest, manifest_path, &trial, &suspects),
+        Rebuild::Tainted(rows) => rows,
+    };
+    // A survivor is corrupt alongside the missing shards. Localize by
+    // erasing one extra survivor at a time, accepting only a *uniquely*
+    // verifying fix — which needs a spare parity constraint, the same
+    // `lost + 1 < m` bound as the pool's verified decode.
+    if missing.len() + 1 < m {
+        let mut fix: Option<(Shards, Vec<usize>)> = None;
+        for s in (0..shards.len()).filter(|i| !missing.contains(i)) {
+            let mut erase = missing.clone();
+            erase.push(s);
+            erase.sort_unstable();
+            if let Rebuild::Verified(trial) = rebuild_verified(&coder, &shards, &erase)? {
+                if fix.is_some() {
+                    fix = None; // ambiguous — refuse rather than guess
+                    break;
+                }
+                fix = Some((trial, erase));
+            }
+        }
+        if let Some((trial, rebuilt)) = fix {
+            return persist(&manifest, manifest_path, &trial, &rebuilt);
+        }
+    }
+    Err(dialga_ec::EcError::Corrupt { shards: evidence }.into())
+}
+
+/// Write the named rebuilt shards of a verified trial stripe to disk.
+fn persist(
+    manifest: &Manifest,
+    manifest_path: &Path,
+    trial: &[Option<Vec<u8>>],
+    rebuilt: &[usize],
+) -> Result<usize, ArchiveError> {
+    for &i in rebuilt {
         fs::write(
             manifest.shard_path(manifest_path, i),
-            shards[i].as_ref().unwrap(),
+            trial[i].as_ref().unwrap(),
         )?;
     }
-    Ok(lost.len())
+    Ok(rebuilt.len())
 }
 
 /// Reassemble the original file (repairing first if needed) into
@@ -384,6 +485,75 @@ mod tests {
         let status = verify(&manifest_path).unwrap();
         assert_eq!(status.corrupt, vec![5]);
         assert!(!status.healthy());
+    }
+
+    #[test]
+    fn corrupt_data_shard_localized_and_repaired_in_place() {
+        let dir = tmpdir("corrupt-data");
+        let input = sample_file(&dir, 40_000);
+        let manifest_path = encode_file(&input, &dir, 6, 3, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        let victim = manifest.shard_path(&manifest_path, 2); // data shard
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[3000] ^= 0x40;
+        fs::write(&victim, bytes).unwrap();
+        // Scrub names the data shard itself, not the parity rows it trips.
+        let status = verify(&manifest_path).unwrap();
+        assert_eq!(status.corrupt, vec![2]);
+        assert!(!status.unlocalized);
+        // Repair heals it in place and the restored file is bit-exact.
+        assert_eq!(repair(&manifest_path).unwrap(), 1);
+        assert!(verify(&manifest_path).unwrap().healthy());
+        let out = restore(&manifest_path, Some(&dir.join("r.bin"))).unwrap();
+        assert_eq!(fs::read(&input).unwrap(), fs::read(out).unwrap());
+    }
+
+    #[test]
+    fn corrupt_survivor_next_to_missing_shard_is_repaired() {
+        let dir = tmpdir("corrupt-survivor");
+        let input = sample_file(&dir, 60_000);
+        let manifest_path = encode_file(&input, &dir, 6, 3, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        fs::remove_file(manifest.shard_path(&manifest_path, 1)).unwrap();
+        let victim = manifest.shard_path(&manifest_path, 4);
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[10] ^= 0x08;
+        fs::write(&victim, bytes).unwrap();
+        // verify flags the corruption without pinning it; repair's
+        // leave-one-out pass (missing + 1 < m) rebuilds both shards.
+        let status = verify(&manifest_path).unwrap();
+        assert_eq!(status.missing, vec![1]);
+        assert!(status.unlocalized);
+        assert_eq!(repair(&manifest_path).unwrap(), 2);
+        assert!(verify(&manifest_path).unwrap().healthy());
+        let out = restore(&manifest_path, Some(&dir.join("r.bin"))).unwrap();
+        assert_eq!(fs::read(&input).unwrap(), fs::read(out).unwrap());
+    }
+
+    #[test]
+    fn unlocalizable_corruption_refuses_instead_of_writing_bad_shards() {
+        let dir = tmpdir("refuse");
+        let input = sample_file(&dir, 30_000);
+        let manifest_path = encode_file(&input, &dir, 4, 2, 1).unwrap();
+        let manifest = Manifest::load(&manifest_path).unwrap();
+        // One missing + one corrupt survivor with m = 2: no spare parity
+        // constraint, so localization is impossible.
+        fs::remove_file(manifest.shard_path(&manifest_path, 0)).unwrap();
+        let victim = manifest.shard_path(&manifest_path, 3);
+        let before = fs::read(&victim).unwrap();
+        let mut bytes = before.clone();
+        bytes[42] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        assert!(verify(&manifest_path).unwrap().unlocalized);
+        assert!(matches!(
+            repair(&manifest_path),
+            Err(ArchiveError::Ec(dialga_ec::EcError::Corrupt { .. }))
+        ));
+        // The corrupt shard is untouched and nothing was rebuilt.
+        assert_eq!(fs::read(&victim).unwrap(), bytes);
+        assert!(!manifest.shard_path(&manifest_path, 0).exists());
+        // restore flows through repair, so it refuses too.
+        assert!(restore(&manifest_path, Some(&dir.join("r.bin"))).is_err());
     }
 
     #[test]

@@ -68,14 +68,21 @@ fn main() -> ExitCode {
             let Some(manifest) = args.first().map(PathBuf::from) else {
                 return usage();
             };
-            archive::verify(&manifest).map(|status| {
-                if status.healthy() {
+            match archive::verify(&manifest) {
+                Ok(status) if status.healthy() => {
                     println!("healthy");
-                } else {
+                    Ok(())
+                }
+                Ok(status) => {
                     println!("missing shards: {:?}", status.missing);
                     println!("corrupt shards: {:?}", status.corrupt);
+                    if status.unlocalized {
+                        println!("corruption detected but not localized by parity");
+                    }
+                    return ExitCode::FAILURE;
                 }
-            })
+                Err(e) => Err(e),
+            }
         }
         "repair" => {
             let Some(manifest) = args.first().map(PathBuf::from) else {

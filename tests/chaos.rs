@@ -1,0 +1,155 @@
+//! Chaos suite: seeded fault plans driven through the self-healing
+//! encode pool (tentpole of the robustness PR).
+//!
+//! For every plan in a fixed-seed corpus, across thread counts and the
+//! three kernel paths (encode / decode / repair), the contract is:
+//!
+//! 1. the submitting call **returns** (no hang — the batch latch
+//!    quiesces every attempt and the watchdog bounds lost completions);
+//! 2. when the faulted call succeeds (healing + bounded retry), its
+//!    result is **bit-exact** with the serial reference;
+//! 3. after disarming, the pool **services a clean batch at full
+//!    capacity**: the follow-up succeeds, matches the reference, and
+//!    `workers_alive` is back to `threads()`.
+//!
+//! The corpus is fixed so failures replay exactly; the whole suite is
+//! sized to stay well under the 5 s `just chaos` budget.
+
+use dialga_faultkit::{Fault, FaultPlan};
+use dialga_repro::scheduler::encoder::Dialga;
+use dialga_repro::scheduler::{Coordinator, EncodePool};
+
+const K: usize = 6;
+const M: usize = 3;
+const LEN: usize = 8 * 256 + 192; // >= threads chunks for every thread count
+const SEEDS: [u64; 5] = [
+    0xD1A1_6A05_0000_0001,
+    0xD1A1_6A05_0000_0002,
+    0xD1A1_6A05_0000_0003,
+    0x00C0_FFEE_0000_BEEF,
+    0x1234_5678_9ABC_DEF0,
+];
+
+fn make_data(seed: usize) -> Vec<Vec<u8>> {
+    (0..K)
+        .map(|i| {
+            (0..LEN)
+                .map(|j| ((seed + i * 131 + j * 17) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+/// After a faulted run: disarm, then the pool must serve a clean encode
+/// bit-exactly and report every worker slot alive again.
+fn assert_recovered(pool: &EncodePool, coder: &Dialga, refs: &[&[u8]], expected: &[Vec<u8>]) {
+    pool.disarm_faults();
+    let clean = pool
+        .encode_vec(coder, refs)
+        .expect("pool must service a clean batch after healing");
+    assert_eq!(clean, expected, "clean follow-up must be bit-exact");
+    assert_eq!(
+        pool.stats().workers_alive,
+        pool.threads(),
+        "pool must be back at full capacity"
+    );
+}
+
+#[test]
+fn seeded_pool_faults_heal_across_threads_and_paths() {
+    let coder = Dialga::new(K, M).unwrap();
+    let data = make_data(7);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = coder.encode_vec(&refs).unwrap();
+
+    // Serial references for the decode and repair paths.
+    let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+    let lost = [1usize, K + 1];
+    let repair_target = 2usize;
+
+    for threads in [1usize, 2, 4, 8] {
+        let pool = EncodePool::new(threads);
+        for &seed in &SEEDS {
+            let plan = FaultPlan::seeded(seed ^ threads as u64, threads);
+
+            // Encode path.
+            pool.arm_faults(&plan);
+            if let Ok(par) = pool.encode_vec(&coder, &refs) {
+                assert_eq!(par, parity, "faulted encode succeeded but diverged");
+            }
+            assert_recovered(&pool, &coder, &refs, &parity);
+
+            // Decode path (two erasures: one data, one parity).
+            pool.arm_faults(&plan);
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for &l in &lost {
+                shards[l] = None;
+            }
+            if pool.decode(&coder, &mut shards).is_ok() {
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(
+                        s.as_deref(),
+                        Some(full[i].as_slice()),
+                        "faulted decode succeeded but shard {i} diverged"
+                    );
+                }
+            }
+            assert_recovered(&pool, &coder, &refs, &parity);
+
+            // Repair path (single-shard degraded read).
+            pool.arm_faults(&plan);
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[repair_target] = None;
+            if let Ok(out) = pool.repair(&coder, &shards, repair_target) {
+                assert_eq!(out, full[repair_target], "faulted repair diverged");
+            }
+            assert_recovered(&pool, &coder, &refs, &parity);
+        }
+    }
+}
+
+#[test]
+fn scripted_worker_exit_is_healed_and_counted() {
+    let coder = Dialga::new(K, M).unwrap();
+    let data = make_data(11);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = coder.encode_vec(&refs).unwrap();
+
+    let pool = EncodePool::new(4);
+    pool.arm_faults(&FaultPlan::new().with(Fault::WorkerExit {
+        worker: 2,
+        nth_chunk: 0,
+    }));
+    // The exit fires on worker 2's first chunk; healing + retry recover.
+    assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), parity);
+    assert_eq!(pool.faults_injected(), 1);
+    let stats = pool.stats();
+    assert!(stats.worker_deaths >= 1, "the exited worker was detected");
+    assert_eq!(stats.worker_respawns, stats.worker_deaths);
+    assert!(stats.batch_retries >= 1, "the failed batch was retried");
+    assert_recovered(&pool, &coder, &refs, &parity);
+}
+
+#[test]
+fn coordinator_sample_spike_does_not_change_bytes() {
+    // A scripted latency spike on an early coordinator sample provokes
+    // policy churn (the §4.1 fluctuation path); the knobs may move but
+    // the bytes must not.
+    let cfg = dialga_repro::memsim::MachineConfig::pm();
+    let mut coord = Coordinator::new(K, M, 4096, 2, &cfg);
+    coord.set_sample_interval(5_000.0);
+    let pool = EncodePool::with_coordinator(2, coord);
+    pool.arm_faults(&FaultPlan::new().with(Fault::SampleSpike {
+        nth_sample: 1,
+        factor: 64.0,
+    }));
+    let coder = Dialga::new(K, M).unwrap();
+    let data = make_data(23);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = coder.encode_vec(&refs).unwrap();
+    for _ in 0..50 {
+        assert_eq!(pool.encode_vec(&coder, &refs).unwrap(), parity);
+    }
+    assert!(pool.coordinator_samples() > 0, "the coordinator ticked");
+    assert_recovered(&pool, &coder, &refs, &parity);
+}

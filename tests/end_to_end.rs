@@ -38,11 +38,13 @@ fn dialga_encoder_is_bit_exact_with_rs() {
                 prefetch_distance: Some(3 * k as u32 + 1),
                 bf_first_distance: Some(k as u32 + 4),
                 shuffle: false,
+                ..Default::default()
             },
             DialgaOptions {
                 prefetch_distance: Some(k as u32),
                 bf_first_distance: None,
                 shuffle: true,
+                ..Default::default()
             },
         ] {
             let coder = Dialga::with_options(k, m, opts).unwrap();

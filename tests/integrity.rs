@@ -1,0 +1,159 @@
+//! End-to-end stripe integrity: `Dialga::verify` / `Dialga::scrub`
+//! localization sweeps and the pool's verified decode/repair paths
+//! (acceptance criteria of the robustness PR).
+
+use dialga_faultkit::{flip_byte, truncate_shard};
+use dialga_repro::ec::EcError;
+use dialga_repro::scheduler::encoder::Dialga;
+use dialga_repro::scheduler::EncodePool;
+use dialga_testkit::run_cases;
+
+fn stripe(coder: &Dialga, len: usize, seed: usize) -> Vec<Vec<u8>> {
+    let k = coder.params().k;
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            (0..len)
+                .map(|j| ((seed + i * 89 + j * 7) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = coder.encode_vec(&refs).unwrap();
+    data.into_iter().chain(parity).collect()
+}
+
+/// `Dialga::scrub` must localize *every* single-shard corruption across
+/// the acceptance geometries, at randomized offsets and flip masks.
+#[test]
+fn scrub_localizes_every_single_shard_corruption() {
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        let coder = Dialga::new(k, m).unwrap();
+        let clean = stripe(&coder, 1024 + 37, k * 10 + m);
+        {
+            let refs: Vec<&[u8]> = clean.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(coder.scrub(&refs).unwrap(), Vec::<usize>::new());
+        }
+        for victim in 0..k + m {
+            // Deterministic sub-cases per victim: random offset and mask.
+            run_cases(4, |rng| {
+                let mut bad = clean.clone();
+                let offset = rng.range(0, bad[victim].len());
+                let mask = rng.u8() | 1; // never a zero mask
+                flip_byte(&mut bad[victim], offset, mask);
+                let refs: Vec<&[u8]> = bad.iter().map(|s| s.as_slice()).collect();
+                assert_eq!(
+                    coder.scrub(&refs).unwrap(),
+                    vec![victim],
+                    "k={k} m={m} victim={victim} offset={offset} mask={mask:#04x}"
+                );
+            });
+        }
+    }
+}
+
+/// The pool's verified decode must reject a corrupted survivor with
+/// `EcError::Corrupt` naming exactly that shard — for every survivor
+/// position, with a data and a parity shard erased in turn. (One
+/// erasure for an m = 3 code leaves the spare parity constraint
+/// single-error localization needs.)
+#[test]
+fn decode_verified_names_the_corrupt_survivor() {
+    let coder = Dialga::new(6, 3).unwrap();
+    let pool = EncodePool::new(4);
+    let clean = stripe(&coder, 2048 + 5, 3);
+    for lost in [0usize, 7] {
+        for corrupt in (0..9).filter(|&c| c != lost) {
+            let mut shards: Vec<Option<Vec<u8>>> = clean.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            if let Some(s) = shards[corrupt].as_mut() {
+                flip_byte(s, 1000, 0x20);
+            }
+            match pool.decode_verified(&coder, &mut shards) {
+                Err(EcError::Corrupt { shards: bad }) => {
+                    assert_eq!(bad, vec![corrupt], "lost={lost}: wrong localization");
+                }
+                other => panic!("lost={lost}: corrupt survivor {corrupt} not rejected: {other:?}"),
+            }
+        }
+    }
+    // At `lost + 1 == m` the corruption is detectable but cannot be
+    // localized: every leave-one-out trial uses all remaining shards as
+    // survivors, so Corrupt carries the parity-row evidence instead.
+    let mut shards: Vec<Option<Vec<u8>>> = clean.iter().cloned().map(Some).collect();
+    shards[0] = None;
+    shards[7] = None;
+    if let Some(s) = shards[2].as_mut() {
+        flip_byte(s, 77, 0x10);
+    }
+    assert!(matches!(
+        pool.decode_verified(&coder, &mut shards),
+        Err(EcError::Corrupt { .. })
+    ));
+    // And a clean stripe decodes verified, bit-exactly.
+    let mut shards: Vec<Option<Vec<u8>>> = clean.iter().cloned().map(Some).collect();
+    shards[0] = None;
+    shards[7] = None;
+    pool.decode_verified(&coder, &mut shards).unwrap();
+    for (i, s) in shards.iter().enumerate() {
+        assert_eq!(s.as_deref(), Some(clean[i].as_slice()), "shard {i}");
+    }
+}
+
+/// The pool's verified repair rejects corrupt survivors and otherwise
+/// matches the fast-path repair bit-exactly.
+#[test]
+fn repair_verified_matches_and_rejects() {
+    let coder = Dialga::new(4, 2).unwrap();
+    let pool = EncodePool::new(2);
+    let clean = stripe(&coder, 4096, 5);
+    let target = 1usize;
+    let mut shards: Vec<Option<Vec<u8>>> = clean.iter().cloned().map(Some).collect();
+    shards[target] = None;
+    assert_eq!(
+        pool.repair_verified(&coder, &shards, target).unwrap(),
+        clean[target]
+    );
+    // Corrupt one survivor: the verified path must refuse where the fast
+    // path would silently fold the corruption into the rebuilt shard.
+    if let Some(s) = shards[3].as_mut() {
+        flip_byte(s, 0, 0x80);
+    }
+    assert!(matches!(
+        pool.repair_verified(&coder, &shards, target),
+        Err(EcError::Corrupt { .. })
+    ));
+    assert!(
+        pool.repair(&coder, &shards, target).is_ok(),
+        "fast path stays oblivious — that contrast is the point"
+    );
+}
+
+/// Pool-side verify agrees with the serial verifier, including on
+/// truncation-shaped corruption (caught as a length error, not a panic).
+#[test]
+fn pool_verify_matches_serial_and_handles_truncation() {
+    let coder = Dialga::new(6, 3).unwrap();
+    let pool = EncodePool::new(4);
+    let clean = stripe(&coder, 1024, 9);
+    let refs: Vec<&[u8]> = clean.iter().map(|s| s.as_slice()).collect();
+    pool.verify(&coder, &refs[..6], &refs[6..]).unwrap();
+    coder.verify(&refs[..6], &refs[6..]).unwrap();
+
+    let mut bad = clean.clone();
+    flip_byte(&mut bad[8], 512, 0x04); // parity row 2
+    let refs: Vec<&[u8]> = bad.iter().map(|s| s.as_slice()).collect();
+    for result in [
+        pool.verify(&coder, &refs[..6], &refs[6..]),
+        coder.verify(&refs[..6], &refs[6..]),
+    ] {
+        assert!(matches!(result, Err(EcError::Corrupt { shards }) if shards == vec![8]));
+    }
+
+    let mut short = clean;
+    truncate_shard(&mut short[2], 1000);
+    let refs: Vec<&[u8]> = short.iter().map(|s| s.as_slice()).collect();
+    assert!(matches!(
+        pool.verify(&coder, &refs[..6], &refs[6..]),
+        Err(EcError::BlockLength { .. })
+    ));
+}
