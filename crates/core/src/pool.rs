@@ -126,12 +126,23 @@ fn unpack_knobs(v: u64) -> Knobs {
 
 /// Live counters the pool accumulates; the coordinator samples these the
 /// way the paper samples PMU counters.
-#[derive(Default)]
 struct PoolCounters {
     /// Row-major 64 B steps encoded (one "load" per source row read).
     loads: AtomicU64,
     /// Nanoseconds workers spent inside encode kernels.
     busy_ns: AtomicU64,
+    /// Estimated nanoseconds of that busy time spent *stalled* on memory
+    /// rather than computing. Derived per chunk as the excess of its wall
+    /// time over the pool's best observed per-load cost
+    /// ([`PoolCounters::load_ns_floor_x1024`]): the fastest chunk ever run
+    /// defines the pure-compute baseline, and anything slower is charged
+    /// to stall. This is what [`PoolShared::counters`] reports as
+    /// `demand_stall_ns` — reporting raw `busy_ns` there inflated every
+    /// latency the coordinator tunes on by the kernel compute time.
+    stall_ns: AtomicU64,
+    /// Best (lowest) observed per-load chunk cost, in 1/1024 ns fixed
+    /// point (`u64::MAX` until the first non-empty chunk lands).
+    load_ns_floor_x1024: AtomicU64,
     /// Chunks executed.
     chunks: AtomicU64,
     /// Stripes submitted.
@@ -151,6 +162,26 @@ struct PoolCounters {
     batch_retries: AtomicU64,
 }
 
+impl Default for PoolCounters {
+    fn default() -> Self {
+        PoolCounters {
+            loads: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            // `fetch_min` ratchet: MAX until the first chunk lands.
+            load_ns_floor_x1024: AtomicU64::new(u64::MAX),
+            chunks: AtomicU64::new(0),
+            stripes: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            knob_switches: AtomicU64::new(0),
+            policy_changes: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            batch_retries: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Read-only snapshot of pool activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -158,6 +189,11 @@ pub struct PoolStats {
     pub loads: u64,
     /// Nanoseconds workers spent inside encode kernels.
     pub busy_ns: u64,
+    /// Estimated nanoseconds of `busy_ns` attributable to memory stalls
+    /// rather than compute (excess over the fastest observed per-load
+    /// cost; see [`PoolStats::loads`]). This — not `busy_ns` — is what
+    /// the coordinator consumes as `demand_stall_ns`.
+    pub stall_ns: u64,
     /// Chunks executed.
     pub chunks: u64,
     /// Stripes submitted.
@@ -229,7 +265,11 @@ impl PoolShared {
     fn counters(&self) -> Counters {
         Counters {
             loads: self.stats.loads.load(Ordering::Relaxed),
-            demand_stall_ns: self.stats.busy_ns.load(Ordering::Relaxed) as f64,
+            // The *stall estimate*, not raw `busy_ns`: feeding total chunk
+            // wall time here inflated `avg_load_latency_ns` (and the hill
+            // climber's row latency) by pure kernel compute time, so a
+            // compute-heavy, stall-free workload read as high-latency.
+            demand_stall_ns: self.stats.stall_ns.load(Ordering::Relaxed) as f64,
             ..Default::default()
         }
     }
@@ -585,15 +625,17 @@ pub struct EncodePool {
     /// Round-robin cursor so consecutive small submissions spread over
     /// different workers.
     next_worker: AtomicU64,
-    /// Watchdog deadline for one batch wait, in milliseconds; 0 disables
-    /// the watchdog. Not a counter: read/written with Acquire/Release.
-    watchdog_ms: AtomicU64,
+    /// Watchdog deadline for one batch wait, in nanoseconds; 0 disables
+    /// the watchdog. Nanosecond storage keeps sub-millisecond deadlines
+    /// exact (millisecond storage silently rounded them). Not a counter:
+    /// read/written with Acquire/Release.
+    watchdog_ns: AtomicU64,
 }
 
 /// Default batch watchdog: generous — a batch is chunks of at most a few
 /// MiB each, so half a minute only elapses if completions were *lost*,
 /// not merely slow.
-const DEFAULT_WATCHDOG_MS: u64 = 30_000;
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
 /// Spawn one worker thread for `slot`. Respawned workers reuse the slot
 /// index (stable identity for stats and fault plans) and read the live
@@ -660,7 +702,7 @@ impl EncodePool {
             slots: Mutex::new(slots),
             threads,
             next_worker: AtomicU64::new(0),
-            watchdog_ms: AtomicU64::new(DEFAULT_WATCHDOG_MS),
+            watchdog_ns: AtomicU64::new(DEFAULT_WATCHDOG.as_nanos() as u64),
         }
     }
 
@@ -677,17 +719,23 @@ impl EncodePool {
     }
 
     /// Set the per-batch watchdog deadline (`None` disables it). The
-    /// default is [`DEFAULT_WATCHDOG_MS`] — far above any real batch, so
+    /// default is [`DEFAULT_WATCHDOG`] — far above any real batch, so
     /// it only ever fires on a lost-completion bug.
+    ///
+    /// Stored in nanoseconds, so sub-millisecond deadlines survive
+    /// exactly (a zero-length deadline clamps to 1 ns rather than
+    /// colliding with the "disabled" sentinel).
     pub fn set_watchdog(&self, deadline: Option<Duration>) {
-        let ms = deadline.map_or(0, |d| d.as_millis().max(1) as u64);
-        self.watchdog_ms.store(ms, Ordering::Release);
+        let ns = deadline.map_or(0, |d| {
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.watchdog_ns.store(ns, Ordering::Release);
     }
 
     fn watchdog(&self) -> Option<Duration> {
-        match self.watchdog_ms.load(Ordering::Acquire) {
+        match self.watchdog_ns.load(Ordering::Acquire) {
             0 => None,
-            ms => Some(Duration::from_millis(ms)),
+            ns => Some(Duration::from_nanos(ns)),
         }
     }
 
@@ -726,6 +774,7 @@ impl EncodePool {
         PoolStats {
             loads: s.loads.load(Ordering::Relaxed),
             busy_ns: s.busy_ns.load(Ordering::Relaxed),
+            stall_ns: s.stall_ns.load(Ordering::Relaxed),
             chunks: s.chunks.load(Ordering::Relaxed),
             stripes: s.stripes.load(Ordering::Relaxed),
             dispatches: s.dispatches.load(Ordering::Relaxed),
@@ -1473,11 +1522,30 @@ fn worker_loop(index: usize, rx: Receiver<Msg>, shared: Arc<PoolShared>) {
         }));
 
         let len = chunk.sources.first().map_or(0, |s| s.len);
-        let rows = (len / dialga_gf::CACHELINE) as u64 * chunk.sources.len() as u64;
+        // `div_ceil`, not `/`: a ragged tail still touches a full cache
+        // line, and truncating undercounted the `loads` the coordinator's
+        // latency estimate divides by.
+        let rows = len.div_ceil(dialga_gf::CACHELINE) as u64 * chunk.sources.len() as u64;
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
         let s = &shared.stats;
         s.loads.fetch_add(rows, Ordering::Relaxed);
-        s.busy_ns
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        s.busy_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        // Stall estimate: no PMU access here, so treat the cheapest
+        // per-load chunk ever observed as the pure-compute floor and
+        // charge each chunk's excess over that floor to memory stall.
+        // The first chunk defines its own floor (zero stall); warm-up
+        // outliers only raise the floor they are judged against, never
+        // a later, lower one. Fixed point ×1024 keeps sub-ns per-load
+        // costs from truncating to zero on large chunks.
+        if let Some(per_load_x1024) = elapsed_ns.saturating_mul(1024).checked_div(rows) {
+            let prev = s
+                .load_ns_floor_x1024
+                .fetch_min(per_load_x1024, Ordering::Relaxed);
+            let floor = prev.min(per_load_x1024);
+            let compute_ns = floor.saturating_mul(rows) / 1024;
+            s.stall_ns
+                .fetch_add(elapsed_ns.saturating_sub(compute_ns), Ordering::Relaxed);
+        }
         s.chunks.fetch_add(1, Ordering::Relaxed);
 
         chunk.finish(result.map_err(|_| ()));
@@ -1625,6 +1693,81 @@ mod tests {
             Err(EcError::BlockCount { .. })
         ));
         assert_eq!(pool.stats().chunks, 0, "nothing must reach the queues");
+    }
+
+    #[test]
+    fn stats_count_full_lines_for_ragged_tails() {
+        // Regression: `len / CACHELINE` truncated ragged tails — a 255 B
+        // chunk counted 3 lines, not the 4 it actually touches — and the
+        // undercounted `loads` skewed every per-load latency downstream.
+        let coder = Dialga::new(4, 2).unwrap();
+        let pool = EncodePool::new(1);
+        let data = make_data(4, 255);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        pool.encode_vec(&coder, &refs).unwrap();
+        let lines = 255usize.div_ceil(dialga_gf::CACHELINE) as u64;
+        assert_eq!(lines, 4);
+        assert_eq!(pool.stats().loads, lines * 4, "4 sources x 4 lines");
+
+        // Multi-chunk split with a ragged final chunk: interior chunk
+        // boundaries are CHUNK_ALIGN-aligned (a multiple of the cache
+        // line), so per-chunk ceilings must sum to the global ceiling.
+        let pool = EncodePool::new(2);
+        let len = 2 * CHUNK_ALIGN + 100;
+        let data = make_data(4, len);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        pool.encode_vec(&coder, &refs).unwrap();
+        assert_eq!(
+            pool.stats().loads,
+            len.div_ceil(dialga_gf::CACHELINE) as u64 * 4
+        );
+    }
+
+    #[test]
+    fn watchdog_keeps_submillisecond_deadlines() {
+        // Regression: the deadline was stored in whole milliseconds, so
+        // sub-millisecond (and fractional-millisecond) deadlines were
+        // silently rounded to the nearest whole millisecond.
+        let pool = EncodePool::new(1);
+        pool.set_watchdog(Some(Duration::from_micros(500)));
+        assert_eq!(pool.watchdog(), Some(Duration::from_micros(500)));
+        pool.set_watchdog(Some(Duration::from_micros(2500)));
+        assert_eq!(pool.watchdog(), Some(Duration::from_micros(2500)));
+        pool.set_watchdog(None);
+        assert_eq!(pool.watchdog(), None);
+        // A zero-length deadline clamps to 1 ns: armed, not "disabled".
+        pool.set_watchdog(Some(Duration::ZERO));
+        assert_eq!(pool.watchdog(), Some(Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn compute_heavy_workload_does_not_read_as_stalled() {
+        // Regression: `PoolShared::counters()` reported cumulative
+        // `busy_ns` (total chunk wall time, compute included) as
+        // `demand_stall_ns`, so a pure-compute, stall-free workload fed
+        // the coordinator an inflated latency and could trip the 110%
+        // contention threshold with no memory pressure at all.
+        let coder = Dialga::new(8, 4).unwrap();
+        let pool = EncodePool::new(1);
+        let data = make_data(8, 256 * 1024);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        for _ in 0..16 {
+            pool.encode_vec(&coder, &refs).unwrap();
+        }
+        let stats = pool.stats();
+        assert!(stats.busy_ns > 0);
+        assert!(
+            stats.stall_ns <= stats.busy_ns / 2,
+            "uniform compute-bound run must not attribute most busy time \
+             to stall (stall {} ns vs busy {} ns)",
+            stats.stall_ns,
+            stats.busy_ns
+        );
+        // The coordinator-facing view consumes the stall estimate, not
+        // raw busy time.
+        let counters = pool.shared.counters();
+        assert_eq!(counters.loads, stats.loads);
+        assert_eq!(counters.demand_stall_ns as u64, stats.stall_ns);
     }
 
     #[test]

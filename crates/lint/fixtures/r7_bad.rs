@@ -1,0 +1,25 @@
+// Fixture (never compiled): `.sub(start, len)` offsets that do NOT trace
+// to `split_ranges` — raw integers, arithmetic on a traced range, and a
+// range minted by something other than `split_ranges`. Three R7 findings.
+pub fn dispatch_raw_offsets(span: Span, off: usize, len: usize) {
+    consume(span.sub(off, len));
+}
+
+pub fn dispatch_skewed(spans: &[Span], len: usize, threads: usize) {
+    for r in split_ranges(len, threads) {
+        for s in spans {
+            // Arithmetic breaks the traced shape: the skewed range can
+            // overlap its neighbour.
+            consume(s.sub(r.start + 1, r.len()));
+        }
+    }
+}
+
+pub fn dispatch_untraced_ranges(span: Span, len: usize, threads: usize) {
+    // A fresh binder name: file-global lexical provenance must not leak
+    // here from the traced loops above.
+    let ranges = hand_rolled_chunks(len, threads);
+    for w in ranges {
+        consume(span.sub(w.start, w.len()));
+    }
+}

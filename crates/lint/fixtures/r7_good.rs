@@ -1,0 +1,29 @@
+// Fixture (never compiled): every `.sub(start, len)` offset traces to
+// `split_ranges` output, directly or through the proto-buffer idiom, plus
+// one justified escape — all R7-clean.
+pub fn dispatch_direct(spans: &[Span], len: usize, threads: usize) {
+    for r in split_ranges(len, threads) {
+        for s in spans {
+            consume(s.sub(r.start, r.len()));
+        }
+    }
+}
+
+pub fn dispatch_buffered(jobs: &[Job], threads: usize) {
+    // The proto-buffer idiom: ranges are minted in one pass, consumed in
+    // a second — provenance flows through the pushed tuples.
+    let mut protos = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        for r in split_ranges(job.len, threads) {
+            protos.push((j, r));
+        }
+    }
+    for (j, r) in protos {
+        consume(jobs[j].span.sub(r.start, r.len()));
+    }
+}
+
+pub fn dispatch_justified(span: Span, half: usize) {
+    // lint:allow(chunk-provenance): caller rounds `half` to CHUNK_ALIGN; both halves stay in-bounds.
+    consume(span.sub(half, half));
+}

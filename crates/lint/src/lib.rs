@@ -22,6 +22,7 @@
 //! | R4 | `panic-path` | no `unwrap()`/`expect()`/`panic!` on library paths of `core`, `ec`, `gf`, `pipeline` (tests/benches/bins exempt) |
 //! | R5 | `raw-ptr` | raw-pointer arithmetic and `from_raw_parts` only in whitelisted kernel modules |
 //! | R6 | `const-drift` | no bare `256` (`CHUNK_ALIGN`/`XPLINE`) or `64` (`CACHELINE`) literals in geometry-bearing library code outside the constants' defining modules |
+//! | R7 | `chunk-provenance` | raw-span `.sub(start, len)` calls in the chunk dispatch files take `<range>.start`/`<range>.len()` of a binder traced to `split_ranges` output (directly, or via a pushed proto buffer) |
 //!
 //! Per-site suppressions use `// lint:allow(<key>): <justification>` on the
 //! finding's line or the line above; the justification lives in the source
@@ -69,6 +70,9 @@ pub fn workspace_config() -> Config {
             // its hooks publish through an atomic word and a Mutex, never
             // raw pointers (so it needs no R2/R5 whitelisting either).
             "crates/faultkit/src/lib.rs",
+            // The service layer composes pool submissions; all raw-span
+            // handling stays inside the pool it drives.
+            "crates/service/src/lib.rs",
             "crates/bench/src/lib.rs",
             "crates/lint/src/lib.rs",
             "src/lib.rs",
@@ -80,6 +84,7 @@ pub fn workspace_config() -> Config {
             "crates/gf/src/",
             "crates/pipeline/src/",
             "crates/faultkit/src/",
+            "crates/service/src/",
         ]),
         // `fault_word` (dialga-faultkit) reuses the knob-word protocol:
         // Release on arm/disarm, Acquire on the hook's disarmed check.
@@ -89,6 +94,10 @@ pub fn workspace_config() -> Config {
             // monotone counters with no cross-field consistency contract.
             "loads",
             "busy_ns",
+            "stall_ns",
+            // Running-minimum per-load cost ratchet (`fetch_min`); pure
+            // statistics, no cross-field consistency contract.
+            "load_ns_floor_x1024",
             "chunks",
             "stripes",
             "dispatches",
@@ -101,6 +110,21 @@ pub fn workspace_config() -> Config {
             // dialga-faultkit's arm-generation stamp: a monotone tag, all
             // consistency goes through `fault_word`'s Release/Acquire.
             "generation",
+            // dialga-service tallies (ServiceCounters), the service-wide
+            // submission sequence, and the lock-free shard occupancy
+            // gauge — monotone or advisory values with no cross-field
+            // consistency contract (queue consistency lives under the
+            // shard mutex).
+            "submitted",
+            "completed",
+            "rejected",
+            "expired",
+            "spilled",
+            "batches",
+            "coalesced",
+            "fallbacks",
+            "seq",
+            "occupancy",
         ]),
         literal_guards: vec![
             LiteralGuard {
@@ -124,6 +148,10 @@ pub fn workspace_config() -> Config {
                 defining_modules: s(&["crates/gf/src/lib.rs", "crates/memsim/src/lib.rs"]),
             },
         ],
+        // R7: the persistent pool's chunk dispatch is the only place
+        // raw-span `.sub` offsets are minted; every offset must trace to
+        // `split_ranges` output.
+        provenance_files: s(&["crates/core/src/pool.rs"]),
     }
 }
 

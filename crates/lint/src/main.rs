@@ -20,7 +20,7 @@ fn main() -> ExitCode {
         }
     };
     if findings.is_empty() {
-        println!("dialga-lint: {files} files scanned, clean (rules R1–R6)");
+        println!("dialga-lint: {files} files scanned, clean (rules R1–R7)");
         return ExitCode::SUCCESS;
     }
     for f in &findings {

@@ -1,4 +1,4 @@
-//! The rule engine: R1–R6 over a scanned source file, with per-rule inline
+//! The rule engine: R1–R7 over a scanned source file, with per-rule inline
 //! allow directives.
 //!
 //! Every rule reports `file:line`, a rule id and a rationale. A finding may
@@ -11,7 +11,8 @@
 //! ```
 //!
 //! The directive names the rule key (`safety-comment`, `unsafe-confine`,
-//! `atomic-order`, `panic-path`, `raw-ptr`, `const-drift`), never a
+//! `atomic-order`, `panic-path`, `raw-ptr`, `const-drift`,
+//! `chunk-provenance`), never a
 //! blanket "allow all" — suppressions stay per-rule and per-site, and the
 //! justification text travels with the site in the source.
 
@@ -42,6 +43,12 @@ pub enum Rule {
     /// (`CHUNK_ALIGN`/`XPLINE` = 256, `CACHELINE` = 64) outside the
     /// constants' defining modules.
     ConstDrift,
+    /// R7: every raw-span `.sub(start, len)` call in the configured chunk
+    /// dispatch files takes `<range>.start` / `<range>.len()` of a range
+    /// binder whose provenance traces to [`split_ranges`] — directly
+    /// (bound by a `for` over a `split_ranges(..)` expression) or through
+    /// a carrier collection fed only by such binders.
+    ChunkProvenance,
 }
 
 impl Rule {
@@ -54,6 +61,7 @@ impl Rule {
             Rule::PanicPath => "R4 panic-path",
             Rule::RawPtr => "R5 raw-ptr",
             Rule::ConstDrift => "R6 const-drift",
+            Rule::ChunkProvenance => "R7 chunk-provenance",
         }
     }
 
@@ -66,6 +74,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::RawPtr => "raw-ptr",
             Rule::ConstDrift => "const-drift",
+            Rule::ChunkProvenance => "chunk-provenance",
         }
     }
 }
@@ -121,6 +130,10 @@ pub struct Config {
     /// Guarded geometry constants: integer literals equal to a guard's
     /// value are flagged inside its scope (R6).
     pub literal_guards: Vec<LiteralGuard>,
+    /// Files whose raw-span `.sub(start, len)` calls must take offsets
+    /// traced to `split_ranges` output (R7): the chunk dispatch sites
+    /// where an untraced offset would alias or escape a span.
+    pub provenance_files: Vec<String>,
 }
 
 /// One R6 guard: a named geometry constant whose raw value must not be
@@ -200,6 +213,7 @@ pub fn check_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     rule_panic_path(path, &s, cfg, &test_regions, &mut findings);
     rule_raw_ptr(path, &s, whitelisted, &unsafe_regions, &mut findings);
     rule_const_drift(path, &s, cfg, &test_regions, &mut findings);
+    rule_chunk_provenance(path, &s, cfg, &mut findings);
 
     apply_allow_directives(&s, &mut findings);
     findings.sort_by_key(|f| f.line);
@@ -521,6 +535,150 @@ fn rule_const_drift(
                      `// lint:allow(const-drift): <why>`",
                     guard.name, guard.value
                 ),
+            });
+        }
+    }
+}
+
+/// R7: raw-span `.sub(start, len)` provenance in the chunk dispatch files.
+///
+/// The pool's span types make exclusivity *structural*: a `.sub(..)`
+/// offset is sound exactly when it is a range produced by
+/// [`split_ranges`], because those ranges are in-bounds and pairwise
+/// disjoint. This rule pins that provenance lexically:
+///
+/// 1. the argument list must be literally `<r>.start, <r>.len()` for a
+///    single binder `<r>` — no arithmetic, no raw integers;
+/// 2. `<r>` must be bound by a `for` pattern whose iterated expression
+///    mentions `split_ranges`, or mentions a *carrier* — a collection
+///    that only ever receives `push(..)`es containing an already-provenant
+///    binder (the proto-buffering idiom: `protos.push((j, r))` inside the
+///    `split_ranges` loop, then `for (j, r) in protos`).
+///
+/// Carrier membership is computed to a fixed point so chains of
+/// buffering hops resolve in any textual order. Like R3, resolution is
+/// lexer-grade: rebinding a range to a fresh name through anything other
+/// than a `for` pattern or a `push` escapes the trace and is flagged —
+/// the fix is to keep the dispatch idiom direct, or justify the site with
+/// `// lint:allow(chunk-provenance): <why>`.
+fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.provenance_files.iter().any(|f| matches_path(path, f)) {
+        return;
+    }
+
+    // Collect every `for <pat> in <expr> {` as (pattern idents, expr
+    // idents). The pattern is everything up to the first `in`; the
+    // expression runs to the body's `{` (a lexer-grade cut: struct
+    // literals in loop headers are not workspace idiom).
+    let mut loops: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for i in 0..s.tokens.len() {
+        if !s.is_ident(i, "for") {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut pat = Vec::new();
+        while j < s.tokens.len() && !s.is_ident(j, "in") {
+            if let Some(id) = s.ident(j) {
+                pat.push(id.to_string());
+            }
+            j += 1;
+        }
+        let mut expr = Vec::new();
+        j += 1;
+        while j < s.tokens.len() && !s.is_punct(j, '{') {
+            if let Some(id) = s.ident(j) {
+                expr.push(id.to_string());
+            }
+            j += 1;
+        }
+        if !pat.is_empty() && !expr.is_empty() {
+            loops.push((pat, expr));
+        }
+    }
+
+    // Fixed point: seed with loops over `split_ranges(..)`, then fold in
+    // carriers (collections pushed provenant binders) and the loops that
+    // iterate them, until nothing new is learned.
+    let mut provenant: Vec<String> = Vec::new();
+    let mut carriers: Vec<String> = Vec::new();
+    loop {
+        let mut grew = false;
+        for (pat, expr) in &loops {
+            let traced = expr.iter().any(|e| e == "split_ranges")
+                || expr.iter().any(|e| carriers.contains(e));
+            if traced {
+                for p in pat {
+                    if !provenant.contains(p) {
+                        provenant.push(p.clone());
+                        grew = true;
+                    }
+                }
+            }
+        }
+        for i in 0..s.tokens.len() {
+            if !s.is_ident(i, "push") || i < 2 || !s.is_punct(i - 1, '.') || !s.is_punct(i + 1, '(')
+            {
+                continue;
+            }
+            let Some(recv) = s.ident(i - 2) else { continue };
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut arg_has_provenant = false;
+            while j < s.tokens.len() {
+                match &s.tokens[j].kind {
+                    TokKind::Punct('(') => depth += 1,
+                    TokKind::Punct(')') => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(t) if provenant.iter().any(|p| p == t) => {
+                        arg_has_provenant = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if arg_has_provenant && !carriers.iter().any(|c| c == recv) {
+                carriers.push(recv.to_string());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Check every `.sub(` call site against the traced shape.
+    for i in 0..s.tokens.len() {
+        if !s.is_ident(i, "sub") || i < 2 || !s.is_punct(i - 1, '.') || !s.is_punct(i + 1, '(') {
+            continue;
+        }
+        // Exact argument shape: Ident(r) . start , Ident(r) . len ( ) )
+        let binder = s.ident(i + 2).filter(|_| {
+            s.is_punct(i + 3, '.')
+                && s.is_ident(i + 4, "start")
+                && s.is_punct(i + 5, ',')
+                && s.ident(i + 6) == s.ident(i + 2)
+                && s.is_punct(i + 7, '.')
+                && s.is_ident(i + 8, "len")
+                && s.is_punct(i + 9, '(')
+                && s.is_punct(i + 10, ')')
+                && s.is_punct(i + 11, ')')
+        });
+        let ok = matches!(binder, Some(b) if provenant.iter().any(|p| p == b));
+        if !ok {
+            out.push(Finding {
+                path: path.to_string(),
+                line: s.tokens[i].line,
+                rule: Rule::ChunkProvenance,
+                message: "`.sub(..)` offsets without `split_ranges` provenance — pass \
+                          `<range>.start, <range>.len()` of a range bound from \
+                          `split_ranges` output (directly or via a pushed proto \
+                          buffer), or justify with \
+                          `// lint:allow(chunk-provenance): <why>`"
+                    .to_string(),
             });
         }
     }

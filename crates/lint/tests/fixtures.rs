@@ -174,3 +174,24 @@ fn r6_accepts_named_constants_tests_near_misses_and_allows() {
     let fired = rules_fired("crates/core/src/fixture.rs", "r6_good.rs");
     assert!(!fired.contains(&Rule::ConstDrift), "{fired:?}");
 }
+
+#[test]
+fn r7_fires_on_untraced_sub_offsets() {
+    // Raw integer offsets + arithmetic on a traced range + a range from a
+    // hand-rolled chunker: three findings in the provenance-checked file.
+    let findings = findings_for(KERNEL, "r7_bad.rs");
+    let r7 = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ChunkProvenance)
+        .count();
+    assert_eq!(r7, 3, "{findings:?}");
+    // Outside the configured dispatch files the same content is silent.
+    let fired = rules_fired(LIB_EC, "r7_bad.rs");
+    assert!(!fired.contains(&Rule::ChunkProvenance), "{fired:?}");
+}
+
+#[test]
+fn r7_accepts_traced_buffered_and_justified_sub_calls() {
+    let fired = rules_fired(KERNEL, "r7_good.rs");
+    assert!(!fired.contains(&Rule::ChunkProvenance), "{fired:?}");
+}

@@ -1,0 +1,630 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `dialga-service` — a sharded stripe-service front end over the DIALGA
+//! encode pool.
+//!
+//! The adaptive scheduling in [`dialga::coordinator`] only pays off under
+//! sustained, concurrent stripe traffic; this crate is the serving layer
+//! that produces such traffic shapes from many independent clients. The
+//! dispatcher follows the master/slave `Prefetcher` organisation of AIFM
+//! (SNIPPETS.md §1): per shard, one **master** thread turns queued client
+//! requests into fused batch tasks, and the shard's [`EncodePool`] workers
+//! are the bounded **slave** pool that executes them. A fixed 256-entry
+//! trace ring per shard (AIFM's `traces_[256]`) records recent dispatches
+//! for observability.
+//!
+//! Architecture, per shard:
+//!
+//! * its **own** [`EncodePool`] and (optionally) its own
+//!   [`Coordinator`](dialga::coordinator::Coordinator) — shards tune their
+//!   prefetch policy independently for their own traffic, the NUMA-style
+//!   worker/buffer partitioning of the paper's multi-instance deployments;
+//! * a **bounded admission queue** ([`ServiceConfig::queue_depth`]) of
+//!   per-tenant FIFOs; [`StripeService::submit_encode`] and friends return
+//!   [`ServiceError::Rejected`] when the shard is full instead of blocking
+//!   unboundedly, and requests that outlive their deadline complete with
+//!   [`ServiceError::Expired`];
+//! * **deficit round-robin** over tenants (quantum
+//!   [`ServiceConfig::quantum_bytes`]), so a tenant saturating the queue
+//!   cannot starve a light tenant sharing its shard;
+//! * **coalescing**: the master drains up to
+//!   [`ServiceConfig::batch_limit`] requests per sweep and dispatches them
+//!   as *fused* pool batches (`encode_batch`/`decode_batch`), amortising
+//!   dispatch overhead exactly where small stripes lose it.
+//!
+//! Shard selection hashes `(tenant, seq)`; when the hashed shard's queue
+//! occupancy crosses [`ServiceConfig::spill_occupancy`], the request
+//! spills to the neighbouring shard if it is less loaded (load-aware
+//! admission in the spirit of DSPatch's bandwidth-aware dual policies).
+
+mod shard;
+
+pub use shard::{OpKind, TraceEntry};
+
+use dialga::coordinator::Coordinator;
+use dialga::encoder::Dialga;
+use dialga::pool::{EncodePool, PoolStats};
+use dialga_ec::EcError;
+use dialga_memsim::MachineConfig;
+use shard::{OpPayload, Pending, Shard};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use dialga_faultkit::FaultPlan;
+
+/// Configuration for a [`StripeService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (each with its own pool + coordinator); at least 1.
+    pub shards: usize,
+    /// Encode-pool workers per shard; at least 1.
+    pub threads_per_shard: usize,
+    /// Data blocks per stripe.
+    pub k: usize,
+    /// Parity blocks per stripe.
+    pub m: usize,
+    /// Nominal block size fed to each shard's coordinator (the access
+    /// pattern it tunes for); actual requests may vary around it.
+    pub block_bytes: u64,
+    /// Maximum queued requests per shard; admission beyond this returns
+    /// [`ServiceError::Rejected`].
+    pub queue_depth: usize,
+    /// Maximum requests coalesced into one fused pool dispatch.
+    pub batch_limit: usize,
+    /// Deficit-round-robin quantum in bytes added per tenant visit.
+    pub quantum_bytes: usize,
+    /// Queue-occupancy fraction of `queue_depth` above which shard
+    /// selection spills to the (less-loaded) neighbour shard.
+    pub spill_occupancy: f64,
+    /// Attach a per-shard [`Coordinator`] driving live knob updates.
+    pub coordinated: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            threads_per_shard: 2,
+            k: 8,
+            m: 2,
+            block_bytes: 64 * 1024,
+            queue_depth: 256,
+            batch_limit: 16,
+            quantum_bytes: 1 << 20,
+            spill_occupancy: 0.75,
+            coordinated: true,
+        }
+    }
+}
+
+/// Errors surfaced by the service, either at submission or through a
+/// [`Ticket`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The target shard's admission queue was full at submit time.
+    Rejected {
+        /// Shard whose queue was full.
+        shard: usize,
+        /// Its queue depth at the time.
+        depth: usize,
+    },
+    /// The request sat queued past its deadline and was dropped at
+    /// dispatch time.
+    Expired {
+        /// How long the request had been queued when it was dropped.
+        waited: Duration,
+    },
+    /// The coding layer rejected or failed the request.
+    Coding(EcError),
+    /// The service shut down before the request completed.
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Rejected { shard, depth } => {
+                write!(f, "shard {shard} admission queue full ({depth} queued)")
+            }
+            ServiceError::Expired { waited } => {
+                write!(f, "request expired after {} µs queued", waited.as_micros())
+            }
+            ServiceError::Coding(e) => write!(f, "coding error: {e}"),
+            ServiceError::Disconnected => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EcError> for ServiceError {
+    fn from(e: EcError) -> Self {
+        ServiceError::Coding(e)
+    }
+}
+
+/// Handle to one submitted request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Vec<Vec<u8>>, ServiceError>>,
+    seq: u64,
+    shard: usize,
+}
+
+impl Ticket {
+    /// Block until the request completes. Payload by operation:
+    /// encode → the `m` parity blocks; decode → all `k + m` restored
+    /// shards; repair → the single rebuilt shard.
+    pub fn wait(self) -> Result<Vec<Vec<u8>>, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Disconnected))
+    }
+
+    /// Like [`Ticket::wait`] with a timeout; `None` if still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<Vec<u8>>, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Disconnected)),
+        }
+    }
+
+    /// Service-wide submission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Shard the request was admitted to (after any spill).
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Service-wide counters. Pure monotonic tallies: `Relaxed` by the same
+/// protocol as the pool's [`PoolStats`] counters (checked by lint R3).
+#[derive(Default)]
+pub(crate) struct ServiceCounters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) spilled: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) fallbacks: AtomicU64,
+}
+
+/// Read-only snapshot of service activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted (excludes rejections).
+    pub submitted: u64,
+    /// Responses delivered (success or coding error; excludes expiries).
+    pub completed: u64,
+    /// Submissions refused because the shard queue was full.
+    pub rejected: u64,
+    /// Requests dropped at dispatch because their deadline had passed.
+    pub expired: u64,
+    /// Requests admitted to the neighbour shard by load-aware spill.
+    pub spilled: u64,
+    /// Fused batches dispatched to shard pools.
+    pub batches: u64,
+    /// Requests carried by those batches (coalescing ratio =
+    /// `coalesced / batches`).
+    pub coalesced: u64,
+    /// Batches that failed as a unit and were re-run request-by-request
+    /// to isolate the failing stripe.
+    pub fallbacks: u64,
+    /// Current queued requests per shard.
+    pub shard_occupancy: Vec<usize>,
+}
+
+/// The sharded stripe-service front end. See the crate docs for the
+/// architecture; construct with [`StripeService::new`], submit with
+/// [`StripeService::submit_encode`] /
+/// [`StripeService::submit_decode`] / [`StripeService::submit_repair`].
+pub struct StripeService {
+    cfg: ServiceConfig,
+    shards: Vec<Arc<Shard>>,
+    masters: Vec<JoinHandle<()>>,
+    seq: AtomicU64,
+    counters: Arc<ServiceCounters>,
+}
+
+impl StripeService {
+    /// Build the service: `cfg.shards` shards, each with its own
+    /// [`EncodePool`] (and coordinator when `cfg.coordinated`), plus one
+    /// master thread per shard running admission → DRR → fused dispatch.
+    pub fn new(cfg: ServiceConfig) -> Result<StripeService, EcError> {
+        let mut cfg = cfg;
+        cfg.shards = cfg.shards.max(1);
+        cfg.threads_per_shard = cfg.threads_per_shard.max(1);
+        cfg.queue_depth = cfg.queue_depth.max(1);
+        cfg.batch_limit = cfg.batch_limit.max(1);
+        cfg.quantum_bytes = cfg.quantum_bytes.max(1);
+        let coder = Arc::new(Dialga::new(cfg.k, cfg.m)?);
+        let counters = Arc::new(ServiceCounters::default());
+        let machine = MachineConfig::pm();
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut masters = Vec::with_capacity(cfg.shards);
+        for index in 0..cfg.shards {
+            let pool = if cfg.coordinated {
+                let coordinator = Coordinator::new(
+                    cfg.k,
+                    cfg.m,
+                    cfg.block_bytes,
+                    cfg.threads_per_shard,
+                    &machine,
+                );
+                EncodePool::with_coordinator(cfg.threads_per_shard, coordinator)
+            } else {
+                EncodePool::new(cfg.threads_per_shard)
+            };
+            let shard = Arc::new(Shard::new(
+                index,
+                pool,
+                cfg.queue_depth,
+                Arc::clone(&counters),
+            ));
+            let master_shard = Arc::clone(&shard);
+            let master_coder = Arc::clone(&coder);
+            let (batch_limit, quantum) = (cfg.batch_limit, cfg.quantum_bytes);
+            let handle = std::thread::Builder::new()
+                .name(format!("dialga-svc-{index}"))
+                .spawn(move || shard::master_loop(master_shard, master_coder, batch_limit, quantum))
+                // Mirrors pool construction: a host that cannot spawn a
+                // thread cannot serve anyway, and there is no Result
+                // channel at construction.
+                // lint:allow(panic-path): unrecoverable at service build
+                .expect("spawn shard master");
+            shards.push(shard);
+            masters.push(handle);
+        }
+        Ok(StripeService {
+            cfg,
+            shards,
+            masters,
+            seq: AtomicU64::new(0),
+            counters,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The service configuration (normalised: minimums applied).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Submit a stripe encode: `data` is the stripe's `k` equal-length
+    /// data blocks; the ticket resolves to the `m` parity blocks.
+    pub fn submit_encode(
+        &self,
+        tenant: u32,
+        data: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        if data.len() != self.cfg.k {
+            return Err(ServiceError::Coding(EcError::BlockCount {
+                expected: self.cfg.k,
+                got: data.len(),
+            }));
+        }
+        self.submit(tenant, OpPayload::Encode { data }, deadline)
+    }
+
+    /// Submit a stripe decode: `shards` is the full `k + m` shard vector
+    /// with `None` holes; the ticket resolves to all `k + m` restored
+    /// shards.
+    pub fn submit_decode(
+        &self,
+        tenant: u32,
+        shards: Vec<Option<Vec<u8>>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let want = self.cfg.k + self.cfg.m;
+        if shards.len() != want {
+            return Err(ServiceError::Coding(EcError::BlockCount {
+                expected: want,
+                got: shards.len(),
+            }));
+        }
+        self.submit(tenant, OpPayload::Decode { shards }, deadline)
+    }
+
+    /// Submit a single-shard repair (degraded read): rebuild shard
+    /// `target` from the survivors in `shards`; the ticket resolves to a
+    /// one-element vector holding the rebuilt shard.
+    pub fn submit_repair(
+        &self,
+        tenant: u32,
+        shards: Vec<Option<Vec<u8>>>,
+        target: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let want = self.cfg.k + self.cfg.m;
+        if shards.len() != want || target >= want {
+            return Err(ServiceError::Coding(EcError::BlockCount {
+                expected: want,
+                got: shards.len().max(target),
+            }));
+        }
+        self.submit(tenant, OpPayload::Repair { shards, target }, deadline)
+    }
+
+    fn submit(
+        &self,
+        tenant: u32,
+        op: OpPayload,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (shard_idx, spilled) = self.pick_shard(tenant, seq);
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            seq,
+            tenant,
+            cost: op.cost_bytes().max(1),
+            op,
+            submitted: Instant::now(),
+            deadline,
+            done: tx,
+        };
+        match self.shards[shard_idx].admit(pending) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                if spilled {
+                    self.counters.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Ticket {
+                    rx,
+                    seq,
+                    shard: shard_idx,
+                })
+            }
+            Err(depth) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Rejected {
+                    shard: shard_idx,
+                    depth,
+                })
+            }
+        }
+    }
+
+    /// Hash `(tenant, seq)` to a shard; spill to the neighbour when the
+    /// hashed shard is above the occupancy threshold and the neighbour is
+    /// strictly less loaded.
+    fn pick_shard(&self, tenant: u32, seq: u64) -> (usize, bool) {
+        let n = self.shards.len();
+        let primary = (mix64(((tenant as u64) << 32) ^ seq) % n as u64) as usize;
+        if n == 1 {
+            return (primary, false);
+        }
+        let threshold = ((self.cfg.queue_depth as f64) * self.cfg.spill_occupancy) as usize;
+        let occ = self.shards[primary].occupancy();
+        if occ > threshold {
+            let neighbour = (primary + 1) % n;
+            if self.shards[neighbour].occupancy() < occ {
+                return (neighbour, true);
+            }
+        }
+        (primary, false)
+    }
+
+    /// Pause or resume dispatch on every shard master. While paused,
+    /// admission still runs (the queue fills and then rejects), but no
+    /// batch leaves the queues — the deterministic substrate for the
+    /// backpressure and fairness tests.
+    pub fn set_paused(&self, paused: bool) {
+        for shard in &self.shards {
+            shard.set_paused(paused);
+        }
+    }
+
+    /// Snapshot of service-wide counters and per-shard queue occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            spilled: c.spilled.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            fallbacks: c.fallbacks.load(Ordering::Relaxed),
+            shard_occupancy: self.shards.iter().map(|s| s.occupancy()).collect(),
+        }
+    }
+
+    /// Pool stats of one shard (`None` if out of range).
+    pub fn shard_pool_stats(&self, shard: usize) -> Option<PoolStats> {
+        self.shards.get(shard).map(|s| s.pool_stats())
+    }
+
+    /// Recent dispatches from one shard's trace ring, oldest first
+    /// (`None` if out of range).
+    pub fn shard_traces(&self, shard: usize) -> Option<Vec<TraceEntry>> {
+        self.shards.get(shard).map(|s| s.traces())
+    }
+
+    /// Arm a deterministic fault plan inside one shard's pool; other
+    /// shards are untouched. Returns `false` if out of range.
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_shard_faults(&self, shard: usize, plan: &FaultPlan) -> bool {
+        match self.shards.get(shard) {
+            Some(s) => {
+                s.arm_faults(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Disarm any fault plan on one shard's pool. Returns `false` if out
+    /// of range.
+    #[cfg(feature = "fault-injection")]
+    pub fn disarm_shard_faults(&self, shard: usize) -> bool {
+        match self.shards.get(shard) {
+            Some(s) => {
+                s.disarm_faults();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for StripeService {
+    /// Graceful shutdown: masters drain what is already queued (expiring
+    /// what must expire), then exit; their pools stop with them.
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.begin_shutdown();
+        }
+        for handle in self.masters.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// SplitMix64 finaliser — a cheap, well-mixed stateless hash for shard
+/// selection (std-only; no external hasher dependency).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_stripe(k: usize, len: usize, salt: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + salt * 7) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            shards: 2,
+            threads_per_shard: 1,
+            k: 4,
+            m: 2,
+            block_bytes: 4096,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn encode_roundtrip_matches_direct_coder() {
+        let svc = StripeService::new(small_cfg()).unwrap();
+        let coder = Dialga::new(4, 2).unwrap();
+        let data = make_stripe(4, 4096, 0);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let expected = coder.encode_vec(&refs).unwrap();
+        let ticket = svc.submit_encode(1, data, None).unwrap();
+        assert_eq!(ticket.wait().unwrap(), expected);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn decode_and_repair_roundtrip() {
+        let svc = StripeService::new(small_cfg()).unwrap();
+        let coder = Dialga::new(4, 2).unwrap();
+        let data = make_stripe(4, 2048, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = coder.encode_vec(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+
+        // Decode with two holes.
+        let mut holes: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        holes[1] = None;
+        holes[4] = None;
+        let restored = svc.submit_decode(2, holes, None).unwrap().wait().unwrap();
+        assert_eq!(restored, full);
+
+        // Repair a single shard.
+        let mut survivors: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        survivors[2] = None;
+        let rebuilt = svc
+            .submit_repair(2, survivors, 2, None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(rebuilt, vec![full[2].clone()]);
+    }
+
+    #[test]
+    fn geometry_is_rejected_at_submit() {
+        let svc = StripeService::new(small_cfg()).unwrap();
+        let bad = make_stripe(3, 1024, 0); // wrong k
+        assert!(matches!(
+            svc.submit_encode(1, bad, None),
+            Err(ServiceError::Coding(EcError::BlockCount { .. }))
+        ));
+        assert!(matches!(
+            svc.submit_decode(1, vec![None; 5], None),
+            Err(ServiceError::Coding(EcError::BlockCount { .. }))
+        ));
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn paused_service_fills_then_rejects() {
+        let cfg = ServiceConfig {
+            shards: 1,
+            queue_depth: 3,
+            spill_occupancy: 2.0, // spill disabled: single shard anyway
+            ..small_cfg()
+        };
+        let svc = StripeService::new(cfg).unwrap();
+        svc.set_paused(true);
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for i in 0..5 {
+            match svc.submit_encode(1, make_stripe(4, 1024, i), None) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::Rejected { shard: 0, depth }) => {
+                    assert!(depth >= 3);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(tickets.len(), 3, "queue_depth bounds admission");
+        assert_eq!(rejected, 2);
+        svc.set_paused(false);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "resume drains the queue");
+        }
+    }
+
+    #[test]
+    fn mix64_spreads_tenant_seq_pairs() {
+        let mut hits = [0usize; 4];
+        for tenant in 0..8u32 {
+            for seq in 0..64u64 {
+                hits[(mix64(((tenant as u64) << 32) ^ seq) % 4) as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 64, "shard {i} starved by the hash: {hits:?}");
+        }
+    }
+}

@@ -40,3 +40,8 @@ bench:
 # committed as BENCH_PR4.json
 kernel-bench:
     cargo run --release -p dialga-bench --bin kernel_fusion -- --json BENCH_PR4.json
+
+# Sharded stripe-service load generator: open-loop mixed
+# encode/decode/repair over a 1→8 shard sweep, committed as BENCH_PR6.json
+service-bench:
+    cargo run --release -p dialga-bench --bin service_bench -- --json BENCH_PR6.json

@@ -11,6 +11,7 @@
 
 use dialga::encoder::Dialga;
 use dialga::parallel::encode_parallel_vec;
+use dialga_service::{ServiceConfig, StripeService};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -32,6 +33,8 @@ pub enum ArchiveError {
         /// Fault tolerance m.
         tolerance: usize,
     },
+    /// The stripe service refused or failed a routed request.
+    Service(String),
 }
 
 impl fmt::Display for ArchiveError {
@@ -43,6 +46,7 @@ impl fmt::Display for ArchiveError {
             ArchiveError::Unrecoverable { lost, tolerance } => {
                 write!(f, "{lost} shards unusable, tolerance is {tolerance}")
             }
+            ArchiveError::Service(msg) => write!(f, "service error: {msg}"),
         }
     }
 }
@@ -134,36 +138,21 @@ impl Manifest {
     }
 }
 
-/// Encode `input` into `k`+`m` shards in `out_dir`; returns the manifest
-/// path. `threads` > 1 uses the parallel encoder.
-pub fn encode_file(
-    input: &Path,
-    out_dir: &Path,
-    k: usize,
-    m: usize,
-    threads: usize,
-) -> Result<PathBuf, ArchiveError> {
+/// Read and zero-pad `input` so it splits into `k` equal 64 B-aligned
+/// shards; returns `(padded_bytes, file_len, shard_len)`.
+fn read_padded(input: &Path, k: usize) -> Result<(Vec<u8>, u64, u64), ArchiveError> {
     let bytes = fs::read(input)?;
     let file_len = bytes.len() as u64;
     // Shards are 64 B-aligned so the kernels stay on full rows.
     let shard_len = (file_len.div_ceil(k as u64)).next_multiple_of(64).max(64);
     let mut padded = bytes;
     padded.resize((shard_len * k as u64) as usize, 0);
+    Ok((padded, file_len, shard_len))
+}
 
-    let data: Vec<&[u8]> = padded.chunks(shard_len as usize).collect();
-    let coder = Dialga::new(k, m)?;
-    let parity = if threads > 1 {
-        encode_parallel_vec(&coder, &data, threads)?
-    } else {
-        coder.encode_vec(&data)?
-    };
-
-    fs::create_dir_all(out_dir)?;
-    let stem = input
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("archive");
-    let manifest = Manifest {
+/// The manifest describing `input` encoded at the given geometry.
+fn manifest_for(input: &Path, k: usize, m: usize, file_len: u64, shard_len: u64) -> Manifest {
+    Manifest {
         k,
         m,
         file_len,
@@ -173,16 +162,117 @@ pub fn encode_file(
             .and_then(|s| s.to_str())
             .unwrap_or("archive")
             .to_string(),
-    };
+    }
+}
+
+/// Write the manifest plus all data and parity shard files; returns the
+/// manifest path.
+fn write_archive(
+    out_dir: &Path,
+    manifest: &Manifest,
+    data: &[&[u8]],
+    parity: &[Vec<u8>],
+) -> Result<PathBuf, ArchiveError> {
+    fs::create_dir_all(out_dir)?;
+    let stem = Path::new(&manifest.file_name)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("archive");
     let manifest_path = out_dir.join(format!("{stem}.dialga"));
     fs::write(&manifest_path, manifest.to_text())?;
     for (i, shard) in data.iter().enumerate() {
         fs::write(manifest.shard_path(&manifest_path, i), shard)?;
     }
     for (i, shard) in parity.iter().enumerate() {
-        fs::write(manifest.shard_path(&manifest_path, k + i), shard)?;
+        fs::write(manifest.shard_path(&manifest_path, manifest.k + i), shard)?;
     }
     Ok(manifest_path)
+}
+
+/// Encode `input` into `k`+`m` shards in `out_dir`; returns the manifest
+/// path. `threads` > 1 uses the parallel encoder.
+pub fn encode_file(
+    input: &Path,
+    out_dir: &Path,
+    k: usize,
+    m: usize,
+    threads: usize,
+) -> Result<PathBuf, ArchiveError> {
+    let (padded, file_len, shard_len) = read_padded(input, k)?;
+    let data: Vec<&[u8]> = padded.chunks(shard_len as usize).collect();
+    let coder = Dialga::new(k, m)?;
+    let parity = if threads > 1 {
+        encode_parallel_vec(&coder, &data, threads)?
+    } else {
+        coder.encode_vec(&data)?
+    };
+    write_archive(
+        out_dir,
+        &manifest_for(input, k, m, file_len, shard_len),
+        &data,
+        &parity,
+    )
+}
+
+/// Encode `input` through a [`StripeService`] with `shards` shards
+/// (`dialga encode --shards N`): the stripe is cut into 64 B-aligned
+/// segments and each segment is submitted as an independent encode
+/// request, fanned across the shards. Reed–Solomon parity is
+/// byte-position-local, so the concatenated segment parity is bit-exact
+/// with whole-stripe encoding — verified by the end-to-end tests.
+pub fn encode_file_sharded(
+    input: &Path,
+    out_dir: &Path,
+    k: usize,
+    m: usize,
+    threads: usize,
+    shards: usize,
+) -> Result<PathBuf, ArchiveError> {
+    let (padded, file_len, shard_len) = read_padded(input, k)?;
+    let data: Vec<&[u8]> = padded.chunks(shard_len as usize).collect();
+    let shards = shards.max(1);
+
+    // Enough segments to occupy every shard, each 64 B-aligned.
+    let shard_len_us = shard_len as usize;
+    let seg_len = shard_len_us
+        .div_ceil(shards * 2)
+        .next_multiple_of(64)
+        .max(64);
+    let service = StripeService::new(ServiceConfig {
+        shards,
+        threads_per_shard: threads.max(1),
+        k,
+        m,
+        block_bytes: seg_len as u64,
+        ..ServiceConfig::default()
+    })?;
+
+    let mut tickets = Vec::new();
+    let mut offset = 0;
+    while offset < shard_len_us {
+        let end = (offset + seg_len).min(shard_len_us);
+        let segment: Vec<Vec<u8>> = data.iter().map(|d| d[offset..end].to_vec()).collect();
+        let ticket = service
+            .submit_encode(0, segment, None)
+            .map_err(|e| ArchiveError::Service(e.to_string()))?;
+        tickets.push(ticket);
+        offset = end;
+    }
+    let mut parity: Vec<Vec<u8>> = vec![Vec::with_capacity(shard_len_us); m];
+    for ticket in tickets {
+        let segment_parity = ticket
+            .wait()
+            .map_err(|e| ArchiveError::Service(e.to_string()))?;
+        for (out, seg) in parity.iter_mut().zip(segment_parity) {
+            out.extend_from_slice(&seg);
+        }
+    }
+    write_archive(
+        out_dir,
+        &manifest_for(input, k, m, file_len, shard_len),
+        &data,
+        &parity,
+    )
 }
 
 /// Read all shards; missing or wrong-length files become `None`.

@@ -1,11 +1,15 @@
 //! `dialga` — erasure-coded file archives from the command line.
 //!
 //! ```text
-//! dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N]
+//! dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N] [--shards N]
 //! dialga verify <manifest.dialga>
 //! dialga repair <manifest.dialga>
 //! dialga restore <manifest.dialga> [--out FILE]
 //! ```
+//!
+//! `--shards N` routes the encode through the sharded stripe service
+//! (N shards, each with its own pool and coordinator) instead of the
+//! direct parallel encoder.
 
 use dialga_repro::archive;
 use std::path::PathBuf;
@@ -13,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N]\n  dialga verify <manifest.dialga>\n  dialga repair <manifest.dialga>\n  dialga restore <manifest.dialga> [--out FILE]"
+        "usage:\n  dialga encode <file> [--out DIR] [--k N] [--m N] [--threads N] [--shards N]\n  dialga verify <manifest.dialga>\n  dialga repair <manifest.dialga>\n  dialga restore <manifest.dialga> [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
             let threads: usize = flag(&mut args, "--threads")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1);
+            let shards: Option<usize> = flag(&mut args, "--shards").and_then(|v| v.parse().ok());
             let Some(file) = args.first().map(PathBuf::from) else {
                 return usage();
             };
@@ -54,13 +59,22 @@ fn main() -> ExitCode {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| ".".into())
             });
-            archive::encode_file(&file, &out_dir, k, m, threads).map(|p| {
+            let encoded = match shards {
+                Some(n) if n > 0 => archive::encode_file_sharded(&file, &out_dir, k, m, threads, n),
+                _ => archive::encode_file(&file, &out_dir, k, m, threads),
+            };
+            encoded.map(|p| {
+                let via = shards
+                    .filter(|&n| n > 0)
+                    .map(|n| format!(", via {n}-shard service"))
+                    .unwrap_or_default();
                 println!(
-                    "encoded {} -> {} ({} data + {} parity shards)",
+                    "encoded {} -> {} ({} data + {} parity shards{})",
                     file.display(),
                     p.display(),
                     k,
-                    m
+                    m,
+                    via
                 );
             })
         }

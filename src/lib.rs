@@ -14,6 +14,8 @@
 //!   couples coding strategies to the simulator.
 //! * [`scheduler`] — the DIALGA adaptive prefetcher scheduler itself
 //!   (coordinator, lightweight operator, buffer-friendly prefetch).
+//! * [`service`] — the sharded stripe-service front end (bounded
+//!   admission, tenant-fair scheduling, fused batch dispatch).
 
 pub mod archive;
 
@@ -22,3 +24,4 @@ pub use dialga_ec as ec;
 pub use dialga_gf as gf;
 pub use dialga_memsim as memsim;
 pub use dialga_pipeline as pipeline;
+pub use dialga_service as service;

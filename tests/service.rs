@@ -1,0 +1,262 @@
+//! Service-layer property tests (PR 6 tentpole):
+//!
+//! 1. results through the sharded service are **bit-exact** with direct
+//!    coder/pool submission across shard counts {1, 2, 4}, for all three
+//!    operations;
+//! 2. **per-tenant fairness**: a light tenant sharing a shard with a
+//!    saturating tenant is served within the first DRR rounds, not after
+//!    the saturator's whole backlog;
+//! 3. **backpressure**: a full admission queue rejects at submit time and
+//!    deadline-carrying requests expire instead of being served late —
+//!    the service never blocks a submitter;
+//! 4. **chaos isolation**: a fault plan armed inside one shard leaves the
+//!    other shards serving bit-exact results.
+
+use dialga_faultkit::{Fault, FaultPlan};
+use dialga_repro::scheduler::encoder::Dialga;
+use dialga_repro::service::{ServiceConfig, ServiceError, StripeService};
+use std::time::Duration;
+
+const K: usize = 6;
+const M: usize = 3;
+
+fn make_stripe(len: usize, salt: usize) -> Vec<Vec<u8>> {
+    (0..K)
+        .map(|i| {
+            (0..len)
+                .map(|j| ((salt * 7 + i * 131 + j * 17) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn cfg(shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        threads_per_shard: 2,
+        k: K,
+        m: M,
+        block_bytes: 4096,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn service_results_bit_exact_across_shard_counts() {
+    let coder = Dialga::new(K, M).unwrap();
+    for shards in [1usize, 2, 4] {
+        let svc = StripeService::new(cfg(shards)).unwrap();
+        let mut tickets = Vec::new();
+        let mut expected = Vec::new();
+
+        for salt in 0..12 {
+            let len = 2048 + (salt % 3) * 512; // mixed block sizes
+            let data = make_stripe(len, salt);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = coder.encode_vec(&refs).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+
+            match salt % 3 {
+                0 => {
+                    expected.push(parity.clone());
+                    tickets.push(svc.submit_encode(salt as u32, data, None).unwrap());
+                }
+                1 => {
+                    let mut holes: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    holes[2] = None;
+                    holes[K + 1] = None;
+                    expected.push(full.clone());
+                    tickets.push(svc.submit_decode(salt as u32, holes, None).unwrap());
+                }
+                _ => {
+                    let mut survivors: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    survivors[3] = None;
+                    expected.push(vec![full[3].clone()]);
+                    tickets.push(svc.submit_repair(salt as u32, survivors, 3, None).unwrap());
+                }
+            }
+        }
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            let got = ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("request failed on {shards}-shard service: {e}"));
+            assert_eq!(got, want, "shards={shards}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 12, "shards={shards}");
+        assert_eq!(stats.rejected + stats.expired, 0, "shards={shards}");
+    }
+}
+
+#[test]
+fn light_tenant_is_served_fairly_under_saturation() {
+    // One shard, one worker, tiny batches: tenant 1 floods 40 requests,
+    // tenant 2 submits 4. With DRR (quantum = one request's cost) each
+    // round serves both tenants, so all of tenant 2's dispatches must
+    // appear in the first rounds — not behind the saturator's backlog.
+    let len = 4096;
+    let cost = K * len;
+    let svc = StripeService::new(ServiceConfig {
+        shards: 1,
+        threads_per_shard: 1,
+        k: K,
+        m: M,
+        block_bytes: len as u64,
+        queue_depth: 64,
+        batch_limit: 4,
+        quantum_bytes: cost,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+
+    svc.set_paused(true); // make the queue contents deterministic
+    let mut tickets = Vec::new();
+    for i in 0..40 {
+        tickets.push(svc.submit_encode(1, make_stripe(len, i), None).unwrap());
+    }
+    let mut light = Vec::new();
+    for i in 0..4 {
+        light.push(
+            svc.submit_encode(2, make_stripe(len, 100 + i), None)
+                .unwrap(),
+        );
+    }
+    svc.set_paused(false);
+
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    for t in light {
+        t.wait().unwrap();
+    }
+
+    let traces = svc.shard_traces(0).unwrap();
+    assert_eq!(traces.len(), 44, "every dispatch is traced");
+    let light_positions: Vec<usize> = traces
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.tenant == 2)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(light_positions.len(), 4);
+    let last = *light_positions.last().unwrap();
+    assert!(
+        last < 12,
+        "light tenant must finish within the first DRR rounds, \
+         not at position {last} of 44: {light_positions:?}"
+    );
+}
+
+#[test]
+fn backpressure_rejects_and_expires_instead_of_blocking() {
+    let svc = StripeService::new(ServiceConfig {
+        shards: 1,
+        threads_per_shard: 1,
+        k: K,
+        m: M,
+        queue_depth: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    svc.set_paused(true);
+
+    // Admission beyond queue_depth returns Rejected at submit time.
+    let mut admitted = Vec::new();
+    let mut rejections = 0;
+    for i in 0..10 {
+        match svc.submit_encode(1, make_stripe(512, i), Some(Duration::from_millis(5))) {
+            Ok(t) => admitted.push(t),
+            Err(ServiceError::Rejected { shard: 0, depth }) => {
+                assert!(depth >= 4);
+                rejections += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(admitted.len(), 4);
+    assert_eq!(rejections, 6);
+    assert_eq!(svc.stats().rejected, 6);
+
+    // Hold the queue past every deadline; on resume the master expires
+    // the stale requests rather than serving them late.
+    std::thread::sleep(Duration::from_millis(30));
+    svc.set_paused(false);
+    for t in admitted {
+        match t.wait() {
+            Err(ServiceError::Expired { waited }) => {
+                assert!(waited >= Duration::from_millis(5));
+            }
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.expired, 4);
+    assert_eq!(stats.completed, 0);
+
+    // The shard is still healthy for fresh traffic.
+    let fresh = svc.submit_encode(1, make_stripe(512, 99), None).unwrap();
+    assert!(fresh.wait().is_ok());
+}
+
+#[test]
+fn faults_in_one_shard_leave_other_shards_serving() {
+    let coder = Dialga::new(K, M).unwrap();
+    let svc = StripeService::new(ServiceConfig {
+        threads_per_shard: 2,
+        ..cfg(3)
+    })
+    .unwrap();
+
+    // Kill a worker (repeatedly, via scripted exits) inside shard 0 only.
+    assert!(svc.arm_shard_faults(
+        0,
+        &FaultPlan::new()
+            .with(Fault::WorkerExit {
+                worker: 0,
+                nth_chunk: 0,
+            })
+            .with(Fault::WorkerExit {
+                worker: 1,
+                nth_chunk: 2,
+            }),
+    ));
+
+    let mut submitted = Vec::new();
+    for salt in 0..24 {
+        let data = make_stripe(2048, salt);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = coder.encode_vec(&refs).unwrap();
+        let ticket = svc.submit_encode(salt as u32, data, None).unwrap();
+        submitted.push((ticket, parity));
+    }
+
+    let mut off_shard0 = 0;
+    for (ticket, want) in submitted {
+        let shard = ticket.shard();
+        let result = ticket.wait();
+        if shard != 0 {
+            off_shard0 += 1;
+            assert_eq!(
+                result.expect("un-faulted shard must serve"),
+                want,
+                "shard {shard} diverged while shard 0 was faulted"
+            );
+        } else if let Ok(got) = result {
+            // Shard 0 may heal and succeed; if it does, bytes are exact.
+            assert_eq!(got, want, "healed shard 0 diverged");
+        }
+    }
+    assert!(
+        off_shard0 >= 8,
+        "hashing must spread load off the faulted shard (got {off_shard0}/24)"
+    );
+
+    // Disarm; the whole service serves cleanly again.
+    assert!(svc.disarm_shard_faults(0));
+    let data = make_stripe(2048, 777);
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let want = coder.encode_vec(&refs).unwrap();
+    let got = svc.submit_encode(9, data, None).unwrap().wait().unwrap();
+    assert_eq!(got, want);
+}
