@@ -1,108 +1,30 @@
-//! Sharded stripe-service load generator (PR 6): open-loop mixed
+//! Sharded stripe-service shard-count sweep (PR 6 artifact): mixed
 //! encode/decode/repair traffic against [`dialga_service::StripeService`]
-//! across a shard-count sweep.
+//! at 1..=8 shards, reporting throughput scaling and tail latency.
 //!
-//! The generator pre-builds every request payload, then fires the whole
-//! set as fast as admission allows (bounded retry on `Rejected`, counted —
-//! the submitter never blocks inside the service). A small collector pool
-//! redeems tickets concurrently, so per-request latency spans submit →
-//! response including queueing, batching and dispatch. Reported per shard
-//! count: ops/s, data GiB/s, p50/p99 latency, coalescing ratio, and the
-//! backpressure tallies.
+//! Since PR 7 the load generator is [`dialga_workload`]: one closed-loop
+//! phase per shard count, same deterministic seed across the sweep, with
+//! the ~60/25/15 encode/decode/repair mix the original ad-hoc generator
+//! used. The replayer measures client-observed latency per op class and
+//! an `all` aggregate; this bench publishes the aggregate so the
+//! `BENCH_PR6.json` schema (one combined p50/p99 per row) is unchanged.
 //!
-//! `--smoke` runs a reduced sweep as a sanity gate; `--json <path>` writes
-//! the results artifact (`BENCH_PR6.json` in CI parlance).
+//! `--smoke` runs a reduced sweep as a sanity gate; `--json <path>`
+//! writes the results artifact (`BENCH_PR6.json` in CI parlance).
 
-use dialga::Dialga;
-use dialga_service::{ServiceConfig, ServiceError, StripeService, Ticket};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use dialga_faultkit::FaultSchedule;
+use dialga_workload::{replay_service, Mix, Phase, RunReport, WorkloadSpec};
 
 const K: usize = 6;
 const M: usize = 3;
 const TENANTS: u32 = 8;
-const COLLECTORS: usize = 2;
-
-/// One pre-built request, ready to submit.
-enum Req {
-    Encode(Vec<Vec<u8>>),
-    Decode(Vec<Option<Vec<u8>>>),
-    Repair(Vec<Option<Vec<u8>>>, usize),
-}
-
-/// Deterministic splitmix64 stream for the op mix.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-}
-
-fn make_stripe(block: usize, salt: u64) -> Vec<Vec<u8>> {
-    (0..K)
-        .map(|i| {
-            (0..block)
-                .map(|j| ((salt as usize * 7 + i * 131 + j * 17) % 256) as u8)
-                .collect()
-        })
-        .collect()
-}
-
-/// A template stripe: its `k` data blocks and `m` parity blocks.
-type Template = (Vec<Vec<u8>>, Vec<Vec<u8>>);
-
-/// Pre-build `n` requests: ~60% encode, ~25% decode, ~15% repair, cycling
-/// over a few template stripes so build time stays off the clock.
-fn build_requests(n: usize, block: usize) -> Vec<Req> {
-    let coder = Dialga::new(K, M).unwrap();
-    let templates: Vec<Template> = (0..4)
-        .map(|t| {
-            let data = make_stripe(block, t);
-            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-            let parity = coder.encode_vec(&refs).unwrap();
-            (data, parity)
-        })
-        .collect();
-    let mut rng = Rng(0x5eed);
-    (0..n)
-        .map(|i| {
-            let (data, parity) = &templates[i % templates.len()];
-            let full = || {
-                data.iter()
-                    .chain(parity.iter())
-                    .cloned()
-                    .map(Some)
-                    .collect::<Vec<_>>()
-            };
-            match rng.next() % 100 {
-                0..=59 => Req::Encode(data.clone()),
-                60..=84 => {
-                    let mut shards = full();
-                    shards[(i * 5) % (K + M)] = None;
-                    Req::Decode(shards)
-                }
-                _ => {
-                    let target = (i * 3) % (K + M);
-                    let mut shards = full();
-                    shards[target] = None;
-                    Req::Repair(shards, target)
-                }
-            }
-        })
-        .collect()
-}
+const SEED: u64 = 0x5eed;
 
 struct Row {
     shards: usize,
-    ops: usize,
-    elapsed: Duration,
-    data_bytes: u64,
+    ops: u64,
+    ops_per_s: f64,
+    gibs: f64,
     p50_us: f64,
     p99_us: f64,
     rejected_retries: u64,
@@ -110,114 +32,35 @@ struct Row {
     coalescing: f64,
 }
 
-impl Row {
-    fn ops_per_s(&self) -> f64 {
-        self.ops as f64 / self.elapsed.as_secs_f64()
-    }
-    fn gibs(&self) -> f64 {
-        self.data_bytes as f64 / self.elapsed.as_secs_f64() / (1024.0 * 1024.0 * 1024.0)
-    }
-}
-
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx]
-}
-
-fn run_config(shards: usize, n: usize, block: usize) -> Row {
-    let svc = StripeService::new(ServiceConfig {
-        shards,
-        threads_per_shard: 1,
-        k: K,
-        m: M,
-        block_bytes: block as u64,
-        queue_depth: 256,
-        ..ServiceConfig::default()
-    })
-    .unwrap();
-    let requests = build_requests(n, block);
-    let data_bytes: u64 = requests
+fn run_config(shards: usize, n: u64, block: usize) -> Row {
+    let mut spec = WorkloadSpec::new(SEED).phase(
+        Phase::new("sweep", n, Mix::new(12, 5, 3, 0))
+            .block(block)
+            .closed(64),
+    );
+    spec.k = K;
+    spec.m = M;
+    spec.tenants = TENANTS;
+    spec.shards = shards;
+    spec.threads_per_shard = 1;
+    let report: RunReport =
+        replay_service("sweep", &spec, &FaultSchedule::new()).expect("replay failed");
+    let all = report
+        .classes
         .iter()
-        .map(|r| match r {
-            Req::Encode(_) => (K * block) as u64,
-            Req::Decode(_) | Req::Repair(_, _) => ((K + M) * block) as u64,
-        })
-        .sum();
-
-    // Collector pool: redeem tickets off the submit path so submission
-    // stays open-loop and latency timestamps are taken at response time.
-    let (tx, rx) = mpsc::channel::<(Ticket, Instant)>();
-    let rx = Arc::new(Mutex::new(rx));
-    let lats: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
-    let collectors: Vec<_> = (0..COLLECTORS)
-        .map(|_| {
-            let rx = Arc::clone(&rx);
-            let lats = Arc::clone(&lats);
-            std::thread::spawn(move || loop {
-                let item = rx.lock().unwrap().recv();
-                let Ok((ticket, submitted)) = item else {
-                    return;
-                };
-                ticket.wait().expect("bench request failed");
-                let us = submitted.elapsed().as_secs_f64() * 1e6;
-                lats.lock().unwrap().push(us);
-            })
-        })
-        .collect();
-
-    let mut rejected_retries = 0u64;
-    let started = Instant::now();
-    let mut rng = Rng(0xfeed);
-    for req in &requests {
-        let tenant = (rng.next() % TENANTS as u64) as u32;
-        loop {
-            let submitted = Instant::now();
-            let attempt = match req {
-                Req::Encode(data) => svc.submit_encode(tenant, data.clone(), None),
-                Req::Decode(shards) => svc.submit_decode(tenant, shards.clone(), None),
-                Req::Repair(shards, target) => {
-                    svc.submit_repair(tenant, shards.clone(), *target, None)
-                }
-            };
-            match attempt {
-                Ok(ticket) => {
-                    tx.send((ticket, submitted)).unwrap();
-                    break;
-                }
-                Err(ServiceError::Rejected { .. }) => {
-                    // Open-loop backoff: the submitter is never blocked by
-                    // the service itself, only paced by its own retry.
-                    rejected_retries += 1;
-                    std::thread::sleep(Duration::from_micros(200));
-                }
-                Err(e) => panic!("submit failed: {e}"),
-            }
-        }
-    }
-    drop(tx);
-    for c in collectors {
-        c.join().unwrap();
-    }
-    let elapsed = started.elapsed();
-
-    let stats = svc.stats();
-    let mut sorted = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    assert_eq!(sorted.len(), n, "every request must complete");
+        .find(|c| c.op == "all")
+        .expect("aggregate class");
     Row {
         shards,
-        ops: n,
-        elapsed,
-        data_bytes,
-        p50_us: percentile(&sorted, 0.50),
-        p99_us: percentile(&sorted, 0.99),
-        rejected_retries,
-        spilled: stats.spilled,
-        coalescing: if stats.batches > 0 {
-            stats.coalesced as f64 / stats.batches as f64
+        ops: report.ops,
+        ops_per_s: report.ops_per_s,
+        gibs: report.mib_s / 1024.0,
+        p50_us: all.p50_us,
+        p99_us: all.p99_us,
+        rejected_retries: report.service.rejected,
+        spilled: report.service.spilled,
+        coalescing: if report.service.batches > 0 {
+            report.service.coalesced as f64 / report.service.batches as f64
         } else {
             0.0
         },
@@ -225,7 +68,7 @@ fn run_config(shards: usize, n: usize, block: usize) -> Row {
 }
 
 fn emit_json(path: &str, block: usize, rows: &[Row]) {
-    let base = rows.first().map_or(0.0, Row::ops_per_s);
+    let base = rows.first().map_or(0.0, |r| r.ops_per_s);
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"service_bench\",\n");
     s.push_str(&format!(
@@ -237,9 +80,9 @@ fn emit_json(path: &str, block: usize, rows: &[Row]) {
             "    {{\"shards\": {}, \"ops\": {}, \"ops_per_s\": {:.1}, \"gibs\": {:.3}, \"scaling_vs_1shard\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"coalescing\": {:.2}, \"spilled\": {}, \"rejected_retries\": {}}}{}\n",
             r.shards,
             r.ops,
-            r.ops_per_s(),
-            r.gibs(),
-            if base > 0.0 { r.ops_per_s() / base } else { 0.0 },
+            r.ops_per_s,
+            r.gibs,
+            if base > 0.0 { r.ops_per_s / base } else { 0.0 },
             r.p50_us,
             r.p99_us,
             r.coalescing,
@@ -262,13 +105,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let (shard_counts, n, block): (&[usize], usize, usize) = if smoke {
+    let (shard_counts, n, block): (&[usize], u64, usize) = if smoke {
         (&[1, 2], 48, 4 * 1024)
     } else {
         (&[1, 2, 4, 8], 320, 16 * 1024)
     };
 
-    println!("service_bench: open-loop mixed encode/decode/repair, k={K} m={M}, block {block} B, {n} ops per config");
+    println!("service_bench: closed-loop mixed encode/decode/repair, k={K} m={M}, block {block} B, {n} ops per config");
     let rows: Vec<Row> = shard_counts
         .iter()
         .map(|&s| run_config(s, n, block))
@@ -283,8 +126,8 @@ fn main() {
         println!(
             "{:<7} {:>9.1} {:>8.3} {:>9.1} {:>9.1} {:>10.2} {:>8} {:>8}",
             r.shards,
-            r.ops_per_s(),
-            r.gibs(),
+            r.ops_per_s,
+            r.gibs,
             r.p50_us,
             r.p99_us,
             r.coalescing,

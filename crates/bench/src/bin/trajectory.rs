@@ -1,0 +1,83 @@
+//! Latency/throughput trajectory across every `BENCH_PRn.json` artifact
+//! in the repository root.
+//!
+//! Each growth PR that lands a benchmark commits its artifact; this
+//! binary is the cross-PR report *and* the schema gate: every artifact
+//! is parsed and validated against its kind's schema
+//! ([`dialga_workload::report::validate_artifact`]), and any parse
+//! error, schema drift, or unknown kind makes the process exit
+//! non-zero — which is how `scripts/lint.sh` catches an artifact edit
+//! that would silently break the trajectory.
+//!
+//! Usage: `trajectory [dir]` (default: current directory).
+
+use dialga_workload::json;
+use dialga_workload::report::validate_artifact;
+use std::process::ExitCode;
+
+/// `BENCH_PR6.json` → `Some(6)`.
+fn pr_number(name: &str) -> Option<u32> {
+    name.strip_prefix("BENCH_PR")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut artifacts: Vec<(u32, std::path::PathBuf)> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                Some((pr_number(&name)?, e.path()))
+            })
+            .collect(),
+        Err(why) => {
+            eprintln!("trajectory: cannot read `{dir}`: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    artifacts.sort_by_key(|(pr, _)| *pr);
+    if artifacts.is_empty() {
+        eprintln!("trajectory: no BENCH_PRn.json artifacts under `{dir}`");
+        return ExitCode::FAILURE;
+    }
+
+    println!("{:<5} {:<14} {:<44} tail", "PR", "bench", "headline");
+    let mut failed = false;
+    for (pr, path) in &artifacts {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(why) => {
+                eprintln!("PR{pr}: cannot read {}: {why}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match json::parse(&text) {
+            Ok(d) => d,
+            Err(why) => {
+                eprintln!("PR{pr}: {}: {why}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        match validate_artifact(&doc) {
+            Ok(row) => println!(
+                "{:<5} {:<14} {:<44} {}",
+                pr, row.kind, row.headline, row.tail
+            ),
+            Err(why) => {
+                eprintln!("PR{pr}: {} schema drift: {why}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("trajectory: schema validation FAILED");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

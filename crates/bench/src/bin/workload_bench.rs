@@ -1,0 +1,129 @@
+//! Trace-driven production-workload bench (PR 7): replay the three
+//! canonical [`dialga_workload`] profiles against a live
+//! [`dialga_service::StripeService`] and emit `BENCH_PR7.json`.
+//!
+//! Profiles:
+//!
+//! * `steady` — uniform closed-loop mixed traffic, the baseline row;
+//! * `skewed_bursty` — Zipf-hot bursty small blocks, then a mid-run
+//!   shift to large read-heavy traffic that forces the per-shard
+//!   coordinators to re-converge (the report times it);
+//! * `chaos` — scrub-heavy traffic with stripe corruption; with the
+//!   `fault-injection` feature the storm phase also arms a seeded fault
+//!   plan inside the shard pools (worker deaths, send failures, sample
+//!   spikes), exercising self-healing under load.
+//!
+//! A raw [`EncodePool`] fused-batch replay rides along as the
+//! service-free baseline (`pool` object in the artifact).
+//!
+//! The emitted artifact is parsed back and schema-validated before it is
+//! written — `workload_bench` refuses to publish a document that
+//! `just trajectory` would reject. `--smoke` shrinks every phase for CI;
+//! `--json <path>` overrides the output path (default `BENCH_PR7.json`).
+//!
+//! [`EncodePool`]: dialga::pool::EncodePool
+
+use dialga_faultkit::FaultSchedule;
+use dialga_workload::json;
+use dialga_workload::report::{bench_json, validate_workload};
+use dialga_workload::{replay_pool, replay_service, RunReport, WorkloadSpec};
+
+const SEED: u64 = 0xD1A1_6A07;
+
+fn chaos_schedule(workers: usize) -> FaultSchedule {
+    // Phase-scoped: only the storm phase gets faults; the warm phase
+    // establishes a clean baseline first.
+    FaultSchedule::seeded(SEED, workers, &["chaos_storm"])
+}
+
+fn run_profile(name: &str, spec: WorkloadSpec, chaos: &FaultSchedule) -> RunReport {
+    println!(
+        "workload_bench: profile `{name}` — {} phase(s), {} ops, k={} m={}, {} shard(s) x {} worker(s)",
+        spec.phases.len(),
+        spec.total_ops(),
+        spec.k,
+        spec.m,
+        spec.shards,
+        spec.threads_per_shard,
+    );
+    let report = replay_service(name, &spec, chaos).expect("replay failed");
+    let conv = report
+        .convergence_after_shift_ms
+        .map_or("n/a".to_string(), |ms| format!("{ms:.1} ms"));
+    println!(
+        "  {:.0} ops/s, {:.1} MiB/s, convergence-after-shift {conv}, scrubs clean/detected/missed {}/{}/{}",
+        report.ops_per_s,
+        report.mib_s,
+        report.scrubs.clean,
+        report.scrubs.corrupt_detected,
+        report.scrubs.missed,
+    );
+    for class in report.classes.iter().filter(|c| c.count > 0) {
+        println!(
+            "    {:<7} n={:<5} p50 {:>8.1} us  p99 {:>8.1} us  p999 {:>8.1} us",
+            class.op, class.count, class.p50_us, class.p99_us, class.p999_us
+        );
+    }
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let shrink = if smoke { 8 } else { 1 };
+
+    let specs = [
+        ("steady", WorkloadSpec::steady(SEED).smoke(shrink)),
+        (
+            "skewed_bursty",
+            WorkloadSpec::skewed_bursty(SEED).smoke(shrink),
+        ),
+        ("chaos", WorkloadSpec::chaos(SEED).smoke(shrink)),
+    ];
+    let clean = FaultSchedule::new();
+    let mut profiles = Vec::with_capacity(specs.len());
+    for (name, spec) in specs {
+        let chaos = if name == "chaos" {
+            chaos_schedule(spec.threads_per_shard)
+        } else {
+            clean.clone()
+        };
+        profiles.push(run_profile(name, spec, &chaos));
+    }
+
+    let pool_ops = if smoke { 64 } else { 512 };
+    let pool = replay_pool(SEED, 6, 3, 2, 16 * 1024, pool_ops, 8).expect("pool replay failed");
+    println!(
+        "workload_bench: raw-pool baseline — {:.0} stripes/s, {:.1} MiB/s, batch p50/p99 {:.1}/{:.1} us",
+        pool.ops_per_s, pool.mib_s, pool.p50_batch_us, pool.p99_batch_us
+    );
+
+    for report in &profiles {
+        assert_eq!(
+            report.scrubs.missed, 0,
+            "integrity scrub missed scripted corruption in `{}`",
+            report.profile
+        );
+    }
+
+    let artifact = bench_json(7, smoke, &profiles, Some(&pool));
+    // Self-check: never publish an artifact `just trajectory` would
+    // reject.
+    let doc = json::parse(&artifact).expect("emitted artifact must parse");
+    match validate_workload(&doc) {
+        Ok(rows) => {
+            for row in rows {
+                println!("  schema-ok: {row}");
+            }
+        }
+        Err(why) => panic!("emitted artifact failed schema validation: {why}"),
+    }
+    std::fs::write(&path, &artifact).expect("write artifact");
+    println!("wrote {path}");
+}

@@ -51,16 +51,48 @@ pub struct Policy {
 /// because parity is written with non-temporal stores. `unit_bytes` is the
 /// device's implicit-load granularity (256 B XPLines on Optane).
 pub fn eq1_max_distance(threads: usize, k: usize, buffer_bytes: u64, unit_bytes: u64) -> u32 {
+    const CEILING: u64 = 4096;
     let per_wave = threads as u64 * k as u64 * unit_bytes;
-    if per_wave == 0 {
-        return u32::MAX;
-    }
-    let waves = buffer_bytes / per_wave; // floor of the allowed multiple
-    let d = waves.saturating_mul(k as u64);
+    // Degenerate wave size (threads = 0, k = 0, or unit_bytes = 0): the
+    // buffer imposes no constraint, so the distance is limited only by the
+    // documented ceiling below — not `u32::MAX`, which would hand the hill
+    // climber an unbounded search space no real device justifies.
+    // (`checked_div`: None exactly in the degenerate case above.)
+    let d = buffer_bytes
+        .checked_div(per_wave)
+        // Floor of the allowed multiple of k rows.
+        .map_or(u64::MAX, |waves| waves.saturating_mul(k as u64));
     // Never clamp below one row (d = k): the pipelined kernel needs at
     // least the next row in flight, and the ablation harness shows d = k
-    // strictly beats shorter distances even past the budget.
-    d.clamp(k as u64, 4096) as u32
+    // strictly beats shorter distances even past the budget. (The floor
+    // itself saturates at the ceiling so stripes wider than 4096 rows
+    // cannot invert the clamp.)
+    d.clamp((k as u64).min(CEILING), CEILING) as u32
+}
+
+/// Read-only snapshot of coordinator activity, consumed by telemetry and
+/// the workload harness's convergence-after-shift reporting: a workload
+/// shift is "converged" once no further policy change lands, so the
+/// interesting quantities are how many changes have happened and when the
+/// newest one did (on the owning pool's [`clock_ns`] timeline).
+///
+/// [`clock_ns`]: crate::pool::EncodePool::clock_ns
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinatorSnapshot {
+    /// Samples taken so far.
+    pub samples: u64,
+    /// Policy changes published so far (monotone; unlike the ring-buffered
+    /// policy log, this never forgets evicted changes).
+    pub policy_changes: u64,
+    /// Timestamp of the newest policy change, if any (same clock as
+    /// [`Coordinator::on_tick`]'s `now_ns`).
+    pub last_change_ns: Option<f64>,
+    /// Eq. (1) distance bound in effect.
+    pub d_max: u32,
+    /// Currently dispatched software prefetch distance.
+    pub sw_distance: Option<u32>,
+    /// Whether the hardware prefetcher is currently suppressed.
+    pub hw_suppressed: bool,
 }
 
 /// The adaptive coordinator.
@@ -82,6 +114,10 @@ pub struct Coordinator {
     climber: HillClimber,
     policy: Policy,
     samples: u64,
+    /// Total policy changes published (not capped like the log).
+    changes: u64,
+    /// Timestamp of the newest policy change.
+    last_change_ns: Option<f64>,
     /// Timestamped policy changes (ring buffer of the most recent
     /// [`LOG_CAP`]), for tracing/telemetry.
     log: VecDeque<(f64, Policy)>,
@@ -147,6 +183,8 @@ impl Coordinator {
                 pressure: PressureState::default(),
             },
             samples: 0,
+            changes: 0,
+            last_change_ns: None,
             log: VecDeque::new(),
             #[cfg(feature = "fault-injection")]
             fault: None,
@@ -180,6 +218,19 @@ impl Coordinator {
     /// Number of samples taken so far.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Stat snapshot for telemetry and the workload harness's
+    /// convergence-after-shift measurement (see [`CoordinatorSnapshot`]).
+    pub fn snapshot(&self) -> CoordinatorSnapshot {
+        CoordinatorSnapshot {
+            samples: self.samples,
+            policy_changes: self.changes,
+            last_change_ns: self.last_change_ns,
+            d_max: self.d_max,
+            sw_distance: self.policy.knobs.sw_distance,
+            hw_suppressed: self.policy.hw_suppressed,
+        }
     }
 
     /// Called on every task issue with the live clock and counters; takes a
@@ -266,6 +317,8 @@ impl Coordinator {
             pressure,
         };
         if changed {
+            self.changes += 1;
+            self.last_change_ns = Some(now_ns);
             // Ring buffer: retain the newest LOG_CAP entries. (The old
             // `len() < LOG_CAP` guard silently stopped recording once the
             // log filled, so long runs lost exactly the changes an operator
@@ -314,11 +367,11 @@ mod tests {
     #[test]
     fn eq1_bound_edge_cases() {
         // Degenerate wave size (threads = 0, k = 0, or unit_bytes = 0):
-        // nothing constrains the distance, so the bound is unbounded rather
-        // than a divide-by-zero.
-        assert_eq!(eq1_max_distance(0, 28, 96 * 1024, 256), u32::MAX);
-        assert_eq!(eq1_max_distance(4, 0, 96 * 1024, 256), u32::MAX);
-        assert_eq!(eq1_max_distance(4, 28, 96 * 1024, 0), u32::MAX);
+        // nothing constrains the distance, so the bound is the documented
+        // ceiling rather than a divide-by-zero.
+        assert_eq!(eq1_max_distance(0, 28, 96 * 1024, 256), 4096);
+        assert_eq!(eq1_max_distance(4, 0, 96 * 1024, 256), 4096);
+        assert_eq!(eq1_max_distance(4, 28, 96 * 1024, 0), 4096);
         // Buffer smaller than one wave: zero waves, clamped to the d = k
         // floor instead of zero.
         let per_wave = 4u64 * 28 * 256;
@@ -326,6 +379,31 @@ mod tests {
         assert_eq!(eq1_max_distance(4, 28, 0, 256), 28);
         // Huge buffer: the 4096 ceiling holds.
         assert_eq!(eq1_max_distance(1, 28, u64::MAX, 256), 4096);
+    }
+
+    /// Regression (PR 7): the `per_wave == 0` early return used to yield
+    /// `u32::MAX`, bypassing the `clamp(k, 4096)` the doc comment promises.
+    /// Every zero-input combination must respect the documented ceiling.
+    #[test]
+    fn eq1_zero_wave_inputs_respect_documented_ceiling() {
+        for (threads, k, unit) in [
+            (0usize, 28usize, 256u64),
+            (0, 0, 256),
+            (8, 0, 256),
+            (8, 28, 0),
+            (0, 0, 0),
+        ] {
+            let d = eq1_max_distance(threads, k, 96 * 1024, unit);
+            assert!(
+                d <= 4096,
+                "eq1_max_distance({threads}, {k}, 96K, {unit}) = {d} exceeds the 4096 ceiling"
+            );
+            assert!(d >= k.min(4096) as u32, "bound fell below the d = k floor");
+        }
+        // A stripe wider than the ceiling cannot invert the clamp (which
+        // would panic); it saturates at the ceiling instead.
+        assert_eq!(eq1_max_distance(1, 5000, u64::MAX, 256), 4096);
+        assert_eq!(eq1_max_distance(0, 5000, 96 * 1024, 256), 4096);
     }
 
     #[test]
@@ -463,6 +541,36 @@ mod tests {
         for w in log.windows(2) {
             assert!(w[0].0 < w[1].0, "log out of order");
         }
+    }
+
+    #[test]
+    fn snapshot_tracks_change_count_and_newest_timestamp() {
+        let mut c = Coordinator::new(12, 4, 1024, 4, &cfg());
+        c.set_sample_interval(1000.0);
+        let snap = c.snapshot();
+        assert_eq!(snap.samples, 0);
+        assert_eq!(snap.policy_changes, 0);
+        assert_eq!(snap.last_change_ns, None);
+        assert_eq!(snap.d_max, c.d_max());
+
+        let mut ctr = Counters {
+            loads: 1000,
+            demand_stall_ns: 100_000.0,
+            ..Default::default()
+        };
+        c.on_tick(1500.0, &ctr);
+        ctr.loads += 1000;
+        ctr.demand_stall_ns += 400_000.0;
+        ctr.useless_prefetches += 500;
+        let changed = c.on_tick(3000.0, &ctr).is_some();
+        let snap = c.snapshot();
+        assert_eq!(snap.samples, 2);
+        assert_eq!(changed, snap.policy_changes > 0);
+        if changed {
+            assert_eq!(snap.last_change_ns, Some(3000.0));
+        }
+        assert_eq!(snap.hw_suppressed, c.policy().hw_suppressed);
+        assert_eq!(snap.sw_distance, c.policy().knobs.sw_distance);
     }
 
     #[test]

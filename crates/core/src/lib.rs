@@ -41,7 +41,7 @@ pub mod parallel;
 pub mod pool;
 pub mod source;
 
-pub use coordinator::{Coordinator, Policy, PressureState};
+pub use coordinator::{Coordinator, CoordinatorSnapshot, Policy, PressureState};
 pub use encoder::{DecodePlan, Dialga, RepairPlan};
 pub use parallel::{encode_parallel, encode_parallel_vec};
 pub use pool::{DecodeJob, EncodePool, PoolStats, StripeJob};

@@ -804,6 +804,27 @@ impl EncodePool {
         })
     }
 
+    /// Stat snapshot of the attached coordinator (`None` without one).
+    /// Timestamps inside the snapshot are on the [`EncodePool::clock_ns`]
+    /// timeline, so `clock_ns() - snapshot.last_change_ns` is the age of
+    /// the newest policy change — the workload harness uses exactly this
+    /// to measure re-convergence time after a mid-run workload shift.
+    pub fn coordinator_snapshot(&self) -> Option<crate::coordinator::CoordinatorSnapshot> {
+        self.shared.coord.as_ref().map(|c| {
+            c.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .coord
+                .snapshot()
+        })
+    }
+
+    /// Nanoseconds since this pool's construction — the clock that stamps
+    /// coordinator ticks, policy-log entries and
+    /// [`EncodePool::coordinator_snapshot`] timestamps.
+    pub fn clock_ns(&self) -> f64 {
+        self.shared.origin.elapsed().as_nanos() as f64
+    }
+
     /// Timestamped policy changes the coordinator recorded (empty without a
     /// coordinator).
     pub fn policy_log(&self) -> Vec<(f64, crate::coordinator::Policy)> {

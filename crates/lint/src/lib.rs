@@ -73,6 +73,9 @@ pub fn workspace_config() -> Config {
             // The service layer composes pool submissions; all raw-span
             // handling stays inside the pool it drives.
             "crates/service/src/lib.rs",
+            // The workload harness is pure trace generation + replay over
+            // the service/pool public APIs; nothing in it touches spans.
+            "crates/workload/src/lib.rs",
             "crates/bench/src/lib.rs",
             "crates/lint/src/lib.rs",
             "src/lib.rs",
@@ -125,6 +128,14 @@ pub fn workspace_config() -> Config {
             "fallbacks",
             "seq",
             "occupancy",
+            // Queue-depth high-water mark (`fetch_max` ratchet) and the
+            // per-op-class latency histogram fields (LatencyHist): pure
+            // statistics, read racily by stats()/report snapshots.
+            "occupancy_peak",
+            "count",
+            "total_ns",
+            "max_ns",
+            "bucket",
         ]),
         literal_guards: vec![
             LiteralGuard {

@@ -239,6 +239,95 @@ mod tests {
         assert_eq!(p.live_streams(), 0);
     }
 
+    /// Satellite audit (PR 7): once a stream's `head` has advanced past
+    /// `page_last_line`, further demand accesses near the page end must
+    /// issue nothing — the `from..=to` window is empty, never clamped
+    /// into the next page.
+    #[test]
+    fn head_past_page_end_issues_no_out_of_page_lines() {
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        // Page 3: lines 192..=255. Scan the whole page.
+        let base = 64 * 3;
+        for i in 0..64u64 {
+            p.on_demand_access(base + i, &mut out);
+        }
+        for &l in &out {
+            assert!(
+                (base..base + 64).contains(&l),
+                "prefetch {l} escaped page 3 (lines {base}..{})",
+                base + 63
+            );
+        }
+        // Head is now saturated at/past the page's last line. Hammering
+        // the final lines must stay silent — nothing left in-page, and
+        // nothing may spill into page 4.
+        out.clear();
+        for _ in 0..10 {
+            p.on_demand_access(base + 62, &mut out);
+            p.on_demand_access(base + 63, &mut out);
+        }
+        assert!(
+            out.is_empty(),
+            "saturated stream emitted lines: {out:?} (out-of-page leak)"
+        );
+    }
+
+    /// Satellite audit (PR 7): a repeated access to the same line
+    /// (`line == s.last`) must neither ramp nor penalize confidence —
+    /// it is not a new +1 delta and not a stride break.
+    #[test]
+    fn same_line_repeats_leave_confidence_unchanged() {
+        let mut p = pf(32);
+        let mut out = Vec::new();
+        // Default confidence_threshold is 6: accesses 0..=5 leave the
+        // stream exactly one sequential hit short of prefetching.
+        for i in 0..6u64 {
+            p.on_demand_access(i, &mut out);
+        }
+        assert!(out.is_empty(), "prefetched below threshold: {out:?}");
+        // 50 repeats of the same line: no ramp (would cross the threshold
+        // and emit) and no penalty (would need >1 further hit to recover).
+        for _ in 0..50 {
+            p.on_demand_access(5, &mut out);
+        }
+        assert!(out.is_empty(), "same-line repeats ramped confidence");
+        // One genuine sequential hit now crosses the threshold — proving
+        // the repeats did not silently penalize the stream either.
+        p.on_demand_access(6, &mut out);
+        assert!(
+            !out.is_empty(),
+            "confidence was penalized by same-line repeats"
+        );
+    }
+
+    /// Property sweep: random demand walks within one page. Invariants:
+    /// every emitted line is ahead of the demand line, stays in-page, and
+    /// (because `head` is monotone) is never emitted twice.
+    #[test]
+    fn random_in_page_walks_hold_prefetch_invariants() {
+        dialga_testkit::run_cases(64, |rng| {
+            let mut p = pf(32);
+            let page = rng.below(1024);
+            let base = page * 64;
+            let mut out = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..200 {
+                let line = base + rng.below(64);
+                out.clear();
+                p.on_demand_access(line, &mut out);
+                for &l in &out {
+                    assert!(l > line, "prefetch {l} not ahead of demand {line}");
+                    assert!(
+                        (base..base + 64).contains(&l),
+                        "prefetch {l} escaped page {page}"
+                    );
+                    assert!(seen.insert(l), "line {l} prefetched twice");
+                }
+            }
+        });
+    }
+
     #[test]
     fn backward_jump_drops_confidence() {
         let mut p = pf(32);

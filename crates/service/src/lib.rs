@@ -183,6 +183,122 @@ impl Ticket {
     }
 }
 
+/// Number of latency-histogram buckets: two per power-of-two octave over
+/// the u64 nanosecond range (`2 * 63 + 1 = 127` reachable indices).
+const LAT_BUCKETS: usize = 128;
+
+/// Lock-free log-scale latency histogram: two buckets per octave, pure
+/// `Relaxed` tallies by the same protocol as the pool counters (lint R3).
+/// Quantiles resolve to the *upper bound* of the crossing bucket, so a
+/// reported p99 over-estimates by at most one half-octave (≤ 50 %) —
+/// ample resolution for the regime classification the workload harness
+/// performs, at zero cost on the completion path.
+pub(crate) struct LatencyHist {
+    bucket: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            bucket: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHist {
+    /// Bucket index for a latency sample.
+    fn index(ns: u64) -> usize {
+        if ns < 2 {
+            return 0;
+        }
+        let log = 63 - ns.leading_zeros() as usize;
+        let half = ((ns >> (log - 1)) & 1) as usize;
+        (2 * log + half - 1).min(LAT_BUCKETS - 1)
+    }
+
+    /// Exclusive upper bound (ns) of a bucket — what quantiles resolve to.
+    fn upper_ns(idx: usize) -> u64 {
+        if idx == 0 {
+            return 2;
+        }
+        let log = idx.div_ceil(2);
+        let half = ((idx + 1) & 1) as u64;
+        (3 + half) << (log - 1)
+    }
+
+    pub(crate) fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.bucket[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Quantile in nanoseconds; 0.0 when no samples were recorded. The
+    /// racy sweep may see `count` ahead of the buckets — the max-latency
+    /// fallback keeps the answer sane in that window.
+    fn quantile_ns(&self, q: f64) -> f64 {
+        let n = self.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, bucket) in self.bucket.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_ns(i) as f64;
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed) as f64
+    }
+
+    fn snapshot(&self, op: &'static str) -> OpClassStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_ns = self.total_ns.load(Ordering::Relaxed);
+        let to_us = |ns: f64| ns / 1_000.0;
+        OpClassStats {
+            op,
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                to_us(total_ns as f64 / count as f64)
+            },
+            p50_us: to_us(self.quantile_ns(0.50)),
+            p99_us: to_us(self.quantile_ns(0.99)),
+            p999_us: to_us(self.quantile_ns(0.999)),
+            max_us: to_us(self.max_ns.load(Ordering::Relaxed) as f64),
+        }
+    }
+}
+
+/// Per-operation-class service-latency summary (submit → response,
+/// including queueing). Microsecond floats straight from the log-scale
+/// histogram: quantiles are bucket upper bounds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpClassStats {
+    /// Class name (`"encode"`, `"decode"`, `"repair"`, `"scrub"`).
+    pub op: &'static str,
+    /// Completions recorded for this class.
+    pub count: u64,
+    /// Mean service latency, µs.
+    pub mean_us: f64,
+    /// Median, µs (bucket upper bound).
+    pub p50_us: f64,
+    /// 99th percentile, µs (bucket upper bound).
+    pub p99_us: f64,
+    /// 99.9th percentile, µs (bucket upper bound).
+    pub p999_us: f64,
+    /// Largest single sample, µs (exact).
+    pub max_us: f64,
+}
+
 /// Service-wide counters. Pure monotonic tallies: `Relaxed` by the same
 /// protocol as the pool's [`PoolStats`] counters (checked by lint R3).
 #[derive(Default)]
@@ -195,10 +311,18 @@ pub(crate) struct ServiceCounters {
     pub(crate) batches: AtomicU64,
     pub(crate) coalesced: AtomicU64,
     pub(crate) fallbacks: AtomicU64,
+    /// One latency histogram per [`OpKind`], indexed by [`OpKind::index`].
+    pub(crate) classes: [LatencyHist; 4],
+}
+
+impl ServiceCounters {
+    pub(crate) fn class(&self, kind: OpKind) -> &LatencyHist {
+        &self.classes[kind.index()]
+    }
 }
 
 /// Read-only snapshot of service activity.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
     /// Requests admitted (excludes rejections).
     pub submitted: u64,
@@ -220,6 +344,11 @@ pub struct ServiceStats {
     pub fallbacks: u64,
     /// Current queued requests per shard.
     pub shard_occupancy: Vec<usize>,
+    /// Queue-depth high-water mark per shard since construction.
+    pub shard_queue_peak: Vec<usize>,
+    /// Per-op-class completion latency (submit → response), one entry per
+    /// [`OpKind`] in [`OpKind::ALL`] order.
+    pub classes: Vec<OpClassStats>,
 }
 
 /// The sharded stripe-service front end. See the crate docs for the
@@ -358,6 +487,27 @@ impl StripeService {
         self.submit(tenant, OpPayload::Repair { shards, target }, deadline)
     }
 
+    /// Submit an integrity scrub: `shards` is the full `k + m` stripe
+    /// (data first, then parity). A clean stripe resolves to an empty
+    /// vector; corruption resolves to
+    /// [`ServiceError::Coding`]`(`[`EcError::Corrupt`]`)` carrying the
+    /// localized shard evidence.
+    pub fn submit_scrub(
+        &self,
+        tenant: u32,
+        shards: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let want = self.cfg.k + self.cfg.m;
+        if shards.len() != want {
+            return Err(ServiceError::Coding(EcError::BlockCount {
+                expected: want,
+                got: shards.len(),
+            }));
+        }
+        self.submit(tenant, OpPayload::Scrub { shards }, deadline)
+    }
+
     fn submit(
         &self,
         tenant: u32,
@@ -441,6 +591,11 @@ impl StripeService {
             coalesced: c.coalesced.load(Ordering::Relaxed),
             fallbacks: c.fallbacks.load(Ordering::Relaxed),
             shard_occupancy: self.shards.iter().map(|s| s.occupancy()).collect(),
+            shard_queue_peak: self.shards.iter().map(|s| s.queue_peak()).collect(),
+            classes: OpKind::ALL
+                .iter()
+                .map(|k| c.class(*k).snapshot(k.name()))
+                .collect(),
         }
     }
 
@@ -453,6 +608,21 @@ impl StripeService {
     /// (`None` if out of range).
     pub fn shard_traces(&self, shard: usize) -> Option<Vec<TraceEntry>> {
         self.shards.get(shard).map(|s| s.traces())
+    }
+
+    /// Coordinator snapshot of one shard's pool (`None` if out of range
+    /// or the shard runs uncoordinated).
+    pub fn shard_coordinator(&self, shard: usize) -> Option<dialga::CoordinatorSnapshot> {
+        self.shards
+            .get(shard)
+            .and_then(|s| s.coordinator_snapshot())
+    }
+
+    /// Monotonic nanoseconds on one shard's pool clock — the clock that
+    /// [`dialga::CoordinatorSnapshot::last_change_ns`] timestamps are
+    /// measured on (`None` if out of range).
+    pub fn shard_clock_ns(&self, shard: usize) -> Option<f64> {
+        self.shards.get(shard).map(|s| s.clock_ns())
     }
 
     /// Arm a deterministic fault plan inside one shard's pool; other

@@ -30,6 +30,38 @@ pub enum OpKind {
     Decode,
     /// Single-shard repair (degraded read).
     Repair,
+    /// Integrity scrub (syndrome verification of a full k+m stripe).
+    Scrub,
+}
+
+impl OpKind {
+    /// All operation classes, in the stable per-class reporting order.
+    pub const ALL: [OpKind; 4] = [
+        OpKind::Encode,
+        OpKind::Decode,
+        OpKind::Repair,
+        OpKind::Scrub,
+    ];
+
+    /// Stable index of this class in per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Encode => 0,
+            OpKind::Decode => 1,
+            OpKind::Repair => 2,
+            OpKind::Scrub => 3,
+        }
+    }
+
+    /// Lowercase class name, as used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Encode => "encode",
+            OpKind::Decode => "decode",
+            OpKind::Repair => "repair",
+            OpKind::Scrub => "scrub",
+        }
+    }
 }
 
 /// One entry of a shard's dispatch trace ring.
@@ -68,6 +100,11 @@ pub(crate) enum OpPayload {
         /// Index to rebuild.
         target: usize,
     },
+    /// The full `k + m` stripe to syndrome-verify.
+    Scrub {
+        /// All shards, data first then parity.
+        shards: Vec<Vec<u8>>,
+    },
 }
 
 impl OpPayload {
@@ -76,6 +113,7 @@ impl OpPayload {
             OpPayload::Encode { .. } => OpKind::Encode,
             OpPayload::Decode { .. } => OpKind::Decode,
             OpPayload::Repair { .. } => OpKind::Repair,
+            OpPayload::Scrub { .. } => OpKind::Scrub,
         }
     }
 
@@ -86,6 +124,7 @@ impl OpPayload {
             OpPayload::Decode { shards } | OpPayload::Repair { shards, .. } => {
                 shards.iter().flatten().map(Vec::len).sum()
             }
+            OpPayload::Scrub { shards } => shards.iter().map(Vec::len).sum(),
         }
     }
 }
@@ -160,6 +199,9 @@ pub(crate) struct Shard {
     /// Queued-request count, readable without the lock (shard selection
     /// and spill decisions poll it from other threads).
     occupancy: AtomicU64,
+    /// High-water mark of `occupancy` since construction (queue-depth
+    /// telemetry for the workload harness; advisory, `Relaxed`).
+    occupancy_peak: AtomicU64,
     queue_depth: usize,
     counters: Arc<ServiceCounters>,
     traces: Mutex<TraceRing>,
@@ -183,6 +225,7 @@ impl Shard {
             }),
             cv: Condvar::new(),
             occupancy: AtomicU64::new(0),
+            occupancy_peak: AtomicU64::new(0),
             queue_depth,
             counters,
             traces: Mutex::new(TraceRing {
@@ -201,6 +244,11 @@ impl Shard {
     /// Current queued-request count.
     pub(crate) fn occupancy(&self) -> usize {
         self.occupancy.load(Ordering::Relaxed) as usize
+    }
+
+    /// Deepest the admission queue has been since construction.
+    pub(crate) fn queue_peak(&self) -> usize {
+        self.occupancy_peak.load(Ordering::Relaxed) as usize
     }
 
     /// Admit one request, or return the observed depth when full (the
@@ -227,7 +275,8 @@ impl Shard {
                 });
             }
         }
-        self.occupancy.fetch_add(1, Ordering::Relaxed);
+        let now = self.occupancy.fetch_add(1, Ordering::Relaxed) + 1;
+        self.occupancy_peak.fetch_max(now, Ordering::Relaxed);
         self.cv.notify_one();
         Ok(())
     }
@@ -248,6 +297,14 @@ impl Shard {
 
     pub(crate) fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    pub(crate) fn coordinator_snapshot(&self) -> Option<dialga::CoordinatorSnapshot> {
+        self.pool.coordinator_snapshot()
+    }
+
+    pub(crate) fn clock_ns(&self) -> f64 {
+        self.pool.clock_ns()
     }
 
     pub(crate) fn traces(&self) -> Vec<TraceEntry> {
@@ -303,6 +360,23 @@ impl Shard {
             .record(entry);
     }
 
+    /// Complete one request: record its per-class service latency
+    /// (submit → response) in the shared histogram, bump the completion
+    /// tally, and deliver the result.
+    fn complete(
+        &self,
+        class: OpKind,
+        submitted: Instant,
+        done: &mpsc::Sender<Result<Vec<Vec<u8>>, ServiceError>>,
+        result: Result<Vec<Vec<u8>>, ServiceError>,
+    ) {
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .class(class)
+            .record(submitted.elapsed().as_nanos() as u64);
+        let _ = done.send(result);
+    }
+
     /// Expire, trace, partition by operation, and dispatch one batch.
     fn dispatch(&self, coder: &Dialga, batch: Vec<Pending>) {
         let mut live = Vec::with_capacity(batch.len());
@@ -326,16 +400,19 @@ impl Shard {
         let mut encodes = Vec::new();
         let mut decodes = Vec::new();
         let mut repairs = Vec::new();
+        let mut scrubs = Vec::new();
         for pending in live {
             match pending.op.kind() {
                 OpKind::Encode => encodes.push(pending),
                 OpKind::Decode => decodes.push(pending),
                 OpKind::Repair => repairs.push(pending),
+                OpKind::Scrub => scrubs.push(pending),
             }
         }
         self.dispatch_encodes(coder, encodes);
         self.dispatch_decodes(coder, decodes);
         self.dispatch_repairs(coder, repairs);
+        self.dispatch_scrubs(coder, scrubs);
     }
 
     /// Fused encode dispatch; on batch failure, fall back to per-request
@@ -348,10 +425,15 @@ impl Shard {
         let mut dones = Vec::with_capacity(reqs.len());
         let mut datas: Vec<Vec<Vec<u8>>> = Vec::with_capacity(reqs.len());
         for pending in reqs {
-            let Pending { op, done, .. } = pending;
+            let Pending {
+                op,
+                done,
+                submitted,
+                ..
+            } = pending;
             if let OpPayload::Encode { data } = op {
                 datas.push(data);
-                dones.push(done);
+                dones.push((done, submitted));
             }
         }
         let mut parities: Vec<Vec<Vec<u8>>> = datas
@@ -381,20 +463,18 @@ impl Shard {
             self.pool.encode_batch(coder, &mut jobs).is_ok()
         };
         if fused_ok {
-            for (done, parity) in dones.into_iter().zip(parities) {
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = done.send(Ok(parity));
+            for ((done, submitted), parity) in dones.into_iter().zip(parities) {
+                self.complete(OpKind::Encode, submitted, &done, Ok(parity));
             }
         } else {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
-            for (done, data) in dones.into_iter().zip(datas) {
+            for ((done, submitted), data) in dones.into_iter().zip(datas) {
                 let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
                 let result = self
                     .pool
                     .encode_vec(coder, &refs)
                     .map_err(ServiceError::Coding);
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = done.send(result);
+                self.complete(OpKind::Encode, submitted, &done, result);
             }
         }
     }
@@ -407,10 +487,15 @@ impl Shard {
         let mut dones = Vec::with_capacity(reqs.len());
         let mut vecs: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(reqs.len());
         for pending in reqs {
-            let Pending { op, done, .. } = pending;
+            let Pending {
+                op,
+                done,
+                submitted,
+                ..
+            } = pending;
             if let OpPayload::Decode { shards } = op {
                 vecs.push(shards);
-                dones.push(done);
+                dones.push((done, submitted));
             }
         }
         let fused_ok = {
@@ -423,17 +508,16 @@ impl Shard {
             self.pool.decode_batch(coder, &mut jobs).is_ok()
         };
         if fused_ok {
-            for (done, restored) in dones.into_iter().zip(vecs) {
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            for ((done, submitted), restored) in dones.into_iter().zip(vecs) {
                 let full: Vec<Vec<u8>> = restored
                     .into_iter()
                     .map(Option::unwrap_or_default)
                     .collect();
-                let _ = done.send(Ok(full));
+                self.complete(OpKind::Decode, submitted, &done, Ok(full));
             }
         } else {
             self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
-            for (done, mut shards) in dones.into_iter().zip(vecs) {
+            for ((done, submitted), mut shards) in dones.into_iter().zip(vecs) {
                 let result = self
                     .pool
                     .decode(coder, &mut shards)
@@ -444,8 +528,7 @@ impl Shard {
                             .collect::<Vec<Vec<u8>>>()
                     })
                     .map_err(ServiceError::Coding);
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = done.send(result);
+                self.complete(OpKind::Decode, submitted, &done, result);
             }
         }
     }
@@ -454,15 +537,45 @@ impl Shard {
     /// already a single fused kernel pass per stripe).
     fn dispatch_repairs(&self, coder: &Dialga, reqs: Vec<Pending>) {
         for pending in reqs {
-            let Pending { op, done, .. } = pending;
+            let Pending {
+                op,
+                done,
+                submitted,
+                ..
+            } = pending;
             if let OpPayload::Repair { shards, target } = op {
                 let result = self
                     .pool
                     .repair(coder, &shards, target)
                     .map(|rebuilt| vec![rebuilt])
                     .map_err(ServiceError::Coding);
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                let _ = done.send(result);
+                self.complete(OpKind::Repair, submitted, &done, result);
+            }
+        }
+    }
+
+    /// Scrubs run per-request through the pool's windowed syndrome kernel.
+    /// A clean stripe resolves to an empty payload; corruption surfaces as
+    /// [`ServiceError::Coding`] wrapping `EcError::Corrupt` with the
+    /// localized shard evidence.
+    fn dispatch_scrubs(&self, coder: &Dialga, reqs: Vec<Pending>) {
+        let k = coder.params().k;
+        for pending in reqs {
+            let Pending {
+                op,
+                done,
+                submitted,
+                ..
+            } = pending;
+            if let OpPayload::Scrub { shards } = op {
+                let refs: Vec<&[u8]> = shards.iter().map(Vec::as_slice).collect();
+                let (data, parity) = refs.split_at(k.min(refs.len()));
+                let result = self
+                    .pool
+                    .verify(coder, data, parity)
+                    .map(|()| Vec::new())
+                    .map_err(ServiceError::Coding);
+                self.complete(OpKind::Scrub, submitted, &done, result);
             }
         }
     }
@@ -616,6 +729,47 @@ mod tests {
             pos_small.is_some_and(|pos| pos <= 1),
             "light tenant must be served in the first round"
         );
+    }
+
+    /// Record `n` sequential entries into a fresh ring and check the
+    /// snapshot invariant: the last `min(n, TRACE_CAP)` entries, oldest →
+    /// newest. Exercised at every fill regime (empty, partial, exact
+    /// fill, one-past, multiple wraps) — the exact-fill boundary is where
+    /// `head` bookkeeping (`slots.len() % TRACE_CAP` → 0) would go wrong.
+    fn check_ring_order(n: u64) {
+        let mut ring = TraceRing {
+            slots: Vec::new(),
+            head: 0,
+        };
+        for seq in 0..n {
+            ring.record(TraceEntry {
+                seq,
+                tenant: (seq % 7) as u32,
+                shard: 0,
+                op: OpKind::ALL[(seq % 4) as usize],
+                bytes: 1,
+                queued_ns: seq,
+            });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), (n as usize).min(TRACE_CAP), "n={n}");
+        let oldest = n.saturating_sub(TRACE_CAP as u64);
+        for (i, entry) in snap.iter().enumerate() {
+            assert_eq!(entry.seq, oldest + i as u64, "n={n} position {i}");
+        }
+    }
+
+    #[test]
+    fn trace_ring_snapshot_order_across_fill_boundaries() {
+        let cap = TRACE_CAP as u64;
+        // The exact boundaries the satellite audit names, then random fill
+        // counts across all three regimes.
+        for n in [0, 1, cap - 1, cap, cap + 1, 2 * cap, 2 * cap + 7] {
+            check_ring_order(n);
+        }
+        dialga_testkit::run_cases(32, |rng| {
+            check_ring_order(rng.below(3 * cap));
+        });
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! Run reports and the `BENCH_PRn.json` artifact schema.
+//!
+//! One [`RunReport`] per replayed profile; [`bench_json`] assembles the
+//! full artifact (`"bench": "workload"`). [`validate_workload`] is the
+//! schema gate: `workload_bench` self-checks its own emission through
+//! it, and `just trajectory` / `scripts/lint.sh` refuse artifacts that
+//! drift. [`validate_artifact`] additionally understands the two legacy
+//! artifact kinds already in the repo root (`kernel_fusion` from PR 4,
+//! `service_bench` from PR 6) so the trajectory spans every PR that
+//! ever emitted numbers.
+
+use crate::json::{escape, Json};
+
+/// Client-observed latency summary for one op class (exact quantiles
+/// over the recorded samples, unlike the service's bucketed histogram).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassReport {
+    /// Class name (`"encode"`, `"decode"`, `"repair"`, `"scrub"`).
+    pub op: String,
+    /// Completed operations of this class.
+    pub count: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+    /// Worst sample, µs.
+    pub max_us: f64,
+}
+
+impl ClassReport {
+    /// Summarise raw nanosecond samples (sorted in place). Empty sample
+    /// sets yield an all-zero report with just the name set.
+    pub fn from_samples(op: &str, samples: &mut [u64]) -> ClassReport {
+        samples.sort_unstable();
+        let n = samples.len();
+        if n == 0 {
+            return ClassReport {
+                op: op.to_string(),
+                ..ClassReport::default()
+            };
+        }
+        let q = |frac: f64| -> f64 {
+            let rank = ((frac * n as f64).ceil() as usize).clamp(1, n);
+            samples[rank - 1] as f64 / 1_000.0
+        };
+        let total: u64 = samples.iter().sum();
+        ClassReport {
+            op: op.to_string(),
+            count: n as u64,
+            mean_us: total as f64 / n as f64 / 1_000.0,
+            p50_us: q(0.50),
+            p99_us: q(0.99),
+            p999_us: q(0.999),
+            max_us: samples[n - 1] as f64 / 1_000.0,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"op\": \"{}\", \"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}}}",
+            escape(&self.op),
+            self.count,
+            self.mean_us,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
+        )
+    }
+}
+
+/// Integrity-scrub outcome tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubOutcomes {
+    /// Scrubs of untouched stripes that verified clean.
+    pub clean: u64,
+    /// Scrubs of corrupted stripes that the syndrome check caught.
+    pub corrupt_detected: u64,
+    /// Corrupted stripes reported clean — must be zero; a non-zero value
+    /// is a correctness bug in the verify path.
+    pub missed: u64,
+}
+
+impl ScrubOutcomes {
+    fn add(&mut self, other: &ScrubOutcomes) {
+        self.clean += other.clean;
+        self.corrupt_detected += other.corrupt_detected;
+        self.missed += other.missed;
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"clean\": {}, \"corrupt_detected\": {}, \"missed\": {}}}",
+            self.clean, self.corrupt_detected, self.missed
+        )
+    }
+}
+
+/// Per-phase results within one profile run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name from the spec.
+    pub name: String,
+    /// Operations completed (excludes rejected submissions).
+    pub ops_done: u64,
+    /// Submissions rejected by admission control during this phase.
+    pub rejected: u64,
+    /// Requests that expired in queue during this phase.
+    pub expired: u64,
+    /// Phase wall-clock, seconds.
+    pub wall_s: f64,
+    /// Completed operations per second.
+    pub ops_per_s: f64,
+    /// Payload throughput, MiB/s (data bytes of completed ops).
+    pub mib_s: f64,
+    /// Milliseconds from phase start until the last coordinator policy
+    /// change triggered by this phase's load (`None` when no shard's
+    /// coordinator changed policy — e.g. the load didn't shift regimes).
+    pub convergence_ms: Option<f64>,
+    /// Worker deaths observed during the phase (chaos evidence).
+    pub worker_deaths: u64,
+    /// Scrub outcomes within the phase.
+    pub scrubs: ScrubOutcomes,
+    /// Client-observed per-class latency within the phase.
+    pub classes: Vec<ClassReport>,
+}
+
+impl PhaseReport {
+    fn to_json(&self) -> String {
+        let classes: Vec<String> = self.classes.iter().map(ClassReport::to_json).collect();
+        format!(
+            "{{\"name\": \"{}\", \"ops_done\": {}, \"rejected\": {}, \"expired\": {}, \"wall_s\": {:.4}, \"ops_per_s\": {:.1}, \"mib_s\": {:.2}, \"convergence_ms\": {}, \"worker_deaths\": {}, \"scrubs\": {}, \"classes\": [{}]}}",
+            escape(&self.name),
+            self.ops_done,
+            self.rejected,
+            self.expired,
+            self.wall_s,
+            self.ops_per_s,
+            self.mib_s,
+            fmt_opt(self.convergence_ms),
+            self.worker_deaths,
+            self.scrubs.to_json(),
+            classes.join(", ")
+        )
+    }
+}
+
+/// Final service-side counter snapshot for one profile run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceSummary {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Admission rejections.
+    pub rejected: u64,
+    /// Deadline expiries.
+    pub expired: u64,
+    /// Load-aware spills to the neighbour shard.
+    pub spilled: u64,
+    /// Fused batches dispatched.
+    pub batches: u64,
+    /// Requests carried by those batches.
+    pub coalesced: u64,
+    /// Batch-level failures retried request-by-request.
+    pub fallbacks: u64,
+    /// Queue-depth high-water mark per shard.
+    pub queue_peak: Vec<usize>,
+}
+
+impl ServiceSummary {
+    fn to_json(&self) -> String {
+        let peaks: Vec<String> = self.queue_peak.iter().map(usize::to_string).collect();
+        format!(
+            "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"expired\": {}, \"spilled\": {}, \"batches\": {}, \"coalesced\": {}, \"fallbacks\": {}, \"queue_peak\": [{}]}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.expired,
+            self.spilled,
+            self.batches,
+            self.coalesced,
+            self.fallbacks,
+            peaks.join(", ")
+        )
+    }
+}
+
+/// The complete result of replaying one profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Profile name (`steady`, `skewed_bursty`, `chaos`, …).
+    pub profile: String,
+    /// Spec seed (reproduces the trace).
+    pub seed: u64,
+    /// Data blocks per stripe.
+    pub k: usize,
+    /// Parity blocks per stripe.
+    pub m: usize,
+    /// Service shards.
+    pub shards: usize,
+    /// Workers per shard.
+    pub threads_per_shard: usize,
+    /// Tenants offering load.
+    pub tenants: u32,
+    /// Operations completed across all phases.
+    pub ops: u64,
+    /// Total wall-clock, seconds.
+    pub wall_s: f64,
+    /// Overall completed operations per second.
+    pub ops_per_s: f64,
+    /// Overall payload throughput, MiB/s.
+    pub mib_s: f64,
+    /// Convergence time of the *last* phase that both shifted the load
+    /// and produced a coordinator policy change (`None` when no shift
+    /// re-converged — single-phase profiles usually report `None`).
+    pub convergence_after_shift_ms: Option<f64>,
+    /// Scrub outcomes across all phases.
+    pub scrubs: ScrubOutcomes,
+    /// Client-observed per-class latency across all phases.
+    pub classes: Vec<ClassReport>,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+    /// Final service counter snapshot.
+    pub service: ServiceSummary,
+}
+
+impl RunReport {
+    /// Fold phase tallies into the profile-level totals (ops, scrubs,
+    /// rejected/expired come from phases; rates need `wall_s` set).
+    pub fn fold_phases(&mut self) {
+        self.ops = self.phases.iter().map(|p| p.ops_done).sum();
+        let mut scrubs = ScrubOutcomes::default();
+        for phase in &self.phases {
+            scrubs.add(&phase.scrubs);
+        }
+        self.scrubs = scrubs;
+        self.convergence_after_shift_ms = self
+            .phases
+            .iter()
+            .skip(1)
+            .rev()
+            .find_map(|p| p.convergence_ms);
+        if self.wall_s > 0.0 {
+            self.ops_per_s = self.ops as f64 / self.wall_s;
+        }
+    }
+
+    /// This profile's JSON object (one element of the artifact's
+    /// `profiles` array).
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = self.classes.iter().map(ClassReport::to_json).collect();
+        let phases: Vec<String> = self.phases.iter().map(PhaseReport::to_json).collect();
+        format!(
+            "    {{\n      \"profile\": \"{}\", \"seed\": {}, \"k\": {}, \"m\": {}, \"shards\": {}, \"threads_per_shard\": {}, \"tenants\": {},\n      \"ops\": {}, \"wall_s\": {:.4}, \"ops_per_s\": {:.1}, \"mib_s\": {:.2},\n      \"convergence_after_shift_ms\": {},\n      \"scrubs\": {},\n      \"classes\": [\n        {}\n      ],\n      \"phases\": [\n        {}\n      ],\n      \"service\": {}\n    }}",
+            escape(&self.profile),
+            self.seed,
+            self.k,
+            self.m,
+            self.shards,
+            self.threads_per_shard,
+            self.tenants,
+            self.ops,
+            self.wall_s,
+            self.ops_per_s,
+            self.mib_s,
+            fmt_opt(self.convergence_after_shift_ms),
+            self.scrubs.to_json(),
+            classes.join(",\n        "),
+            phases.join(",\n        "),
+            self.service.to_json()
+        )
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "null".to_string(),
+    }
+}
+
+/// Results of the raw-pool replay (no service layer): fused encode
+/// batches driven closed-loop straight into an [`EncodePool`].
+///
+/// [`EncodePool`]: dialga::pool::EncodePool
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolReport {
+    /// Stripes encoded.
+    pub ops: u64,
+    /// Stripes per fused batch.
+    pub batch: usize,
+    /// Wall-clock, seconds.
+    pub wall_s: f64,
+    /// Stripes per second.
+    pub ops_per_s: f64,
+    /// Data throughput, MiB/s.
+    pub mib_s: f64,
+    /// Median fused-batch latency, µs.
+    pub p50_batch_us: f64,
+    /// 99th-percentile fused-batch latency, µs.
+    pub p99_batch_us: f64,
+    /// Worker deaths over the run (non-zero only under chaos).
+    pub worker_deaths: u64,
+}
+
+impl PoolReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"ops\": {}, \"batch\": {}, \"wall_s\": {:.4}, \"ops_per_s\": {:.1}, \"mib_s\": {:.2}, \"p50_batch_us\": {:.1}, \"p99_batch_us\": {:.1}, \"worker_deaths\": {}}}",
+            self.ops,
+            self.batch,
+            self.wall_s,
+            self.ops_per_s,
+            self.mib_s,
+            self.p50_batch_us,
+            self.p99_batch_us,
+            self.worker_deaths
+        )
+    }
+}
+
+/// Assemble the full `BENCH_PRn.json` artifact for a set of profile
+/// runs, plus the optional raw-pool baseline row.
+pub fn bench_json(
+    pr: u32,
+    smoke: bool,
+    profiles: &[RunReport],
+    pool: Option<&PoolReport>,
+) -> String {
+    let rows: Vec<String> = profiles.iter().map(RunReport::to_json).collect();
+    let pool_row = match pool {
+        Some(p) => format!(",\n  \"pool\": {}", p.to_json()),
+        None => String::new(),
+    };
+    format!(
+        "{{\n  \"bench\": \"workload\",\n  \"pr\": {},\n  \"smoke\": {},\n  \"unit\": \"ops/s, MiB/s, us\",\n  \"profiles\": [\n{}\n  ]{}\n}}\n",
+        pr,
+        smoke,
+        rows.join(",\n"),
+        pool_row
+    )
+}
+
+fn want_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric `{key}`"))
+}
+
+fn want_str<'j>(obj: &'j Json, key: &str, ctx: &str) -> Result<&'j str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing string `{key}`"))
+}
+
+fn want_arr<'j>(obj: &'j Json, key: &str, ctx: &str) -> Result<&'j [Json], String> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing array `{key}`"))
+}
+
+fn check_class(class: &Json, ctx: &str) -> Result<(), String> {
+    let op = want_str(class, "op", ctx)?;
+    let ctx = format!("{ctx} class `{op}`");
+    want_num(class, "count", &ctx)?;
+    want_num(class, "mean_us", &ctx)?;
+    let p50 = want_num(class, "p50_us", &ctx)?;
+    let p99 = want_num(class, "p99_us", &ctx)?;
+    let p999 = want_num(class, "p999_us", &ctx)?;
+    want_num(class, "max_us", &ctx)?;
+    if p50 > p99 || p99 > p999 {
+        return Err(format!(
+            "{ctx}: quantiles not monotone (p50 {p50}, p99 {p99}, p999 {p999})"
+        ));
+    }
+    Ok(())
+}
+
+/// Validate a `"bench": "workload"` artifact against the PR 7 schema.
+/// Returns the profile names on success.
+pub fn validate_workload(doc: &Json) -> Result<Vec<String>, String> {
+    if want_str(doc, "bench", "root")? != "workload" {
+        return Err("root: `bench` is not \"workload\"".to_string());
+    }
+    want_num(doc, "pr", "root")?;
+    if !matches!(doc.get("smoke"), Some(Json::Bool(_))) {
+        return Err("root: missing boolean `smoke`".to_string());
+    }
+    let profiles = want_arr(doc, "profiles", "root")?;
+    if profiles.is_empty() {
+        return Err("root: `profiles` is empty".to_string());
+    }
+    let mut names = Vec::new();
+    for profile in profiles {
+        let name = want_str(profile, "profile", "profile")?.to_string();
+        let ctx = format!("profile `{name}`");
+        for key in ["seed", "k", "m", "shards", "threads_per_shard", "tenants"] {
+            want_num(profile, key, &ctx)?;
+        }
+        want_num(profile, "ops", &ctx)?;
+        want_num(profile, "wall_s", &ctx)?;
+        want_num(profile, "ops_per_s", &ctx)?;
+        want_num(profile, "mib_s", &ctx)?;
+        match profile.get("convergence_after_shift_ms") {
+            Some(v) if v.is_null() || v.as_f64().is_some() => {}
+            _ => return Err(format!("{ctx}: missing `convergence_after_shift_ms`")),
+        }
+        let scrubs = profile
+            .get("scrubs")
+            .ok_or_else(|| format!("{ctx}: missing `scrubs`"))?;
+        for key in ["clean", "corrupt_detected", "missed"] {
+            want_num(scrubs, key, &format!("{ctx} scrubs"))?;
+        }
+        let classes = want_arr(profile, "classes", &ctx)?;
+        if classes.is_empty() {
+            return Err(format!("{ctx}: `classes` is empty"));
+        }
+        for class in classes {
+            check_class(class, &ctx)?;
+        }
+        let phases = want_arr(profile, "phases", &ctx)?;
+        if phases.is_empty() {
+            return Err(format!("{ctx}: `phases` is empty"));
+        }
+        for phase in phases {
+            let pname = want_str(phase, "name", &format!("{ctx} phase"))?;
+            let pctx = format!("{ctx} phase `{pname}`");
+            for key in ["ops_done", "wall_s", "ops_per_s", "mib_s"] {
+                want_num(phase, key, &pctx)?;
+            }
+        }
+        profile
+            .get("service")
+            .ok_or_else(|| format!("{ctx}: missing `service`"))?;
+        names.push(name);
+    }
+    if let Some(pool) = doc.get("pool") {
+        for key in ["ops", "ops_per_s", "mib_s", "p50_batch_us", "p99_batch_us"] {
+            want_num(pool, key, "pool")?;
+        }
+    }
+    Ok(names)
+}
+
+/// One trajectory row distilled from any known artifact kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRow {
+    /// The artifact's `bench` kind.
+    pub kind: String,
+    /// Headline throughput for cross-PR comparison.
+    pub headline: String,
+    /// Tail-latency summary when the kind records one.
+    pub tail: String,
+}
+
+/// Validate any known artifact kind and distill its trajectory row.
+/// Unknown kinds and schema drift are hard errors — that is the point.
+pub fn validate_artifact(doc: &Json) -> Result<TrajectoryRow, String> {
+    let kind = want_str(doc, "bench", "root")?.to_string();
+    match kind.as_str() {
+        "kernel_fusion" => {
+            let results = want_arr(doc, "results", "root")?;
+            if results.is_empty() {
+                return Err("kernel_fusion: empty `results`".to_string());
+            }
+            let mut best = 0.0f64;
+            let mut sum = 0.0;
+            for row in results {
+                let fused = want_num(row, "fused_gibs", "kernel_fusion result")?;
+                want_num(row, "per_row_gibs", "kernel_fusion result")?;
+                want_num(row, "speedup", "kernel_fusion result")?;
+                best = best.max(fused);
+                sum += fused;
+            }
+            Ok(TrajectoryRow {
+                kind,
+                headline: format!(
+                    "fused {:.1} GiB/s mean, {best:.1} peak ({} configs)",
+                    sum / results.len() as f64,
+                    results.len()
+                ),
+                tail: "-".to_string(),
+            })
+        }
+        "service_bench" => {
+            let results = want_arr(doc, "results", "root")?;
+            if results.is_empty() {
+                return Err("service_bench: empty `results`".to_string());
+            }
+            let mut best_ops = 0.0f64;
+            let mut p99_at_best = 0.0f64;
+            for row in results {
+                let ops = want_num(row, "ops_per_s", "service_bench result")?;
+                let p99 = want_num(row, "p99_us", "service_bench result")?;
+                if ops > best_ops {
+                    best_ops = ops;
+                    p99_at_best = p99;
+                }
+            }
+            Ok(TrajectoryRow {
+                kind,
+                headline: format!("best {best_ops:.0} ops/s"),
+                tail: format!("p99 {p99_at_best:.0} us at best shard count"),
+            })
+        }
+        "workload" => {
+            let names = validate_workload(doc)?;
+            let profiles = want_arr(doc, "profiles", "root")?;
+            let mut parts = Vec::new();
+            let mut tails = Vec::new();
+            for profile in profiles {
+                let name = want_str(profile, "profile", "profile")?;
+                let ops = want_num(profile, "ops_per_s", "profile")?;
+                parts.push(format!("{name} {ops:.0} ops/s"));
+                if let Some(classes) = profile.get("classes").and_then(Json::as_arr) {
+                    for class in classes {
+                        if class.get("op").and_then(Json::as_str) == Some("encode") {
+                            if let Some(p99) = class.get("p99_us").and_then(Json::as_f64) {
+                                tails.push(format!("{name} enc p99 {p99:.0} us"));
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = names;
+            Ok(TrajectoryRow {
+                kind,
+                headline: parts.join(", "),
+                tail: tails.join(", "),
+            })
+        }
+        other => Err(format!("unknown bench kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> RunReport {
+        let mut encode_ns = vec![10_000u64, 20_000, 30_000, 900_000];
+        let mut report = RunReport {
+            profile: "steady".to_string(),
+            seed: 7,
+            k: 6,
+            m: 3,
+            shards: 2,
+            threads_per_shard: 2,
+            tenants: 8,
+            wall_s: 0.5,
+            mib_s: 12.5,
+            classes: vec![ClassReport::from_samples("encode", &mut encode_ns)],
+            phases: vec![PhaseReport {
+                name: "steady".to_string(),
+                ops_done: 4,
+                wall_s: 0.5,
+                ops_per_s: 8.0,
+                mib_s: 12.5,
+                scrubs: ScrubOutcomes {
+                    clean: 2,
+                    corrupt_detected: 1,
+                    missed: 0,
+                },
+                classes: Vec::new(),
+                ..PhaseReport::default()
+            }],
+            ..RunReport::default()
+        };
+        report.fold_phases();
+        report
+    }
+
+    #[test]
+    fn class_report_quantiles_are_exact() {
+        let mut samples: Vec<u64> = (1..=1000).map(|i| i * 1_000).collect();
+        let c = ClassReport::from_samples("encode", &mut samples);
+        assert_eq!(c.count, 1000);
+        assert_eq!(c.p50_us, 500.0);
+        assert_eq!(c.p99_us, 990.0);
+        assert_eq!(c.p999_us, 999.0);
+        assert_eq!(c.max_us, 1000.0);
+        let mut empty = Vec::new();
+        let e = ClassReport::from_samples("scrub", &mut empty);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.p999_us, 0.0);
+    }
+
+    #[test]
+    fn emitted_artifact_validates_round_trip() {
+        let artifact = bench_json(7, true, &[sample_report()], None);
+        let doc = parse(&artifact).expect("own emission must parse");
+        let names = validate_workload(&doc).expect("own emission must validate");
+        assert_eq!(names, vec!["steady".to_string()]);
+        let row = validate_artifact(&doc).expect("trajectory row");
+        assert_eq!(row.kind, "workload");
+        assert!(row.headline.contains("steady"));
+    }
+
+    #[test]
+    fn validation_rejects_schema_drift() {
+        let good = bench_json(7, false, &[sample_report()], None);
+        // Drop a required field and the validator must complain.
+        let missing_scrubs = good.replace("\"scrubs\"", "\"scrubz\"");
+        let doc = parse(&missing_scrubs).expect("still JSON");
+        assert!(validate_workload(&doc).is_err(), "renamed field accepted");
+        // Non-monotone quantiles are semantic drift, also rejected.
+        let bad_q = good.replace("\"p99_us\": 900.0", "\"p99_us\": 1.0");
+        let doc = parse(&bad_q).expect("still JSON");
+        assert!(
+            validate_workload(&doc).is_err(),
+            "non-monotone quantiles accepted"
+        );
+    }
+
+    #[test]
+    fn legacy_artifact_kinds_produce_trajectory_rows() {
+        let pr4 = parse(
+            r#"{"bench": "kernel_fusion", "results": [
+                {"k": 4, "m": 2, "block_bytes": 4096, "per_row_gibs": 3.4, "fused_gibs": 9.6, "speedup": 2.8}
+            ]}"#,
+        )
+        .expect("pr4");
+        let row = validate_artifact(&pr4).expect("kernel_fusion row");
+        assert!(row.headline.contains("peak"));
+
+        let pr6 = parse(
+            r#"{"bench": "service_bench", "results": [
+                {"shards": 1, "ops_per_s": 19394.8, "p99_us": 3827.8},
+                {"shards": 4, "ops_per_s": 21253.4, "p99_us": 790.3}
+            ]}"#,
+        )
+        .expect("pr6");
+        let row = validate_artifact(&pr6).expect("service_bench row");
+        assert!(row.headline.contains("21253"));
+        assert!(validate_artifact(&parse(r#"{"bench": "mystery"}"#).expect("doc")).is_err());
+    }
+
+    #[test]
+    fn fold_phases_picks_latest_shift_convergence() {
+        let mut report = sample_report();
+        report.phases.push(PhaseReport {
+            name: "shift".to_string(),
+            ops_done: 2,
+            convergence_ms: Some(12.0),
+            ..PhaseReport::default()
+        });
+        report.phases.push(PhaseReport {
+            name: "tail".to_string(),
+            ops_done: 2,
+            convergence_ms: None,
+            ..PhaseReport::default()
+        });
+        report.fold_phases();
+        assert_eq!(report.convergence_after_shift_ms, Some(12.0));
+        assert_eq!(report.ops, 8);
+        // Phase 0's convergence (if any) is warm-up, not a shift.
+        report.phases[0].convergence_ms = Some(99.0);
+        report.phases[1].convergence_ms = None;
+        report.fold_phases();
+        assert_eq!(report.convergence_after_shift_ms, None);
+    }
+}

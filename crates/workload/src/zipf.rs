@@ -1,0 +1,86 @@
+//! Zipf-distributed index sampling via a precomputed CDF.
+//!
+//! The workload generator uses this for both hot-tenant and hot-stripe
+//! selection: rank-`i` weight is `1 / i^theta`, so `theta = 0` degrades
+//! to uniform and `theta ≈ 0.99` gives the YCSB-style skew where a
+//! handful of tenants dominate the offered load.
+
+use dialga_testkit::Rng;
+
+/// A Zipf(`n`, `theta`) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler; `n` is clamped to at least 1, negative `theta`
+    /// to 0 (uniform).
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        let n = n.max(1);
+        let theta = theta.max(0.0);
+        let mut cdf: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-theta)).collect();
+        let total: f64 = cdf.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut cdf {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one index in `0..n`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = Rng::new(1);
+        let mut hits = [0u32; 8];
+        for _ in 0..8000 {
+            hits[z.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((700..1300).contains(&h), "bucket {i} off uniform: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let z = Zipf::new(64, 0.99);
+        let mut rng = Rng::new(2);
+        let mut head = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 8 {
+                head += 1;
+            }
+        }
+        // With theta 0.99 over 64 ranks, the top 8 carry well over half
+        // the mass; uniform would give 12.5 %.
+        assert!(head > n / 2, "top-8 share too small: {head}/{n}");
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let z = Zipf::new(5, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = Rng::new(3);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = Rng::new(3);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 5));
+    }
+}

@@ -41,7 +41,18 @@ bench:
 kernel-bench:
     cargo run --release -p dialga-bench --bin kernel_fusion -- --json BENCH_PR4.json
 
-# Sharded stripe-service load generator: open-loop mixed
+# Sharded stripe-service load generator: closed-loop mixed
 # encode/decode/repair over a 1→8 shard sweep, committed as BENCH_PR6.json
 service-bench:
     cargo run --release -p dialga-bench --bin service_bench -- --json BENCH_PR6.json
+
+# Trace-driven production workload replay: steady / skewed+bursty /
+# chaos-armed profiles plus the raw-pool baseline, committed as
+# BENCH_PR7.json (the artifact self-validates before it is written)
+workload-bench:
+    cargo run --release -p dialga-bench --features fault-injection --bin workload_bench -- --json BENCH_PR7.json
+
+# Cross-PR latency/throughput trajectory over every committed
+# BENCH_PRn.json; exits non-zero on any schema drift
+trajectory:
+    cargo run --release -p dialga-bench --bin trajectory

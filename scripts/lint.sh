@@ -20,4 +20,11 @@ cargo run -q -p dialga-bench --bin kernel_fusion -- --smoke
 echo "== chaos smoke (fixed-seed fault plans + stripe integrity) =="
 cargo test -q --test chaos --test integrity
 
+echo "== workload smoke (trace replay over all profiles, artifact self-check) =="
+cargo run -q --release -p dialga-bench --features fault-injection \
+    --bin workload_bench -- --smoke --json target/BENCH_SMOKE.json
+
+echo "== trajectory (schema gate over committed BENCH_*.json artifacts) =="
+cargo run -q --release -p dialga-bench --bin trajectory
+
 echo "lint OK"
