@@ -277,8 +277,8 @@ impl PoolShared {
     /// Drive one coordinator tick if the sampling interval elapsed. Called
     /// by workers after each chunk; `try_lock` keeps it contention-free.
     fn maybe_tick(&self) {
-        let Some(cell) = &self.coord else { return };
-        let Ok(mut state) = cell.try_lock() else {
+        let Some(coord) = &self.coord else { return };
+        let Ok(mut state) = coord.try_lock() else {
             return;
         };
         let now_ns = self.origin.elapsed().as_nanos() as f64;
@@ -796,8 +796,9 @@ impl EncodePool {
     pub fn coordinator_samples(&self) -> u64 {
         // Tick state stays consistent under panic (plain counters), so a
         // poisoned lock is recovered rather than propagated.
-        self.shared.coord.as_ref().map_or(0, |c| {
-            c.lock()
+        self.shared.coord.as_ref().map_or(0, |coord| {
+            coord
+                .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .coord
                 .samples()
@@ -810,8 +811,9 @@ impl EncodePool {
     /// the newest policy change — the workload harness uses exactly this
     /// to measure re-convergence time after a mid-run workload shift.
     pub fn coordinator_snapshot(&self) -> Option<crate::coordinator::CoordinatorSnapshot> {
-        self.shared.coord.as_ref().map(|c| {
-            c.lock()
+        self.shared.coord.as_ref().map(|coord| {
+            coord
+                .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .coord
                 .snapshot()
@@ -828,8 +830,9 @@ impl EncodePool {
     /// Timestamped policy changes the coordinator recorded (empty without a
     /// coordinator).
     pub fn policy_log(&self) -> Vec<(f64, crate::coordinator::Policy)> {
-        self.shared.coord.as_ref().map_or_else(Vec::new, |c| {
-            c.lock()
+        self.shared.coord.as_ref().map_or_else(Vec::new, |coord| {
+            coord
+                .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .coord
                 .policy_log()
@@ -1346,6 +1349,11 @@ impl EncodePool {
             // `is_finished` covers a fully-exited thread; the ping probe
             // covers the window where the receiver is already dropped but
             // the thread has not finished tearing down.
+            // Probe-and-replace must be atomic per slot (a dispatch in
+            // between would clone a dead sender), and the unbounded std
+            // channel makes this send non-blocking, so holding `slots`
+            // across the probe is deliberate:
+            // lint:allow(lock-order): non-blocking ping probe; the slot swap must be atomic with it
             let dead = slot.handle.is_finished() || slot.sender.send(Msg::Ping).is_err();
             if !dead {
                 continue;
@@ -1456,13 +1464,17 @@ impl EncodePool {
 
 impl Drop for EncodePool {
     fn drop(&mut self) {
-        let mut slots = self.lock_slots();
-        for slot in slots.iter() {
+        // Drain the slots out of the lock first: `&mut self` means no
+        // healer or dispatcher can race the teardown, and signalling +
+        // joining outside the critical section keeps the shutdown path
+        // clean under R8 (no channel ops while holding `slots`).
+        let slots: Vec<WorkerSlot> = self.lock_slots().drain(..).collect();
+        for slot in &slots {
             // A worker that already exited (or panicked) has dropped its
             // receiver; nothing to signal then.
             let _ = slot.sender.send(Msg::Shutdown);
         }
-        for slot in slots.drain(..) {
+        for slot in slots {
             drop(slot.sender);
             let _ = slot.handle.join();
         }

@@ -261,14 +261,14 @@ impl FaultCell {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Armed>> {
+    fn lock_armed(&self) -> std::sync::MutexGuard<'_, Option<Armed>> {
         self.armed.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Arm the cell with `plan` for a pool of `workers` slots. Replaces
     /// any previous plan and resets all counters.
     pub fn arm(&self, plan: &FaultPlan, workers: usize) {
-        let mut armed = self.lock();
+        let mut armed = self.lock_armed();
         *armed = Some(Armed {
             faults: plan.faults.clone(),
             chunks_seen: vec![0; workers],
@@ -283,7 +283,7 @@ impl FaultCell {
 
     /// Disarm: hooks go back to the single-load fast path.
     pub fn disarm(&self) {
-        let mut armed = self.lock();
+        let mut armed = self.lock_armed();
         *armed = None;
         self.fault_word.store(0, Ordering::Release);
     }
@@ -298,7 +298,7 @@ impl FaultCell {
         if !self.armed() {
             return 0;
         }
-        self.lock().as_ref().map_or(0, |a| a.injected)
+        self.lock_armed().as_ref().map_or(0, |a| a.injected)
     }
 
     /// Hook: a worker dequeued a chunk. Returns what it should do.
@@ -306,7 +306,7 @@ impl FaultCell {
         if !self.armed() {
             return ChunkFault::None;
         }
-        let mut guard = self.lock();
+        let mut guard = self.lock_armed();
         let Some(armed) = guard.as_mut() else {
             return ChunkFault::None;
         };
@@ -343,7 +343,7 @@ impl FaultCell {
         if !self.armed() {
             return false;
         }
-        let mut guard = self.lock();
+        let mut guard = self.lock_armed();
         let Some(armed) = guard.as_mut() else {
             return false;
         };
@@ -365,7 +365,7 @@ impl FaultCell {
         if !self.armed() {
             return None;
         }
-        let mut guard = self.lock();
+        let mut guard = self.lock_armed();
         let armed = guard.as_mut()?;
         let nth = armed.samples_seen;
         armed.samples_seen += 1;
@@ -385,7 +385,7 @@ impl FaultCell {
         if !self.armed() {
             return None;
         }
-        let mut guard = self.lock();
+        let mut guard = self.lock_armed();
         let armed = guard.as_mut()?;
         let nth = armed.reads_seen;
         armed.reads_seen += 1;

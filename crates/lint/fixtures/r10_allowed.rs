@@ -1,0 +1,26 @@
+// Fixture (never compiled): a justified completion outside the two
+// audited paths.
+struct Chunk {
+    batch: Arc<BatchState>,
+    finished: bool,
+}
+
+impl Chunk {
+    fn finish(mut self, ok: bool) {
+        self.finished = true;
+        self.batch.complete(ok);
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.batch.complete(false);
+        }
+    }
+}
+
+fn retry(batch: &BatchState) {
+    // lint:allow(latch-complete): the retry path completes a fresh batch, not this chunk's
+    batch.complete(true);
+}

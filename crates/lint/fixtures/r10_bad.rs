@@ -1,0 +1,23 @@
+// Fixture (never compiled): three completion-protocol violations — a
+// finish() that skips the guard flip, a Drop that completes without
+// consulting the guard, and a completion outside the audited paths.
+struct Chunk {
+    batch: Arc<BatchState>,
+    finished: bool,
+}
+
+impl Chunk {
+    fn finish(mut self, ok: bool) {
+        self.batch.complete(ok);
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        self.batch.complete(false);
+    }
+}
+
+fn stray(batch: &BatchState) {
+    batch.complete(true);
+}

@@ -1,0 +1,14 @@
+// Fixture (never compiled): no Drop impl — a participant dropped on an
+// error path (worker death, failed send) would never complete the batch
+// latch, and the submitter would hang (the PR 3 class).
+struct Chunk {
+    batch: Arc<BatchState>,
+    finished: bool,
+}
+
+impl Chunk {
+    fn finish(mut self, ok: bool) {
+        self.finished = true;
+        self.batch.complete(ok);
+    }
+}

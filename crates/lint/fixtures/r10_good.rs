@@ -1,0 +1,22 @@
+// Fixture (never compiled): the audited completion protocol — finish()
+// flips the guard then completes; Drop completes the error path exactly
+// when the guard is still down.
+struct Chunk {
+    batch: Arc<BatchState>,
+    finished: bool,
+}
+
+impl Chunk {
+    fn finish(mut self, ok: bool) {
+        self.finished = true;
+        self.batch.complete(ok);
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.batch.complete(false);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture (never compiled): four lock-order violations — an A→B/B→A
+// cycle across two functions, a channel send under a held lock, an
+// acquisition the graph cannot name, and a non-reentrant re-acquisition.
+fn ab(shared: &Shared) {
+    let slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    let q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    q.touch(slots.len());
+}
+
+fn ba(shared: &Shared) {
+    let q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    q.touch(slots.len());
+}
+
+fn send_under_lock(shared: &Shared, tx: &Sender<u64>) {
+    let slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = tx.send(slots.len() as u64);
+}
+
+fn undeclared(shared: &Shared) -> usize {
+    let g = shared.mystery.lock().unwrap_or_else(PoisonError::into_inner);
+    g.len()
+}
+
+fn reentrant(shared: &Shared) {
+    let a = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    a.touch(b.len());
+}

@@ -1,0 +1,32 @@
+// Fixture (never compiled): disciplined locking — one global order,
+// helper acquisition, guards dropped before channel ops, and temporary
+// guards that die at their statement.
+fn ordered(shared: &Shared) {
+    let slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+    let q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    q.touch(slots.len());
+}
+
+fn helper_then_send(shared: &Shared, tx: &Sender<u64>) {
+    let n = {
+        let q = shared.lock_queue();
+        q.len()
+    };
+    let _ = tx.send(n as u64);
+}
+
+fn drop_then_send(shared: &Shared, tx: &Sender<u64>) {
+    let q = shared.lock_queue();
+    let n = q.len();
+    drop(q);
+    let _ = tx.send(n as u64);
+}
+
+fn temporary_chain(shared: &Shared) -> usize {
+    shared
+        .slots
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .count()
+}

@@ -1,0 +1,5 @@
+// Fixture (never compiled): a justified out-of-protocol site.
+fn escape(shared: &Shared) {
+    // lint:allow(atomic-protocol): migration shim; role lands with the new backend
+    shared.mystery.fetch_add(1, Ordering::Relaxed);
+}

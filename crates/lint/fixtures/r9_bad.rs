@@ -1,0 +1,24 @@
+// Fixture (never compiled): six protocol violations — one per role
+// class, plus an atomic with no declared role at all.
+fn tally(stats: &Stats) {
+    // Counters are Relaxed-only.
+    stats.submitted.fetch_add(1, Ordering::Release);
+}
+
+fn flags(cell: &FaultCell) {
+    // Flags publish with Release and hand off with Acquire/Release/AcqRel.
+    cell.fault_word.store(7, Ordering::Relaxed);
+    let _ = cell.fault_word.swap(0, Ordering::SeqCst);
+}
+
+fn latchwork(latch: &Latch) {
+    // Latch participants retire with fetch_add/fetch_sub(AcqRel|Release);
+    // a plain store can lose a concurrent completion.
+    latch.outstanding.store(0, Ordering::Release);
+    latch.outstanding.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn count(shared: &Shared) {
+    // `mystery` has no declared role.
+    shared.mystery.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,23 @@
+// Fixture (never compiled): each declared role exercised inside its
+// protocol, plus a non-atomic look-alike that must stay out of scope.
+fn tally(stats: &Stats) {
+    stats.submitted.fetch_add(1, Ordering::Relaxed);
+    stats.occupancy_peak.fetch_max(3, Ordering::Relaxed);
+}
+
+fn flags(cell: &FaultCell) {
+    cell.fault_word.store(7, Ordering::Release);
+    let _ = cell.fault_word.load(Ordering::Acquire);
+    let _ = cell.fault_word.swap(0, Ordering::AcqRel);
+}
+
+fn latchwork(latch: &Latch) {
+    latch.outstanding.fetch_sub(1, Ordering::AcqRel);
+    let _ = latch.outstanding.load(Ordering::Acquire);
+}
+
+fn look_alikes(v: &mut Vec<u8>, engine: &mut Engine) {
+    // No `Ordering::` argument: not atomic calls, out of R9's scope.
+    v.swap(0, 1);
+    engine.load(0x1000);
+}

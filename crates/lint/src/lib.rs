@@ -23,6 +23,9 @@
 //! | R5 | `raw-ptr` | raw-pointer arithmetic and `from_raw_parts` only in whitelisted kernel modules |
 //! | R6 | `const-drift` | no bare `256` (`CHUNK_ALIGN`/`XPLINE`) or `64` (`CACHELINE`) literals in geometry-bearing library code outside the constants' defining modules |
 //! | R7 | `chunk-provenance` | raw-span `.sub(start, len)` calls in the chunk dispatch files take `<range>.start`/`<range>.len()` of a binder traced to `split_ranges` output (directly, or via a pushed proto buffer) |
+//! | R8 | `lock-order` | the declared Mutex acquisition graph is acyclic across the workspace; no channel `send`/`recv` under a held lock; every acquisition in the pool/service/fault paths resolves to a declared lock |
+//! | R9 | `atomic-protocol` | every atomic in protocol scope has a declared role — `knob` (store Release / load Acquire), `counter` (Relaxed only), `latch` (fetch_add/fetch_sub AcqRel\|Release + load Acquire), `flag` (store Release / load Acquire / RMW Acquire\|Release\|AcqRel) — and each op follows its role |
+//! | R10 | `latch-complete` | batch-latch participants complete exactly once: every `.complete(..)` routes through `finish()` or the type's `Drop`, `finish()` flips the completion guard, `Drop` consults it |
 //!
 //! Per-site suppressions use `// lint:allow(<key>): <justification>` on the
 //! finding's line or the line above; the justification lives in the source
@@ -31,16 +34,22 @@
 //! ## Known lexical limits
 //!
 //! The scanner is comment- and string-exact but does not parse. Receiver
-//! resolution for R3 is the identifier before `.op(`, so rebinding an
-//! atomic field to a differently-named local escapes the check; R1 accepts
-//! any comment containing "safety" in its window. The live-workspace
+//! resolution for R3/R9 is the identifier before `.op(` (walking back
+//! through one `[index]` group), so rebinding an atomic field to a
+//! differently-named local escapes the check; R8's guard-lifetime model is
+//! binder-traced per function body, so a guard returned from a non-helper
+//! function or stashed in a struct escapes the walk; R1 accepts any
+//! comment containing "safety" in its window. The live-workspace
 //! integration test (`tests/workspace_clean.rs`) pins the conventions that
 //! keep these approximations sound.
 
 pub mod rules;
 pub mod scan;
 
-pub use rules::{check_source, Config, Finding, LiteralGuard, Rule};
+pub use rules::{
+    check_source, check_sources, AtomicDecl, AtomicRole, Config, Finding, LatchDecl, LiteralGuard,
+    LockDecl, Rule,
+};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -78,6 +87,9 @@ pub fn workspace_config() -> Config {
             "crates/workload/src/lib.rs",
             "crates/bench/src/lib.rs",
             "crates/lint/src/lib.rs",
+            // The interleaving explorer is pure std: scheduler, shim
+            // primitives and models all live in safe code.
+            "crates/race/src/lib.rs",
             "src/lib.rs",
         ]),
         deny_unsafe_op_roots: s(&["crates/core/src/lib.rs", "crates/gf/src/lib.rs"]),
@@ -89,54 +101,148 @@ pub fn workspace_config() -> Config {
             "crates/faultkit/src/",
             "crates/service/src/",
         ]),
-        // `fault_word` (dialga-faultkit) reuses the knob-word protocol:
-        // Release on arm/disarm, Acquire on the hook's disarmed check.
-        knob_fields: s(&["knobs", "fault_word"]),
-        counter_fields: s(&[
-            // `PoolCounters` stats plus the round-robin dispatch cursor —
-            // monotone counters with no cross-field consistency contract.
-            "loads",
-            "busy_ns",
-            "stall_ns",
-            // Running-minimum per-load cost ratchet (`fetch_min`); pure
-            // statistics, no cross-field consistency contract.
-            "load_ns_floor_x1024",
-            "chunks",
-            "stripes",
-            "dispatches",
-            "knob_switches",
-            "policy_changes",
-            "worker_deaths",
-            "worker_respawns",
-            "batch_retries",
-            "next_worker",
-            // dialga-faultkit's arm-generation stamp: a monotone tag, all
-            // consistency goes through `fault_word`'s Release/Acquire.
-            "generation",
-            // dialga-service tallies (ServiceCounters), the service-wide
-            // submission sequence, and the lock-free shard occupancy
-            // gauge — monotone or advisory values with no cross-field
-            // consistency contract (queue consistency lives under the
-            // shard mutex).
-            "submitted",
-            "completed",
-            "rejected",
-            "expired",
-            "spilled",
-            "batches",
-            "coalesced",
-            "fallbacks",
-            "seq",
-            "occupancy",
-            // Queue-depth high-water mark (`fetch_max` ratchet) and the
-            // per-op-class latency histogram fields (LatencyHist): pure
-            // statistics, read racily by stats()/report snapshots.
-            "occupancy_peak",
-            "count",
-            "total_ns",
-            "max_ns",
-            "bucket",
+        // The declared-atomic registry (R3 knobs, R9 everything): each
+        // entry is a field name plus the ordering protocol its role
+        // implies. DESIGN.md's "Concurrency protocols" appendix tabulates
+        // the same registry with per-field rationale.
+        atomics: {
+            let knob = |f: &str| AtomicDecl {
+                field: f.to_string(),
+                role: AtomicRole::Knob,
+            };
+            let counter = |f: &str| AtomicDecl {
+                field: f.to_string(),
+                role: AtomicRole::Counter,
+            };
+            let flag = |f: &str| AtomicDecl {
+                field: f.to_string(),
+                role: AtomicRole::Flag,
+            };
+            let mut v = vec![
+                // Packed coordinator policy word (dialga::pool).
+                knob("knobs"),
+                // Watchdog deadline word: published by set_watchdog,
+                // consumed by dispatch — same publish/observe shape.
+                knob("watchdog_ns"),
+                // GF kernel-dispatch override (dialga-gf::simd).
+                knob("KERNEL_OVERRIDE"),
+                // dialga-faultkit's arm word: Release on arm/disarm,
+                // Acquire on the hook's armed check, swap on one-shot
+                // consume — a hand-off flag, not a policy knob.
+                flag("fault_word"),
+            ];
+            // `PoolCounters` stats plus the round-robin dispatch cursor,
+            // the `fetch_min` load-cost ratchet, faultkit's arm-generation
+            // stamp, dialga-service tallies (ServiceCounters), the
+            // service-wide submission sequence, the lock-free shard
+            // occupancy gauge with its `fetch_max` high-water ratchet and
+            // the LatencyHist fields — monotone or advisory values with
+            // no cross-field consistency contract (queue consistency
+            // lives under the shard mutex).
+            for f in [
+                "loads",
+                "busy_ns",
+                "stall_ns",
+                "load_ns_floor_x1024",
+                "chunks",
+                "stripes",
+                "dispatches",
+                "knob_switches",
+                "policy_changes",
+                "worker_deaths",
+                "worker_respawns",
+                "batch_retries",
+                "next_worker",
+                "generation",
+                "submitted",
+                "completed",
+                "rejected",
+                "expired",
+                "spilled",
+                "batches",
+                "coalesced",
+                "fallbacks",
+                "seq",
+                "occupancy",
+                "occupancy_peak",
+                "count",
+                "total_ns",
+                "max_ns",
+                "bucket",
+            ] {
+                v.push(counter(f));
+            }
+            v
+        },
+        // R9 runs over library code; the race shims (which accept any
+        // ordering by design), testkit/bench harness code and the lint
+        // crate itself stay out.
+        atomic_scope_prefixes: s(&[
+            "crates/core/src/",
+            "crates/service/src/",
+            "crates/faultkit/src/",
+            "crates/gf/src/",
+            "crates/ec/src/",
+            "crates/memsim/src/",
+            "crates/pipeline/src/",
+            "crates/workload/src/",
         ]),
+        // The R8 lock graph: every Mutex in the pool/service/fault paths,
+        // named once, with the receivers and helper methods that acquire
+        // it. No live batch latch appears here — `BatchState` is a
+        // Mutex+Condvar pair (`inner`), which is exactly why R10 exists.
+        locks: vec![
+            LockDecl {
+                name: "slots".to_string(),
+                receivers: s(&["slots"]),
+                helpers: s(&["lock_slots"]),
+            },
+            LockDecl {
+                name: "coord".to_string(),
+                receivers: s(&["coord"]),
+                helpers: vec![],
+            },
+            LockDecl {
+                name: "batch_inner".to_string(),
+                receivers: s(&["inner"]),
+                helpers: vec![],
+            },
+            LockDecl {
+                name: "pools".to_string(),
+                receivers: s(&["pools"]),
+                helpers: vec![],
+            },
+            LockDecl {
+                name: "queue".to_string(),
+                receivers: s(&["queue"]),
+                helpers: s(&["lock_queue"]),
+            },
+            LockDecl {
+                name: "traces".to_string(),
+                receivers: s(&["traces"]),
+                helpers: vec![],
+            },
+            LockDecl {
+                name: "armed".to_string(),
+                receivers: s(&["armed"]),
+                helpers: s(&["lock_armed"]),
+            },
+        ],
+        lock_scope_prefixes: s(&[
+            "crates/core/src/",
+            "crates/service/src/",
+            "crates/faultkit/src/",
+        ]),
+        // R10: the pool's per-chunk latch participant. `Chunk::finish`
+        // flips `finished` and completes; `Drop` completes with an error
+        // exactly when `finished` is still false.
+        latches: vec![LatchDecl {
+            file: "crates/core/src/pool.rs".to_string(),
+            type_name: "Chunk".to_string(),
+            guard_field: "finished".to_string(),
+            finish_method: "finish".to_string(),
+            complete_method: "complete".to_string(),
+        }],
         literal_guards: vec![
             LiteralGuard {
                 value: 256,
@@ -172,12 +278,13 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> io::Result<(Vec<Finding>, u
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let source = std::fs::read_to_string(root.join(rel))?;
-        findings.extend(check_source(&rel.replace('\\', "/"), &source, cfg));
+        sources.push((rel.replace('\\', "/"), source));
     }
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    // Batched so R8's cross-file cycle detection sees every edge at once.
+    let findings = check_sources(&sources, cfg);
     Ok((findings, files.len()))
 }
 

@@ -20,7 +20,7 @@ fn main() -> ExitCode {
         }
     };
     if findings.is_empty() {
-        println!("dialga-lint: {files} files scanned, clean (rules R1–R7)");
+        println!("dialga-lint: {files} files scanned, clean (rules R1–R10)");
         return ExitCode::SUCCESS;
     }
     for f in &findings {

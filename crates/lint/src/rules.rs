@@ -1,4 +1,4 @@
-//! The rule engine: R1–R7 over a scanned source file, with per-rule inline
+//! The rule engine: R1–R10 over scanned source files, with per-rule inline
 //! allow directives.
 //!
 //! Every rule reports `file:line`, a rule id and a rationale. A finding may
@@ -12,9 +12,16 @@
 //!
 //! The directive names the rule key (`safety-comment`, `unsafe-confine`,
 //! `atomic-order`, `panic-path`, `raw-ptr`, `const-drift`,
-//! `chunk-provenance`), never a
+//! `chunk-provenance`, `lock-order`, `atomic-protocol`,
+//! `latch-complete`), never a
 //! blanket "allow all" — suppressions stay per-rule and per-site, and the
 //! justification text travels with the site in the source.
+//!
+//! R8 is the only cross-file rule: each file contributes lock-acquisition
+//! edges, and cycle detection runs over the whole batch passed to
+//! [`check_sources`]. A `lint:allow(lock-order)` directive on an edge's
+//! *inner* acquisition line removes that edge from the graph (and with it
+//! any cycle through it), so suppression still lives at a concrete site.
 
 use crate::scan::{scan, Scanned, TokKind};
 
@@ -49,6 +56,20 @@ pub enum Rule {
     /// (bound by a `for` over a `split_ranges(..)` expression) or through
     /// a carrier collection fed only by such binders.
     ChunkProvenance,
+    /// R8: the declared Mutex acquisition graph is acyclic, no channel
+    /// `send`/`recv` happens while a lock is held, and every acquisition
+    /// in the scoped crates resolves to a declared lock.
+    LockOrder,
+    /// R9: every atomic in protocol scope carries a declared role
+    /// (`knob` | `counter` | `latch` | `flag`) and each of its
+    /// load/store/RMW sites follows that role's ordering protocol.
+    AtomicProtocol,
+    /// R10: batch-latch participants complete exactly once — every
+    /// `.complete(..)` call on the latch lives inside the participant
+    /// type's `finish()` or its `Drop`, `finish()` sets the completion
+    /// guard, and `Drop` consults it (the PR 3 use-after-free class,
+    /// enforced statically).
+    LatchComplete,
 }
 
 impl Rule {
@@ -62,6 +83,9 @@ impl Rule {
             Rule::RawPtr => "R5 raw-ptr",
             Rule::ConstDrift => "R6 const-drift",
             Rule::ChunkProvenance => "R7 chunk-provenance",
+            Rule::LockOrder => "R8 lock-order",
+            Rule::AtomicProtocol => "R9 atomic-protocol",
+            Rule::LatchComplete => "R10 latch-complete",
         }
     }
 
@@ -75,6 +99,9 @@ impl Rule {
             Rule::RawPtr => "raw-ptr",
             Rule::ConstDrift => "const-drift",
             Rule::ChunkProvenance => "chunk-provenance",
+            Rule::LockOrder => "lock-order",
+            Rule::AtomicProtocol => "atomic-protocol",
+            Rule::LatchComplete => "latch-complete",
         }
     }
 }
@@ -90,6 +117,10 @@ pub struct Finding {
     pub rule: Rule,
     /// Rationale for this site.
     pub message: String,
+    /// Binder/edge trace: the chain of assignments, loop bindings or held
+    /// locks that led the rule here. Rendered as `= note:` lines under
+    /// the diagnostic, rustc-style.
+    pub notes: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -101,7 +132,11 @@ impl std::fmt::Display for Finding {
             self.line,
             self.rule.id(),
             self.message
-        )
+        )?;
+        for n in &self.notes {
+            write!(f, "\n    = note: {n}")?;
+        }
+        Ok(())
     }
 }
 
@@ -121,12 +156,23 @@ pub struct Config {
     /// benches, examples and bins are exempt by construction: only `src/`
     /// library paths are listed, and `#[cfg(test)]` items are skipped.
     pub panic_free_prefixes: Vec<String>,
-    /// Atomic fields holding published policy (the packed knob word):
-    /// stores must be `Release`, loads `Acquire` (R3).
-    pub knob_fields: Vec<String>,
-    /// Atomic fields that are plain stat counters, where `Relaxed` is the
-    /// documented protocol (R3).
-    pub counter_fields: Vec<String>,
+    /// Every declared atomic in the workspace, with its protocol role
+    /// (R3 checks `Knob` members; R9 checks the rest and requires every
+    /// atomic op in scope to resolve to a declaration).
+    pub atomics: Vec<AtomicDecl>,
+    /// Path prefixes where R9 runs: library code whose atomics must all
+    /// carry declared roles. Test harness crates (`testkit`, `bench`) and
+    /// the `race` shims (which accept any ordering by design) stay out.
+    pub atomic_scope_prefixes: Vec<String>,
+    /// Every declared Mutex in the lock-order graph, keyed by the binder
+    /// names and helper methods that acquire it (R8).
+    pub locks: Vec<LockDecl>,
+    /// Path prefixes where R8 runs: the pool/service/shard paths whose
+    /// lock discipline the acquisition graph models.
+    pub lock_scope_prefixes: Vec<String>,
+    /// Batch-latch participant types whose completion protocol R10
+    /// checks (complete exactly once, via `finish()` or `Drop`).
+    pub latches: Vec<LatchDecl>,
     /// Guarded geometry constants: integer literals equal to a guard's
     /// value are flagged inside its scope (R6).
     pub literal_guards: Vec<LiteralGuard>,
@@ -134,6 +180,71 @@ pub struct Config {
     /// traced to `split_ranges` output (R7): the chunk dispatch sites
     /// where an untraced offset would alias or escape a span.
     pub provenance_files: Vec<String>,
+}
+
+/// Protocol role of a declared atomic (R3/R9). Each role is an ordering
+/// contract, not a type: the same `AtomicU64` shape serves all four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// Published policy word: `store(Release)` by the coordinator,
+    /// `load(Acquire)` by workers, nothing else (checked by R3).
+    Knob,
+    /// Advisory statistic: every access is `Relaxed`; cross-thread
+    /// ordering must come from a lock or a knob/flag edge, never from
+    /// the counter itself.
+    Counter,
+    /// Completion latch: participants retire with
+    /// `fetch_add`/`fetch_sub(AcqRel|Release)`, the closer observes with
+    /// `load(Acquire)`. Plain stores would lose completions.
+    Latch,
+    /// Hand-off flag: `store(Release)` to publish, `load(Acquire)` to
+    /// observe, RMW (`swap`/`compare_exchange*`/`fetch_*`) only at
+    /// `Acquire`/`Release`/`AcqRel`.
+    Flag,
+}
+
+/// One declared atomic field and its role (R3/R9). Resolution is
+/// lexer-grade like R3's: the receiver identifier before `.op(`, with
+/// `bucket[i].op(..)`-style indexing walked back through the brackets.
+#[derive(Debug, Clone)]
+pub struct AtomicDecl {
+    /// Field or static name as it appears before the `.op(` call.
+    pub field: String,
+    /// The ordering contract this atomic must follow.
+    pub role: AtomicRole,
+}
+
+/// One declared Mutex in the R8 acquisition graph.
+#[derive(Debug, Clone, Default)]
+pub struct LockDecl {
+    /// Graph-node name of the lock (diagnostic label).
+    pub name: String,
+    /// Receiver identifiers whose `.lock()`/`.try_lock()` acquire it
+    /// (e.g. the field name `slots`).
+    pub receivers: Vec<String>,
+    /// Helper method names that acquire and return the guard (e.g.
+    /// `lock_slots`); listed separately from receivers so a field and an
+    /// unrelated method sharing a name cannot alias each other.
+    pub helpers: Vec<String>,
+}
+
+/// One batch-latch participant type whose completion protocol R10 pins.
+/// The check is skipped when `file` does not define `struct <type_name>`
+/// (so fixtures under a virtual path only opt in by defining the type).
+#[derive(Debug, Clone, Default)]
+pub struct LatchDecl {
+    /// File (workspace-relative) hosting the participant type.
+    pub file: String,
+    /// The participant type (e.g. `Chunk`).
+    pub type_name: String,
+    /// Completion guard field `finish()` must set and `Drop` must
+    /// consult (e.g. `finished`).
+    pub guard_field: String,
+    /// The happy-path completion method (e.g. `finish`).
+    pub finish_method: String,
+    /// The latch's completion call every site must route through
+    /// `finish()`/`Drop` (e.g. `complete`).
+    pub complete_method: String,
 }
 
 /// One R6 guard: a named geometry constant whose raw value must not be
@@ -199,25 +310,56 @@ fn in_any_region(line: u32, regions: &[(u32, u32)]) -> bool {
 }
 
 /// Run all rules over one source file. `path` must be workspace-relative
-/// with forward slashes; it selects which rules apply.
+/// with forward slashes; it selects which rules apply. Cross-file R8
+/// cycle detection degenerates to single-file cycles here — batch scans
+/// go through [`check_sources`].
 pub fn check_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
-    let s = scan(source);
+    check_sources(&[(path.to_string(), source.to_string())], cfg)
+}
+
+/// Run all rules over a batch of source files, then detect lock-order
+/// cycles over the union of every file's acquisition edges. This is what
+/// `check_workspace` calls: an A→B edge in `pool.rs` and a B→A edge in
+/// `shard.rs` only meet here.
+pub fn check_sources(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (path, source) in files {
+        check_one(path, source, cfg, &mut findings, &mut edges);
+    }
+    findings.extend(lock_cycle_findings(&edges));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+fn check_one(
+    path: &str,
+    source: &str,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+    edges: &mut Vec<LockEdge>,
+) {
+    let s = scan(source);
+    let mut out = Vec::new();
     let whitelisted = cfg.unsafe_whitelist.iter().any(|w| matches_path(path, w));
     let test_regions = s.cfg_test_regions();
     let unsafe_regions = s.unsafe_regions();
+    let allows = collect_allows(&s);
 
-    rule_safety_comment(path, &s, &mut findings);
-    rule_unsafe_confine(path, &s, cfg, whitelisted, &mut findings);
-    rule_atomic_order(path, &s, cfg, &mut findings);
-    rule_panic_path(path, &s, cfg, &test_regions, &mut findings);
-    rule_raw_ptr(path, &s, whitelisted, &unsafe_regions, &mut findings);
-    rule_const_drift(path, &s, cfg, &test_regions, &mut findings);
-    rule_chunk_provenance(path, &s, cfg, &mut findings);
+    rule_safety_comment(path, &s, &mut out);
+    rule_unsafe_confine(path, &s, cfg, whitelisted, &mut out);
+    rule_atomic_order(path, &s, cfg, &mut out);
+    rule_panic_path(path, &s, cfg, &test_regions, &mut out);
+    rule_raw_ptr(path, &s, whitelisted, &unsafe_regions, &mut out);
+    rule_const_drift(path, &s, cfg, &test_regions, &mut out);
+    rule_chunk_provenance(path, &s, cfg, &mut out);
+    rule_lock_order(path, &s, cfg, &test_regions, &allows, &mut out, edges);
+    rule_atomic_protocol(path, &s, cfg, &test_regions, &mut out);
+    rule_latch_complete(path, &s, cfg, &test_regions, &mut out);
 
-    apply_allow_directives(&s, &mut findings);
-    findings.sort_by_key(|f| f.line);
-    findings
+    apply_allow_directives(&allows, &mut out);
+    out.sort_by_key(|f| f.line);
+    findings.append(&mut out);
 }
 
 /// R1: every `unsafe` keyword needs a comment containing `SAFETY` (case
@@ -241,6 +383,7 @@ fn rule_safety_comment(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
                      {SAFETY_WINDOW} lines — state the invariant (alignment, length, \
                      liveness, CPU feature) that makes this sound"
                 ),
+                notes: Vec::new(),
             });
         }
     }
@@ -266,6 +409,7 @@ fn rule_unsafe_confine(
                      into a whitelisted kernel module or make this safe",
                     cfg.unsafe_whitelist.join(", ")
                 ),
+                notes: Vec::new(),
             });
         }
     }
@@ -279,6 +423,7 @@ fn rule_unsafe_confine(
             message: "crate root must carry `#![forbid(unsafe_code)]` — this crate is \
                       outside the unsafe kernel whitelist"
                 .to_string(),
+            notes: Vec::new(),
         });
     }
     if cfg
@@ -295,91 +440,118 @@ fn rule_unsafe_confine(
                       unsafe operation inside its kernels needs its own block and \
                       SAFETY comment"
                 .to_string(),
+            notes: Vec::new(),
         });
     }
 }
 
-/// R3: knob-word protocol (`store` = Release, `load` = Acquire, nothing
-/// else), and `Relaxed` only on declared stat counters.
+/// One atomic op call site: `(op, receiver, orderings, line)`. A call
+/// only counts when an `Ordering::` token appears among its arguments
+/// (keeps `Vec::swap`, simulator `load` methods etc. out of scope).
 ///
 /// Lexer-grade receiver resolution: the identifier immediately before the
-/// `.op(` call. Rebinding an atomic to a local with a different name
-/// escapes the check; the workspace convention is to access the fields
-/// directly, which the live-workspace integration test keeps true.
-fn rule_atomic_order(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Finding>) {
-    for i in 0..s.tokens.len() {
-        let Some(op) = s.ident(i) else { continue };
-        if !ATOMIC_OPS.contains(&op) {
-            continue;
-        }
-        if i < 2 || !s.is_punct(i - 1, '.') || !s.is_punct(i + 1, '(') {
-            continue;
-        }
-        let Some(recv) = s.ident(i - 2) else { continue };
-        let recv = recv.to_string();
-        let op = op.to_string();
-        // Collect `Ordering::X` arguments up to the matching ')'.
-        let mut orderings: Vec<String> = Vec::new();
+/// `.op(` call, walking back through one `[index]` bracket group (so
+/// `bucket[i].fetch_add(..)` resolves to `bucket`). Rebinding an atomic
+/// to a local with a different name escapes the check; the workspace
+/// convention is to access the fields directly, which the
+/// live-workspace integration test keeps true.
+fn atomic_call_at(s: &Scanned, i: usize) -> Option<(String, String, Vec<String>, u32)> {
+    let op = s.ident(i)?;
+    if !ATOMIC_OPS.contains(&op) || i < 2 || !s.is_punct(i - 1, '.') || !s.is_punct(i + 1, '(') {
+        return None;
+    }
+    let recv = if let Some(r) = s.ident(i - 2) {
+        r.to_string()
+    } else if s.is_punct(i - 2, ']') {
+        // `bucket[Self::index(ns)].fetch_add(..)` — walk to the matching
+        // `[` and take the identifier before it.
         let mut depth = 0i64;
-        let mut j = i + 1;
-        while j < s.tokens.len() {
-            match &s.tokens[j].kind {
-                TokKind::Punct('(') => depth += 1,
-                TokKind::Punct(')') => {
+        let mut j = i - 2;
+        loop {
+            match s.tokens[j].kind {
+                TokKind::Punct(']') => depth += 1,
+                TokKind::Punct('[') => {
                     depth -= 1;
-                    if depth <= 0 {
+                    if depth == 0 {
                         break;
-                    }
-                }
-                TokKind::Ident(t)
-                    if t == "Ordering" && s.is_punct(j + 1, ':') && s.is_punct(j + 2, ':') =>
-                {
-                    if let Some(ord) = s.ident(j + 3) {
-                        orderings.push(ord.to_string());
                     }
                 }
                 _ => {}
             }
-            j += 1;
-        }
-        if orderings.is_empty() {
-            continue; // not an atomic call (no explicit Ordering argument)
-        }
-        let line = s.tokens[i].line;
-        if cfg.knob_fields.contains(&recv) {
-            let ok = match op.as_str() {
-                "store" => orderings.iter().all(|o| o == "Release"),
-                "load" => orderings.iter().all(|o| o == "Acquire"),
-                _ => false,
-            };
-            if !ok {
-                out.push(Finding {
-                    path: path.to_string(),
-                    line,
-                    rule: Rule::AtomicOrder,
-                    message: format!(
-                        "knob word `{recv}` must be published with `store(…, Release)` \
-                         and consumed with `load(Acquire)`; `{op}({})` breaks the \
-                         coordinator→worker protocol",
-                        orderings.join(", ")
-                    ),
-                });
+            if j == 0 {
+                return None;
             }
-        } else {
-            for ord in &orderings {
-                if ord == "Relaxed" && !cfg.counter_fields.contains(&recv) {
-                    out.push(Finding {
-                        path: path.to_string(),
-                        line,
-                        rule: Rule::AtomicOrder,
-                        message: format!(
-                            "`Ordering::Relaxed` on `{recv}`, which is not a declared \
-                             stat counter — declare it in the lint config or use the \
-                             Release/Acquire protocol"
-                        ),
-                    });
+            j -= 1;
+        }
+        s.ident(j.checked_sub(1)?)?.to_string()
+    } else {
+        return None;
+    };
+    // Collect `Ordering::X` arguments up to the matching ')'.
+    let mut orderings: Vec<String> = Vec::new();
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    while j < s.tokens.len() {
+        match &s.tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
                 }
             }
+            TokKind::Ident(t)
+                if t == "Ordering" && s.is_punct(j + 1, ':') && s.is_punct(j + 2, ':') =>
+            {
+                if let Some(ord) = s.ident(j + 3) {
+                    orderings.push(ord.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if orderings.is_empty() {
+        return None; // not an atomic call (no explicit Ordering argument)
+    }
+    Some((op.to_string(), recv, orderings, s.tokens[i].line))
+}
+
+/// R3: knob-word protocol — `store` = Release, `load` = Acquire, nothing
+/// else, on every atomic declared with the `Knob` role. The other roles
+/// (counter/latch/flag) and the undeclared-atomic check live in R9,
+/// which is scope-limited; R3 stays global because a mis-ordered knob
+/// word is wrong wherever it appears.
+fn rule_atomic_order(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Finding>) {
+    for i in 0..s.tokens.len() {
+        let Some((op, recv, orderings, line)) = atomic_call_at(s, i) else {
+            continue;
+        };
+        let is_knob = cfg
+            .atomics
+            .iter()
+            .any(|a| a.field == recv && a.role == AtomicRole::Knob);
+        if !is_knob {
+            continue;
+        }
+        let ok = match op.as_str() {
+            "store" => orderings.iter().all(|o| o == "Release"),
+            "load" => orderings.iter().all(|o| o == "Acquire"),
+            _ => false,
+        };
+        if !ok {
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: Rule::AtomicOrder,
+                message: format!(
+                    "knob word `{recv}` must be published with `store(…, Release)` \
+                     and consumed with `load(Acquire)`; `{op}({})` breaks the \
+                     coordinator→worker protocol",
+                    orderings.join(", ")
+                ),
+                notes: Vec::new(),
+            });
         }
     }
 }
@@ -425,6 +597,7 @@ fn rule_panic_path(
                  `EcError::Internal`) instead, or justify with \
                  `// lint:allow(panic-path): <why>`"
             ),
+            notes: Vec::new(),
         });
     }
 }
@@ -464,6 +637,7 @@ fn rule_raw_ptr(
                 "{what} outside the kernel whitelist — raw-slice surgery belongs in \
                  the whitelisted kernel modules where its invariants are checked"
             ),
+            notes: Vec::new(),
         });
     }
 }
@@ -535,6 +709,7 @@ fn rule_const_drift(
                      `// lint:allow(const-drift): <why>`",
                     guard.name, guard.value
                 ),
+                notes: Vec::new(),
             });
         }
     }
@@ -567,10 +742,10 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
     }
 
     // Collect every `for <pat> in <expr> {` as (pattern idents, expr
-    // idents). The pattern is everything up to the first `in`; the
+    // idents, line). The pattern is everything up to the first `in`; the
     // expression runs to the body's `{` (a lexer-grade cut: struct
     // literals in loop headers are not workspace idiom).
-    let mut loops: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    let mut loops: Vec<(Vec<String>, Vec<String>, u32)> = Vec::new();
     for i in 0..s.tokens.len() {
         if !s.is_ident(i, "for") {
             continue;
@@ -592,24 +767,34 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
             j += 1;
         }
         if !pat.is_empty() && !expr.is_empty() {
-            loops.push((pat, expr));
+            loops.push((pat, expr, s.tokens[i].line));
         }
     }
 
     // Fixed point: seed with loops over `split_ranges(..)`, then fold in
     // carriers (collections pushed provenant binders) and the loops that
-    // iterate them, until nothing new is learned.
-    let mut provenant: Vec<String> = Vec::new();
-    let mut carriers: Vec<String> = Vec::new();
+    // iterate them, until nothing new is learned. Each binder/carrier
+    // carries the reason it was admitted, so a failing site can print the
+    // full assignment chain.
+    let mut provenant: Vec<(String, String)> = Vec::new();
+    let mut carriers: Vec<(String, String)> = Vec::new();
     loop {
         let mut grew = false;
-        for (pat, expr) in &loops {
-            let traced = expr.iter().any(|e| e == "split_ranges")
-                || expr.iter().any(|e| carriers.contains(e));
-            if traced {
+        for (pat, expr, line) in &loops {
+            let via = if expr.iter().any(|e| e == "split_ranges") {
+                Some("`split_ranges(..)`".to_string())
+            } else {
+                expr.iter()
+                    .find(|e| carriers.iter().any(|(c, _)| c == *e))
+                    .map(|c| format!("carrier `{c}`"))
+            };
+            if let Some(via) = via {
                 for p in pat {
-                    if !provenant.contains(p) {
-                        provenant.push(p.clone());
+                    if !provenant.iter().any(|(n, _)| n == p) {
+                        provenant.push((
+                            p.clone(),
+                            format!("bound by `for` over {via} at line {line}"),
+                        ));
                         grew = true;
                     }
                 }
@@ -623,7 +808,7 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
             let Some(recv) = s.ident(i - 2) else { continue };
             let mut depth = 0i64;
             let mut j = i + 1;
-            let mut arg_has_provenant = false;
+            let mut pushed: Option<String> = None;
             while j < s.tokens.len() {
                 match &s.tokens[j].kind {
                     TokKind::Punct('(') => depth += 1,
@@ -633,16 +818,22 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
                             break;
                         }
                     }
-                    TokKind::Ident(t) if provenant.iter().any(|p| p == t) => {
-                        arg_has_provenant = true;
+                    TokKind::Ident(t) if provenant.iter().any(|(p, _)| p == t) => {
+                        pushed = Some(t.clone());
                     }
                     _ => {}
                 }
                 j += 1;
             }
-            if arg_has_provenant && !carriers.iter().any(|c| c == recv) {
-                carriers.push(recv.to_string());
-                grew = true;
+            if let Some(p) = pushed {
+                if !carriers.iter().any(|(c, _)| c == recv) {
+                    let line = s.tokens[i].line;
+                    carriers.push((
+                        recv.to_string(),
+                        format!("receives `.push(..)` of traced binder `{p}` at line {line}"),
+                    ));
+                    grew = true;
+                }
             }
         }
         if !grew {
@@ -667,8 +858,34 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
                 && s.is_punct(i + 10, ')')
                 && s.is_punct(i + 11, ')')
         });
-        let ok = matches!(binder, Some(b) if provenant.iter().any(|p| p == b));
+        let ok = matches!(binder, Some(b) if provenant.iter().any(|(p, _)| p == b));
         if !ok {
+            // Binder trace: say why the trace broke, then print the chain
+            // of bindings the fixed point *did* establish, so the fix
+            // (route through the traced idiom) is visible from the
+            // diagnostic alone.
+            let mut notes = Vec::new();
+            match binder {
+                Some(b) => notes.push(format!(
+                    "binder `{b}` has no provenance trace to `split_ranges`"
+                )),
+                None => notes.push(
+                    "arguments must be exactly `<r>.start, <r>.len()` of one binder — \
+                     arithmetic or raw integers defeat the trace"
+                        .to_string(),
+                ),
+            }
+            if provenant.is_empty() {
+                notes.push(
+                    "no traced binders in this file (no `for` over `split_ranges(..)`)".to_string(),
+                );
+            }
+            for (name, why) in &provenant {
+                notes.push(format!("traced binder `{name}`: {why}"));
+            }
+            for (name, why) in &carriers {
+                notes.push(format!("carrier `{name}`: {why}"));
+            }
             out.push(Finding {
                 path: path.to_string(),
                 line: s.tokens[i].line,
@@ -679,14 +896,715 @@ fn rule_chunk_provenance(path: &str, s: &Scanned, cfg: &Config, out: &mut Vec<Fi
                           buffer), or justify with \
                           `// lint:allow(chunk-provenance): <why>`"
                     .to_string(),
+                notes,
             });
         }
     }
 }
 
-/// Drop findings covered by a `lint:allow(<rule-key>)` directive in a
-/// comment on the finding's line or the line above.
-fn apply_allow_directives(s: &Scanned, findings: &mut Vec<Finding>) {
+/// One lock-acquisition edge for the R8 graph: `acquired` was taken while
+/// `held` was already held. Site info survives into cycle diagnostics.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+    held_line: u32,
+    held_via: String,
+}
+
+/// A lock currently held at some point of the R8 walk.
+struct Held {
+    name: String,
+    via: String,
+    line: u32,
+    /// `Some` for guards bound by a `let` (released by `drop(binder)` or
+    /// end of block); `None` for temporaries (released at the end of
+    /// their statement).
+    binder: Option<String>,
+    /// Brace depth at acquisition, for scope-based release.
+    depth: i64,
+}
+
+/// Channel methods R8 refuses to see under a held lock. `Condvar` waits
+/// and notifies are deliberately absent: waiting *requires* the guard and
+/// notifying under the lock is benign (if wasteful), while a blocked
+/// channel peer turns a held lock into a convoy or a deadlock.
+const CHANNEL_OPS: &[&str] = &["send", "recv", "try_recv", "recv_timeout"];
+
+/// Every `fn` body in the file as a token-index range `(open_brace,
+/// close_brace)`. The name requirement (`fn` followed by an identifier)
+/// keeps `fn(..)` pointer types out; bodyless trait methods are skipped.
+fn fn_bodies(s: &Scanned) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < s.tokens.len() {
+        if s.is_ident(i, "fn") && s.ident(i + 1).is_some() {
+            let mut j = i + 2;
+            let mut nest = 0i64;
+            let mut open = None;
+            while j < s.tokens.len() {
+                match s.tokens[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => {
+                        nest -= 1;
+                        if nest < 0 {
+                            break; // `fn` token inside an enclosing list: not a def
+                        }
+                    }
+                    TokKind::Punct('{') if nest == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    TokKind::Punct(';') if nest == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if let Some(close) = s.matching_brace(open) {
+                    out.push((open, close));
+                    i = open + 1; // descend: nested fns get their own walk
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// R8: lock-order discipline over the declared Mutex graph.
+///
+/// Per function body (the unit a thread executes without the analyzer
+/// losing track of its stack), the walk tracks which declared locks are
+/// held. Acquisitions are `<receiver>.lock()` / `<receiver>.try_lock()`
+/// on a declared receiver, or a call of a declared helper method. Guard
+/// lifetime is binder-traced like R7: a `let`-bound guard lives until
+/// `drop(binder)` or the end of its block; a temporary (any acquisition
+/// whose call chain does not end the statement) dies at its statement's
+/// `;`. `Condvar::wait(guard)` keeps the guard held — the wait reacquires
+/// before returning, so the model matches the runtime.
+///
+/// Violations at a site: acquiring a lock already held (std Mutex is not
+/// reentrant), any channel send/recv while holding a lock, and `.lock()`
+/// on an undeclared receiver in scope (the graph must stay total).
+/// Acquiring a *different* lock records a [`LockEdge`]; cycles over the
+/// whole batch are reported by [`check_sources`]. Edge suppression:
+/// `lint:allow(lock-order)` on the inner acquisition line.
+#[allow(clippy::too_many_arguments)]
+fn rule_lock_order(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    test_regions: &[(u32, u32)],
+    allows: &[(u32, String)],
+    out: &mut Vec<Finding>,
+    edges: &mut Vec<LockEdge>,
+) {
+    if !cfg
+        .lock_scope_prefixes
+        .iter()
+        .any(|p| path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for (open, close) in fn_bodies(s) {
+        if in_any_region(s.tokens[open].line, test_regions) {
+            continue; // tests lock freely (local mutexes, induced hangs)
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i64;
+        let mut i = open;
+        while i <= close {
+            match &s.tokens[i].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                TokKind::Punct(';') => {
+                    held.retain(|h| h.binder.is_some() || h.depth != depth);
+                }
+                TokKind::Ident(id) => {
+                    // `drop(binder)` releases a bound guard early.
+                    if id == "drop"
+                        && !s.is_punct(i.wrapping_sub(1), '.')
+                        && s.is_punct(i + 1, '(')
+                        && s.is_punct(i + 3, ')')
+                    {
+                        if let Some(b) = s.ident(i + 2) {
+                            held.retain(|h| h.binder.as_deref() != Some(b));
+                        }
+                    }
+                    if CHANNEL_OPS.contains(&id.as_str())
+                        && s.is_punct(i.wrapping_sub(1), '.')
+                        && s.is_punct(i + 1, '(')
+                        && !held.is_empty()
+                    {
+                        let line = s.tokens[i].line;
+                        let names: Vec<String> =
+                            held.iter().map(|h| format!("`{}`", h.name)).collect();
+                        out.push(Finding {
+                            path: path.to_string(),
+                            line,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "channel `.{id}(..)` while holding {} — a blocked peer \
+                                 turns the critical section into a convoy and a \
+                                 closed/contended channel into a deadlock; move the \
+                                 channel op outside the lock or justify with \
+                                 `// lint:allow(lock-order): <why>`",
+                                names.join(", ")
+                            ),
+                            notes: held
+                                .iter()
+                                .map(|h| {
+                                    format!(
+                                        "holding `{}` since line {} (acquired via {})",
+                                        h.name, h.line, h.via
+                                    )
+                                })
+                                .collect(),
+                        });
+                    }
+                    if let Some((decl, via)) = acquisition_at(s, i, cfg) {
+                        let line = s.tokens[i].line;
+                        if let Some(h) = held.iter().find(|h| h.name == decl) {
+                            out.push(Finding {
+                                path: path.to_string(),
+                                line,
+                                rule: Rule::LockOrder,
+                                message: format!(
+                                    "`{decl}` acquired again while already held — \
+                                     `std::sync::Mutex` is not reentrant; this \
+                                     deadlocks at runtime"
+                                ),
+                                notes: vec![format!(
+                                    "already held since line {} (acquired via {})",
+                                    h.line, h.via
+                                )],
+                            });
+                        } else {
+                            for h in &held {
+                                if !allowed_at(allows, "lock-order", line) {
+                                    edges.push(LockEdge {
+                                        held: h.name.clone(),
+                                        acquired: decl.clone(),
+                                        path: path.to_string(),
+                                        line,
+                                        held_line: h.line,
+                                        held_via: h.via.clone(),
+                                    });
+                                }
+                            }
+                            held.push(Held {
+                                name: decl,
+                                via,
+                                line,
+                                binder: guard_binder(s, i),
+                                depth,
+                            });
+                        }
+                    } else if (id == "lock" || id == "try_lock")
+                        && s.is_punct(i.wrapping_sub(1), '.')
+                        && s.is_punct(i + 1, '(')
+                    {
+                        // An acquisition the graph cannot name: the walk
+                        // would silently lose track of it, so require a
+                        // declaration (or a justified allow).
+                        let recv = s.ident(i.wrapping_sub(2)).unwrap_or("<expr>").to_string();
+                        out.push(Finding {
+                            path: path.to_string(),
+                            line: s.tokens[i].line,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "`{recv}.{id}()` does not resolve to a declared lock — \
+                                 R8's acquisition graph must stay total over the \
+                                 scoped crates; declare the lock (name, receivers, \
+                                 helpers) in the lint config or justify with \
+                                 `// lint:allow(lock-order): <why>`"
+                            ),
+                            notes: Vec::new(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Resolve token `i` as a declared-lock acquisition: either
+/// `<receiver>.lock(` / `<receiver>.try_lock(` with a declared receiver,
+/// or `.helper(` with a declared helper name. Returns the lock's graph
+/// name and a human `via` string.
+fn acquisition_at(s: &Scanned, i: usize, cfg: &Config) -> Option<(String, String)> {
+    let id = s.ident(i)?;
+    if !s.is_punct(i.wrapping_sub(1), '.') || !s.is_punct(i + 1, '(') {
+        return None;
+    }
+    if id == "lock" || id == "try_lock" {
+        let recv = s.ident(i.wrapping_sub(2))?;
+        let decl = cfg
+            .locks
+            .iter()
+            .find(|l| l.receivers.iter().any(|r| r == recv))?;
+        return Some((decl.name.clone(), format!("`{recv}.{id}()`")));
+    }
+    let decl = cfg
+        .locks
+        .iter()
+        .find(|l| l.helpers.iter().any(|h| h == id))?;
+    Some((decl.name.clone(), format!("`.{id}()`")))
+}
+
+/// Classify the guard produced by the acquisition at token `i`: `Some`
+/// binder name when the call chain (through `unwrap`/`unwrap_or_else`/
+/// `expect`) directly ends a `let` statement, `None` for a temporary.
+fn guard_binder(s: &Scanned, i: usize) -> Option<String> {
+    // Skip the call's argument list, then any adapter chain.
+    let mut j = matching_paren(s, i + 1)?;
+    loop {
+        if s.is_punct(j + 1, '?') {
+            j += 1;
+            continue;
+        }
+        if s.is_punct(j + 1, '.') {
+            let adapter = s.ident(j + 2)?;
+            if matches!(adapter, "unwrap" | "unwrap_or_else" | "expect") && s.is_punct(j + 3, '(') {
+                j = matching_paren(s, j + 3)?;
+                continue;
+            }
+            return None; // `.iter()`, `.drain(..)` …: guard is a temporary
+        }
+        break;
+    }
+    if !(s.is_punct(j + 1, ';') || s.is_ident(j + 1, "else")) {
+        return None;
+    }
+    // Statement starts after the previous `;`/`{`/`}`; a guard binding
+    // must open with `let`. The binder is the last non-`mut` identifier
+    // before the `=` (handles `let Ok(mut state) = …`).
+    let mut b = i;
+    while b > 0 {
+        match s.tokens[b - 1].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+            _ => b -= 1,
+        }
+    }
+    if !s.is_ident(b, "let") {
+        return None;
+    }
+    let mut binder = None;
+    let mut k = b + 1;
+    while k < i {
+        if s.is_punct(k, '=') && !s.is_punct(k + 1, '=') {
+            break;
+        }
+        if let Some(id) = s.ident(k) {
+            if id != "mut" {
+                binder = Some(id.to_string());
+            }
+        }
+        k += 1;
+    }
+    binder
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn matching_paren(s: &Scanned, open: usize) -> Option<usize> {
+    if !s.is_punct(open, '(') {
+        return None;
+    }
+    let mut depth = 0i64;
+    for j in open..s.tokens.len() {
+        match s.tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Cycle detection over the batch's lock-acquisition edges: a DFS from
+/// every node, reporting each distinct cycle once (rotation-normalized),
+/// anchored at one of its edge sites with the full edge chain as notes.
+fn lock_cycle_findings(edges: &[LockEdge]) -> Vec<Finding> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.held.as_str()).or_default().push(e);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut stack: Vec<&LockEdge> = Vec::new();
+        let mut on_path: Vec<&str> = vec![start];
+        dfs_cycles(start, &adj, &mut stack, &mut on_path, &mut seen, &mut out);
+    }
+    out
+}
+
+fn dfs_cycles<'a>(
+    node: &'a str,
+    adj: &std::collections::BTreeMap<&'a str, Vec<&'a LockEdge>>,
+    stack: &mut Vec<&'a LockEdge>,
+    on_path: &mut Vec<&'a str>,
+    seen: &mut std::collections::BTreeSet<Vec<String>>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for e in nexts {
+        let to = e.acquired.as_str();
+        if let Some(pos) = on_path.iter().position(|n| *n == to) {
+            let cyc: Vec<&LockEdge> = stack[pos..].iter().copied().chain([*e]).collect();
+            let names: Vec<String> = cyc.iter().map(|e| e.held.clone()).collect();
+            // Normalize rotation so the same cycle found from another
+            // start node deduplicates.
+            let rot = (0..names.len())
+                .map(|r| {
+                    let mut v = names.clone();
+                    v.rotate_left(r);
+                    v
+                })
+                .min()
+                .unwrap_or_default();
+            if seen.insert(rot) {
+                let shape: Vec<&str> = names
+                    .iter()
+                    .map(String::as_str)
+                    .chain([names[0].as_str()])
+                    .collect();
+                out.push(Finding {
+                    path: cyc[0].path.clone(),
+                    line: cyc[0].line,
+                    rule: Rule::LockOrder,
+                    message: format!(
+                        "lock-order cycle `{}` — these locks are acquired in \
+                         conflicting orders across the workspace, so a concurrent \
+                         schedule deadlocks; pick one global order (or break an edge \
+                         and justify it with `// lint:allow(lock-order): <why>` at \
+                         the inner acquisition)",
+                        shape.join(" → ")
+                    ),
+                    notes: cyc
+                        .iter()
+                        .map(|e| {
+                            format!(
+                                "`{}` → `{}` at {}:{} (holding `{}` acquired line {} via {})",
+                                e.held, e.acquired, e.path, e.line, e.held, e.held_line, e.held_via
+                            )
+                        })
+                        .collect(),
+                });
+            }
+        } else {
+            on_path.push(to);
+            stack.push(e);
+            dfs_cycles(to, adj, stack, on_path, seen, out);
+            stack.pop();
+            on_path.pop();
+        }
+    }
+}
+
+/// R9: atomic-protocol dataflow. In protocol scope every atomic op with
+/// an `Ordering::` argument must resolve to a declared atomic, and the
+/// orderings must satisfy the declared role's contract. Knob members are
+/// skipped here — R3 owns them (globally, not just in scope).
+fn rule_atomic_protocol(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    test_regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .atomic_scope_prefixes
+        .iter()
+        .any(|p| path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for i in 0..s.tokens.len() {
+        let Some((op, recv, orderings, line)) = atomic_call_at(s, i) else {
+            continue;
+        };
+        if in_any_region(line, test_regions) {
+            continue;
+        }
+        let ords = orderings.join(", ");
+        let Some(decl) = cfg.atomics.iter().find(|a| a.field == recv) else {
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: Rule::AtomicProtocol,
+                message: format!(
+                    "atomic `{recv}` has no declared role — every atomic in protocol \
+                     scope is declared in the lint config as knob, counter, latch or \
+                     flag; declare it or justify with \
+                     `// lint:allow(atomic-protocol): <why>`"
+                ),
+                notes: vec![
+                    "roles: knob = store(Release)/load(Acquire); counter = Relaxed \
+                     everywhere; latch = fetch_add/fetch_sub(AcqRel|Release) + \
+                     load(Acquire); flag = store(Release)/load(Acquire) + RMW at \
+                     Acquire/Release/AcqRel"
+                        .to_string(),
+                ],
+            });
+            continue;
+        };
+        let (ok, contract) = match decl.role {
+            AtomicRole::Knob => continue, // R3 owns the knob protocol
+            AtomicRole::Counter => (
+                orderings.iter().all(|o| o == "Relaxed"),
+                "counters are advisory statistics: every access is `Relaxed`; \
+                 cross-thread ordering must come from a lock or a knob/flag edge, \
+                 never from the counter itself",
+            ),
+            AtomicRole::Latch => (
+                match op.as_str() {
+                    "fetch_add" | "fetch_sub" => {
+                        orderings.iter().all(|o| o == "AcqRel" || o == "Release")
+                    }
+                    "load" => orderings.iter().all(|o| o == "Acquire"),
+                    _ => false,
+                },
+                "latch participants retire with `fetch_add`/`fetch_sub(AcqRel|Release)` \
+                 and the closer observes with `load(Acquire)`; anything else can lose \
+                 a completion",
+            ),
+            AtomicRole::Flag => (
+                match op.as_str() {
+                    "store" => orderings.iter().all(|o| o == "Release"),
+                    "load" => orderings.iter().all(|o| o == "Acquire"),
+                    "swap"
+                    | "compare_exchange"
+                    | "compare_exchange_weak"
+                    | "fetch_and"
+                    | "fetch_or"
+                    | "fetch_xor"
+                    | "fetch_update" => orderings
+                        .iter()
+                        .all(|o| o == "Acquire" || o == "Release" || o == "AcqRel"),
+                    _ => false,
+                },
+                "flags publish with `store(Release)`, observe with `load(Acquire)` and \
+                 hand off with RMW at `Acquire`/`Release`/`AcqRel`",
+            ),
+        };
+        if !ok {
+            let role = match decl.role {
+                AtomicRole::Knob => "knob",
+                AtomicRole::Counter => "counter",
+                AtomicRole::Latch => "latch",
+                AtomicRole::Flag => "flag",
+            };
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: Rule::AtomicProtocol,
+                message: format!(
+                    "{role} `{recv}`: `{op}({ords})` is outside the {role} protocol — \
+                     {contract}"
+                ),
+                notes: Vec::new(),
+            });
+        }
+    }
+}
+
+/// R10: latch-completion discipline for each declared participant type.
+/// Skipped unless the file defines `struct <type_name>` (fixtures under a
+/// virtual path opt in by defining the type). Checks: a `finish` method
+/// exists and sets the completion guard; an `impl Drop for <type>` exists
+/// and consults the guard; and every `.complete(..)` call outside tests
+/// lives inside one of those two bodies.
+fn rule_latch_complete(
+    path: &str,
+    s: &Scanned,
+    cfg: &Config,
+    test_regions: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    for decl in &cfg.latches {
+        if !matches_path(path, &decl.file) {
+            continue;
+        }
+        let Some(struct_line) = (0..s.tokens.len())
+            .find(|&i| s.is_ident(i, "struct") && s.is_ident(i + 1, &decl.type_name))
+            .map(|i| s.tokens[i].line)
+        else {
+            continue;
+        };
+        // Line regions of every `fn <finish_method>` body, and of the
+        // `fn drop` body inside `impl … Drop for … <type_name>`.
+        let mut finish_regions: Vec<(u32, u32)> = Vec::new();
+        for i in 0..s.tokens.len() {
+            if s.is_ident(i, "fn") && s.is_ident(i + 1, &decl.finish_method) {
+                if let Some((open, close)) = body_after_fn(s, i) {
+                    finish_regions.push((s.tokens[open].line, s.tokens[close].line));
+                }
+            }
+        }
+        let mut drop_region: Option<(usize, usize)> = None;
+        for i in 0..s.tokens.len() {
+            if !s.is_ident(i, "impl") {
+                continue;
+            }
+            let mut j = i + 1;
+            let (mut saw_drop, mut saw_type) = (false, false);
+            while j < s.tokens.len() && !s.is_punct(j, '{') {
+                saw_drop |= s.is_ident(j, "Drop");
+                saw_type |= s.is_ident(j, &decl.type_name);
+                j += 1;
+            }
+            if !(saw_drop && saw_type) || j >= s.tokens.len() {
+                continue;
+            }
+            let Some(close) = s.matching_brace(j) else {
+                continue;
+            };
+            drop_region = (j..close)
+                .find(|&k| s.is_ident(k, "fn") && s.is_ident(k + 1, "drop"))
+                .and_then(|k| body_after_fn(s, k));
+            break;
+        }
+        if finish_regions.is_empty() {
+            out.push(Finding {
+                path: path.to_string(),
+                line: struct_line,
+                rule: Rule::LatchComplete,
+                message: format!(
+                    "latch participant `{}` has no `fn {}` — the happy completion \
+                     path must be an audited method that marks the participant done",
+                    decl.type_name, decl.finish_method
+                ),
+                notes: Vec::new(),
+            });
+        }
+        match drop_region {
+            None => out.push(Finding {
+                path: path.to_string(),
+                line: struct_line,
+                rule: Rule::LatchComplete,
+                message: format!(
+                    "no `impl Drop for {}` — a participant dropped on an error path \
+                     (worker death, failed send) would never complete the batch \
+                     latch and the submitter would hang (the PR 3 class)",
+                    decl.type_name
+                ),
+                notes: Vec::new(),
+            }),
+            Some((open, close)) => {
+                let mentions_guard = (open..close).any(|k| s.is_ident(k, &decl.guard_field));
+                if !mentions_guard {
+                    out.push(Finding {
+                        path: path.to_string(),
+                        line: s.tokens[open].line,
+                        rule: Rule::LatchComplete,
+                        message: format!(
+                            "`Drop for {}` does not consult `{}` — an unconditional \
+                             drop-completion double-completes after `{}()`",
+                            decl.type_name, decl.guard_field, decl.finish_method
+                        ),
+                        notes: Vec::new(),
+                    });
+                }
+            }
+        }
+        // `finish()` must set the guard (`<guard> = true`) so Drop's
+        // check actually observes completion.
+        for &(a, b) in &finish_regions {
+            let sets_guard = (0..s.tokens.len()).any(|k| {
+                s.tokens[k].line >= a
+                    && s.tokens[k].line <= b
+                    && s.is_ident(k, &decl.guard_field)
+                    && s.is_punct(k + 1, '=')
+                    && !s.is_punct(k + 2, '=')
+                    && s.is_ident(k + 2, "true")
+            });
+            if !sets_guard {
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: a,
+                    rule: Rule::LatchComplete,
+                    message: format!(
+                        "`{}()` does not set `{} = true` — without the guard flip, \
+                         `Drop` completes the latch a second time",
+                        decl.finish_method, decl.guard_field
+                    ),
+                    notes: Vec::new(),
+                });
+            }
+        }
+        let drop_lines = drop_region.map(|(o, c)| (s.tokens[o].line, s.tokens[c].line));
+        for i in 0..s.tokens.len() {
+            if !s.is_ident(i, &decl.complete_method)
+                || !s.is_punct(i.wrapping_sub(1), '.')
+                || !s.is_punct(i + 1, '(')
+            {
+                continue;
+            }
+            let line = s.tokens[i].line;
+            if in_any_region(line, test_regions)
+                || in_any_region(line, &finish_regions)
+                || drop_lines.is_some_and(|(a, b)| line >= a && line <= b)
+            {
+                continue;
+            }
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: Rule::LatchComplete,
+                message: format!(
+                    "`.{}(..)` outside `{}()`/`Drop` — latch completion must route \
+                     through the two audited paths so every participant completes \
+                     exactly once; justify exceptions with \
+                     `// lint:allow(latch-complete): <why>`",
+                    decl.complete_method, decl.finish_method
+                ),
+                notes: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Token range `(open_brace, close_brace)` of the body of the `fn` whose
+/// keyword sits at token `i`.
+fn body_after_fn(s: &Scanned, i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 2;
+    let mut nest = 0i64;
+    while j < s.tokens.len() {
+        match s.tokens[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => nest -= 1,
+            TokKind::Punct('{') if nest == 0 => {
+                return s.matching_brace(j).map(|c| (j, c));
+            }
+            TokKind::Punct(';') if nest == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collect every `lint:allow(<key>)` directive as `(comment end line,
+/// key)`. Used both to drop finished findings and to suppress R8 edges
+/// before they enter the cross-file graph.
+fn collect_allows(s: &Scanned) -> Vec<(u32, String)> {
     let mut allows: Vec<(u32, String)> = Vec::new();
     for c in &s.comments {
         let mut rest = c.text.as_str();
@@ -700,9 +1618,19 @@ fn apply_allow_directives(s: &Scanned, findings: &mut Vec<Finding>) {
             }
         }
     }
-    findings.retain(|f| {
-        !allows
-            .iter()
-            .any(|(line, key)| key == f.rule.key() && (f.line == *line || f.line == *line + 1))
-    });
+    allows
+}
+
+/// True when a directive for `key` covers `line` (directive comment ends
+/// on the line itself or the line above).
+fn allowed_at(allows: &[(u32, String)], key: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|(l, k)| k == key && (line == *l || line == *l + 1))
+}
+
+/// Drop findings covered by a `lint:allow(<rule-key>)` directive in a
+/// comment on the finding's line or the line above.
+fn apply_allow_directives(allows: &[(u32, String)], findings: &mut Vec<Finding>) {
+    findings.retain(|f| !allowed_at(allows, f.rule.key(), f.line));
 }

@@ -68,10 +68,17 @@ fn r3_fires_on_protocol_violations() {
         .iter()
         .filter(|f| f.rule == Rule::AtomicOrder)
         .collect();
-    assert_eq!(r3.len(), 3, "{findings:?}");
+    assert_eq!(r3.len(), 2, "{findings:?}");
     assert!(r3[0].message.contains("Release"), "{}", r3[0].message);
     assert!(r3[1].message.contains("Acquire"), "{}", r3[1].message);
-    assert!(r3[2].message.contains("mystery"), "{}", r3[2].message);
+    // The undeclared-atomic case moved from R3 to R9 when roles landed:
+    // `mystery` now fails the role-registry check instead.
+    let r9: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::AtomicProtocol)
+        .collect();
+    assert_eq!(r9.len(), 1, "{findings:?}");
+    assert!(r9[0].message.contains("mystery"), "{}", r9[0].message);
 }
 
 #[test]
@@ -194,4 +201,239 @@ fn r7_fires_on_untraced_sub_offsets() {
 fn r7_accepts_traced_buffered_and_justified_sub_calls() {
     let fired = rules_fired(KERNEL, "r7_good.rs");
     assert!(!fired.contains(&Rule::ChunkProvenance), "{fired:?}");
+}
+
+// ---------------------------------------------------------------- R8–R10
+
+/// Virtual path inside the R8/R9 scope prefixes (service crate).
+const LIB_SVC: &str = "crates/service/src/fixture.rs";
+
+#[test]
+fn r8_fires_on_lock_order_violations() {
+    let findings = findings_for(LIB_SVC, "r8_bad.rs");
+    let r8: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .collect();
+    assert_eq!(r8.len(), 4, "{findings:?}");
+    let messages: Vec<&str> = r8.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("lock-order cycle")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("channel `.send(..)`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("does not resolve to a declared lock")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("already held")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn r8_accepts_disciplined_locking() {
+    let fired = rules_fired(LIB_SVC, "r8_good.rs");
+    assert!(!fired.contains(&Rule::LockOrder), "{fired:?}");
+}
+
+#[test]
+fn r8_respects_per_site_allow_directive() {
+    let fired = rules_fired(LIB_SVC, "r8_allowed.rs");
+    assert!(!fired.contains(&Rule::LockOrder), "{fired:?}");
+}
+
+#[test]
+fn r8_findings_carry_held_lock_trace() {
+    // Satellite: diagnostics print the binder trace, not just file:line.
+    let findings = findings_for(LIB_SVC, "r8_bad.rs");
+    let send = findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrder && f.message.contains("channel"))
+        .expect("send-under-lock finding");
+    let rendered = send.to_string();
+    assert!(
+        rendered.contains("= note: holding `slots` since line"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("acquired via"), "{rendered}");
+    let cycle = findings
+        .iter()
+        .find(|f| f.message.contains("lock-order cycle"))
+        .expect("cycle finding");
+    let rendered = cycle.to_string();
+    assert!(rendered.contains("`slots` → `queue`"), "{rendered}");
+    assert!(rendered.contains("= note:"), "{rendered}");
+}
+
+/// Workspace config extended with a latch-role atomic: the live
+/// workspace has no atomic latch (the pool's batch latch is a
+/// Mutex+Condvar pair, which is R10's department), so the latch leg of
+/// the role taxonomy is exercised here.
+fn cfg_with_latch_atomic() -> dialga_lint::Config {
+    let mut cfg = workspace_config();
+    cfg.atomics.push(dialga_lint::AtomicDecl {
+        field: "outstanding".to_string(),
+        role: dialga_lint::AtomicRole::Latch,
+    });
+    cfg
+}
+
+#[test]
+fn r9_fires_on_role_protocol_violations() {
+    let findings = check_source(LIB_SVC, &fixture("r9_bad.rs"), &cfg_with_latch_atomic());
+    let r9: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::AtomicProtocol)
+        .collect();
+    assert_eq!(r9.len(), 6, "{findings:?}");
+    let messages: Vec<&str> = r9.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("counter `submitted`") && m.contains("fetch_add(Release)")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("flag `fault_word`") && m.contains("store(Relaxed)")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("flag `fault_word`") && m.contains("swap(SeqCst)")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("latch `outstanding`") && m.contains("store(Release)")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("latch `outstanding`") && m.contains("fetch_sub(Relaxed)")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("mystery")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn r9_accepts_protocol_and_ignores_non_atomic_lookalikes() {
+    let findings = check_source(LIB_SVC, &fixture("r9_good.rs"), &cfg_with_latch_atomic());
+    assert!(
+        !findings.iter().any(|f| f.rule == Rule::AtomicProtocol),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn r9_is_scope_limited() {
+    // The same violations outside the protocol-scope prefixes are silent
+    // (harness/bench code tunes orderings freely).
+    let findings = check_source(
+        "crates/bench/src/bin/fixture.rs",
+        &fixture("r9_bad.rs"),
+        &cfg_with_latch_atomic(),
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == Rule::AtomicProtocol),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn r9_respects_per_site_allow_directive() {
+    let fired = rules_fired(LIB_SVC, "r9_allowed.rs");
+    assert!(!fired.contains(&Rule::AtomicProtocol), "{fired:?}");
+}
+
+#[test]
+fn r10_fires_on_completion_protocol_violations() {
+    let findings = findings_for(KERNEL, "r10_bad.rs");
+    let r10: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LatchComplete)
+        .collect();
+    assert_eq!(r10.len(), 3, "{findings:?}");
+    let messages: Vec<&str> = r10.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("does not set `finished = true`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("does not consult `finished`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("outside `finish()`/`Drop`")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn r10_fires_on_missing_drop_impl() {
+    let findings = findings_for(KERNEL, "r10_bad_nodrop.rs");
+    let r10: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LatchComplete)
+        .collect();
+    assert_eq!(r10.len(), 1, "{findings:?}");
+    assert!(
+        r10[0].message.contains("no `impl Drop for Chunk`"),
+        "{}",
+        r10[0].message
+    );
+}
+
+#[test]
+fn r10_accepts_the_audited_protocol() {
+    let fired = rules_fired(KERNEL, "r10_good.rs");
+    assert!(!fired.contains(&Rule::LatchComplete), "{fired:?}");
+}
+
+#[test]
+fn r10_respects_per_site_allow_directive() {
+    let fired = rules_fired(KERNEL, "r10_allowed.rs");
+    assert!(!fired.contains(&Rule::LatchComplete), "{fired:?}");
+}
+
+#[test]
+fn r10_skips_files_not_defining_the_latch_type() {
+    // Same virtual path, but the fixture never defines `struct Chunk`:
+    // the completion checks must not demand a Drop impl of r1's fixture.
+    let fired = rules_fired(KERNEL, "r1_good.rs");
+    assert!(!fired.contains(&Rule::LatchComplete), "{fired:?}");
+}
+
+#[test]
+fn r7_findings_carry_binder_trace_notes() {
+    // Satellite: R7 diagnostics explain the provenance chain the fixed
+    // point established, so the fix is visible from the diagnostic.
+    let findings = findings_for(KERNEL, "r7_bad.rs");
+    let r7 = findings
+        .iter()
+        .find(|f| f.rule == Rule::ChunkProvenance)
+        .expect("r7 finding");
+    let rendered = r7.to_string();
+    assert!(rendered.contains("= note:"), "{rendered}");
+    assert!(rendered.contains("split_ranges"), "{rendered}");
 }

@@ -1,0 +1,509 @@
+//! Interleaving-explored models of DIALGA's concurrency protocols.
+//!
+//! Each *real* model mirrors a protocol that ships in `crates/core` /
+//! `crates/service` (the pool batch latch, `heal_workers` respawn, the
+//! shard DRR admission queue, and the stats-vs-admit lock order) and must
+//! stay clean across the full seeded sweep (`RACE_SCHEDULES`, default
+//! 1000). Each *bug* model re-introduces one of the three PR 3 pool bugs
+//! and must be caught by the explorer under a fixed seed within a bounded
+//! schedule budget — these are the proof the harness has teeth.
+//!
+//! Run the full sweep with `just race`; `scripts/lint.sh` runs the same
+//! tests with a small `RACE_SCHEDULES` budget as the `race --smoke`
+//! stage.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dialga_race::{
+    channel, spawn, AtomicBool, AtomicU64, Condvar, Explorer, Mutex, Sender, ViolationKind,
+};
+
+/// Full-sweep schedule budget; `scripts/lint.sh --smoke` lowers it.
+fn budget() -> usize {
+    std::env::var("RACE_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000)
+}
+
+// ---------------------------------------------------------------------------
+// Shared model vocabulary: the pool batch latch (pool.rs `BatchState` /
+// `Chunk`), shrunk to its synchronization skeleton.
+// ---------------------------------------------------------------------------
+
+struct BatchInner {
+    remaining: usize,
+    failed: bool,
+}
+
+struct Batch {
+    inner: Mutex<BatchInner>,
+    cv: Condvar,
+}
+
+impl Batch {
+    fn new(participants: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            inner: Mutex::named(
+                "batch.inner",
+                BatchInner {
+                    remaining: participants,
+                    failed: false,
+                },
+            ),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// One participant completes (mirrors `BatchState::complete`).
+    fn complete(&self, ok: bool) {
+        let mut g = self.inner.lock();
+        if !ok {
+            g.failed = true;
+        }
+        g.remaining -= 1;
+        let done = g.remaining == 0;
+        drop(g);
+        if done {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every participant completed; `true` iff all succeeded
+    /// (mirrors `BatchState::wait_with_deadline`'s Clean/Failed split).
+    fn wait(&self) -> bool {
+        let mut g = self.inner.lock();
+        while g.remaining > 0 {
+            g = self.cv.wait(g);
+        }
+        !g.failed
+    }
+
+    /// The PR 3 panic-escalation bug: the old wait asserted the batch
+    /// never fails instead of reporting `Failed` to the caller.
+    fn wait_panicky(&self) {
+        let mut g = self.inner.lock();
+        while g.remaining > 0 {
+            g = self.cv.wait(g);
+        }
+        assert!(!g.failed, "batch failed under panicky wait");
+    }
+}
+
+/// One unit of latched work (mirrors pool.rs `Chunk`): completes exactly
+/// once, via `finish` on the happy path or `Drop` on every other path —
+/// the contract lint R10 enforces statically.
+struct Chunk {
+    batch: Arc<Batch>,
+    finished: bool,
+}
+
+impl Chunk {
+    fn new(batch: &Arc<Batch>) -> Chunk {
+        Chunk {
+            batch: Arc::clone(batch),
+            finished: false,
+        }
+    }
+
+    fn finish(mut self, ok: bool) {
+        self.finished = true;
+        self.batch.complete(ok);
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.batch.complete(false);
+        }
+    }
+}
+
+impl std::fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chunk")
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real model 1: pool-latch quiesce.
+//
+// A submitter fans a 2-chunk batch out to two workers; one worker's
+// channel is already dead (worker death), so that send fails and the
+// returned chunk's Drop closes its latch slot. The submitter must wait
+// for the latch before releasing the shared frame; the live worker
+// asserts the frame is still alive when it touches it.
+// ---------------------------------------------------------------------------
+
+fn pool_latch_model(wait_before_free: bool) {
+    let frame = Arc::new(AtomicBool::new(true));
+    let batch = Batch::new(2);
+
+    let (tx_a, rx_a) = channel::<Chunk>();
+    let (tx_b, rx_b) = channel::<Chunk>();
+    drop(rx_b); // worker B died before dispatch
+
+    let frame_a = Arc::clone(&frame);
+    let worker_a = spawn(move || {
+        let chunk = rx_a.recv().expect("worker A receives its chunk");
+        assert!(
+            frame_a.load(Ordering::Acquire),
+            "worker touched freed frame"
+        );
+        chunk.finish(true);
+    });
+
+    if let Err(dead) = tx_b.send(Chunk::new(&batch)) {
+        drop(dead); // SendError carries the chunk back; Drop closes the latch
+    }
+    tx_a.send(Chunk::new(&batch)).expect("worker A is alive");
+
+    if wait_before_free {
+        let clean = batch.wait();
+        assert!(!clean, "worker B's chunk must report failure");
+    }
+    // Quiesced (or not, in the bug variant): release the frame.
+    frame.store(false, Ordering::Release);
+
+    drop(tx_a);
+    worker_a.join().expect("worker A exits cleanly");
+}
+
+#[test]
+fn pool_latch_model_clean() {
+    Explorer::pct(0xD1A7_0001, budget())
+        .run(|| pool_latch_model(true))
+        .assert_clean();
+}
+
+/// PR 3 bug model 1: the submitter frees the frame without waiting for
+/// the latch after a failed send — the use-after-free class. Caught as a
+/// panic on the live worker's frame assertion.
+#[test]
+fn bug_model_use_after_free_is_caught() {
+    let report = Explorer::pct(0xBAD_0001, 500).run(|| pool_latch_model(false));
+    let v = report
+        .violation
+        .expect("explorer must catch the use-after-free model");
+    assert_eq!(v.kind, ViolationKind::Panic);
+    assert!(v.message.contains("freed frame"), "{}", v.message);
+}
+
+/// PR 3 bug model 2: a chunk whose failure path never completes the
+/// latch (the missing-`Drop` class). The submitter waits forever — the
+/// explorer reports the hang as a deadlock.
+#[test]
+fn bug_model_lost_completion_deadlocks() {
+    let report = Explorer::pct(0xBAD_0002, 500).run(|| {
+        let batch = Batch::new(2);
+        let (tx_a, rx_a) = channel::<Chunk>();
+        let (tx_b, rx_b) = channel::<Chunk>();
+        drop(rx_b);
+
+        let worker_a = spawn(move || {
+            rx_a.recv()
+                .expect("worker A receives its chunk")
+                .finish(true);
+        });
+
+        if let Err(dead) = tx_b.send(Chunk::new(&batch)) {
+            // The bug: leak the chunk instead of letting Drop complete it.
+            std::mem::forget(dead.0);
+        }
+        tx_a.send(Chunk::new(&batch)).expect("worker A is alive");
+
+        batch.wait(); // hangs: remaining never reaches 0
+        drop(tx_a);
+        worker_a.join().unwrap();
+    });
+    let v = report
+        .violation
+        .expect("explorer must catch the lost-completion model");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+}
+
+/// PR 3 bug model 3: the old wait escalated a failed batch to a panic in
+/// the submitter instead of returning `Failed`.
+#[test]
+fn bug_model_panic_escalation_is_caught() {
+    let report = Explorer::pct(0xBAD_0003, 500).run(|| {
+        let batch = Batch::new(1);
+        let (tx, rx) = channel::<Chunk>();
+        let worker = spawn(move || {
+            // Worker hits a decode error: completes with failure.
+            rx.recv().expect("worker receives its chunk").finish(false);
+        });
+        tx.send(Chunk::new(&batch)).expect("worker is alive");
+        batch.wait_panicky();
+        drop(tx);
+        worker.join().unwrap();
+    });
+    let v = report
+        .violation
+        .expect("explorer must catch the panic-escalation model");
+    assert_eq!(v.kind, ViolationKind::Panic);
+    assert!(v.message.contains("panicky"), "{}", v.message);
+}
+
+// ---------------------------------------------------------------------------
+// Real model 2: heal_workers respawn.
+//
+// A single-slot pool whose worker is dead. A healer probes the slot
+// (send under the slots lock — the pool.rs `lint:allow(lock-order)`
+// site: probe + replace must be atomic per slot, and the shim channel,
+// like std's, is unbounded so the send never blocks) and respawns the
+// worker in place. The submitter's first batch may fail; after the heal
+// completes, a bounded retry must succeed.
+// ---------------------------------------------------------------------------
+
+enum Msg {
+    Ping,
+    Work(Chunk),
+}
+
+fn try_batch(slot: &Arc<Mutex<Option<Sender<Msg>>>>) -> bool {
+    let batch = Batch::new(1);
+    let tx = {
+        let g = slot.lock();
+        g.as_ref().expect("slot populated").clone()
+    };
+    if let Err(dead) = tx.send(Msg::Work(Chunk::new(&batch))) {
+        drop(dead); // chunk Drop closes the latch with failure
+    }
+    batch.wait()
+}
+
+#[test]
+fn heal_respawn_model_clean() {
+    let report = Explorer::pct(0xD1A7_0002, budget()).run(|| {
+        let (dead_tx, dead_rx) = channel::<Msg>();
+        drop(dead_rx); // the worker died some time ago
+        let slot = Arc::new(Mutex::named("slots", Some(dead_tx)));
+
+        let slot_h = Arc::clone(&slot);
+        let healer = spawn(move || {
+            let mut g = slot_h.lock();
+            let probe_failed = match g.as_ref() {
+                Some(tx) => tx.send(Msg::Ping).is_err(),
+                None => true,
+            };
+            if probe_failed {
+                let (tx, rx) = channel::<Msg>();
+                let worker = spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Ping => {}
+                            Msg::Work(chunk) => chunk.finish(true),
+                        }
+                    }
+                });
+                *g = Some(tx); // respawn in place, still under the slot lock
+                drop(g);
+                Some(worker)
+            } else {
+                None
+            }
+        });
+
+        let first = try_batch(&slot);
+        // Bounded idempotent retry: once the healer has run, a single
+        // retry must succeed.
+        let worker = healer.join().expect("healer exits cleanly");
+        let healed = if first { true } else { try_batch(&slot) };
+        assert!(healed, "retry after heal must succeed");
+
+        slot.lock().take(); // close the channel so the worker exits
+        if let Some(w) = worker {
+            w.join().expect("respawned worker exits cleanly");
+        }
+    });
+    report.assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// Real model 3: DRR admission accounting.
+//
+// Two producers admit jobs into a shard queue (occupancy bumped under
+// the queue lock, like `Shard::admit`); a master drains it
+// (`Shard::next_batch`). At quiesce, occupancy is zero and every
+// admitted job was completed exactly once.
+// ---------------------------------------------------------------------------
+
+struct QueueState {
+    q: VecDeque<u64>,
+    closed: bool,
+}
+
+#[test]
+fn drr_admission_model_clean() {
+    let report = Explorer::pct(0xD1A7_0003, budget()).run(|| {
+        let queue = Arc::new(Mutex::named(
+            "queue",
+            QueueState {
+                q: VecDeque::new(),
+                closed: false,
+            },
+        ));
+        let cv = Arc::new(Condvar::new());
+        let occupancy = Arc::new(AtomicU64::new(0));
+        let completed = Arc::new(AtomicU64::new(0));
+
+        let master = {
+            let (queue, cv) = (Arc::clone(&queue), Arc::clone(&cv));
+            let (occupancy, completed) = (Arc::clone(&occupancy), Arc::clone(&completed));
+            spawn(move || loop {
+                let mut g = queue.lock();
+                loop {
+                    if let Some(_job) = g.q.pop_front() {
+                        // Occupancy mutates under the queue lock, as in
+                        // Shard::next_batch.
+                        occupancy.fetch_sub(1, Ordering::Relaxed);
+                        drop(g);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    if g.closed {
+                        return;
+                    }
+                    g = cv.wait(g);
+                }
+            })
+        };
+
+        let producers: Vec<_> = (0..2u64)
+            .map(|p| {
+                let (queue, cv) = (Arc::clone(&queue), Arc::clone(&cv));
+                let occupancy = Arc::clone(&occupancy);
+                spawn(move || {
+                    for j in 0..2u64 {
+                        let mut g = queue.lock();
+                        g.q.push_back(p * 10 + j);
+                        occupancy.fetch_add(1, Ordering::Relaxed);
+                        drop(g);
+                        cv.notify_one();
+                    }
+                })
+            })
+            .collect();
+
+        for p in producers {
+            p.join().expect("producer exits cleanly");
+        }
+        queue.lock().closed = true;
+        cv.notify_all();
+        master.join().expect("master exits cleanly");
+
+        assert_eq!(occupancy.load(Ordering::Relaxed), 0, "occupancy leak");
+        assert_eq!(completed.load(Ordering::Relaxed), 4, "lost or doubled job");
+    });
+    report.assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// Real model 4 (lock-order pin, satellite of R8): StripeService::stats
+// takes the pool's slots lock and each shard's queue lock sequentially —
+// never nested — while admit takes queue then (after dropping it)
+// slots. This model pins that protocol: no interleaving deadlocks.
+// The inverted variant below shows what R8 prevents.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stats_vs_admit_lock_order_clean() {
+    let report = Explorer::pct(0xD1A7_0004, budget()).run(|| {
+        let queue = Arc::new(Mutex::named("queue", 0u64));
+        let slots = Arc::new(Mutex::named("slots", 0u64));
+
+        let admit = {
+            let (queue, slots) = (Arc::clone(&queue), Arc::clone(&slots));
+            spawn(move || {
+                for _ in 0..2 {
+                    // Shard::admit: queue lock released before dispatch
+                    // touches the pool.
+                    *queue.lock() += 1;
+                    *slots.lock() += 1;
+                }
+            })
+        };
+        // StripeService::stats: pool stats, then shard snapshot —
+        // sequential acquisitions, never held together.
+        for _ in 0..2 {
+            let busy = *slots.lock();
+            let depth = *queue.lock();
+            // Reads are advisory snapshots: each is bounded by the
+            // admit loop's total, but no joint invariant is implied.
+            assert!(busy <= 2 && depth <= 2);
+        }
+        admit.join().expect("admit exits cleanly");
+    });
+    report.assert_clean();
+}
+
+/// The protocol violation R8 exists to prevent: stats holding `slots`
+/// while taking `queue`, racing admit holding `queue` while taking
+/// `slots`. The explorer finds the AB/BA deadlock.
+#[test]
+fn inverted_lock_order_deadlocks() {
+    let report = Explorer::pct(0xBAD_0004, 500).run(|| {
+        let queue = Arc::new(Mutex::named("queue", 0u64));
+        let slots = Arc::new(Mutex::named("slots", 0u64));
+        let admit = {
+            let (queue, slots) = (Arc::clone(&queue), Arc::clone(&slots));
+            spawn(move || {
+                let _q = queue.lock();
+                let _s = slots.lock();
+            })
+        };
+        {
+            let _s = slots.lock();
+            let _q = queue.lock();
+        }
+        let _ = admit.join();
+    });
+    let v = report
+        .violation
+        .expect("explorer must find the AB/BA deadlock");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+}
+
+// ---------------------------------------------------------------------------
+// Harness self-checks at the integration level.
+// ---------------------------------------------------------------------------
+
+/// Bounded exhaustive mode fully covers the single-worker latch model
+/// (2 threads) and agrees with PCT that it is clean.
+#[test]
+fn exhaustive_covers_single_worker_latch() {
+    let report = Explorer::exhaustive(50_000).run(|| {
+        let batch = Batch::new(1);
+        let (tx, rx) = channel::<Chunk>();
+        let worker = spawn(move || {
+            rx.recv().expect("worker receives its chunk").finish(true);
+        });
+        tx.send(Chunk::new(&batch)).expect("worker is alive");
+        assert!(batch.wait(), "single clean chunk");
+        drop(tx);
+        worker.join().expect("worker exits cleanly");
+    });
+    report.assert_clean();
+    assert!(report.complete, "2-thread latch model must be exhaustible");
+    assert!(report.schedules > 1, "more than one interleaving explored");
+}
+
+/// A fixed seed reproduces the same failing schedule, trace and all —
+/// the property that makes `Violation::schedule` a usable replay handle.
+#[test]
+fn bug_models_reproduce_deterministically() {
+    let r1 = Explorer::pct(0xBAD_0001, 500).run(|| pool_latch_model(false));
+    let r2 = Explorer::pct(0xBAD_0001, 500).run(|| pool_latch_model(false));
+    let (v1, v2) = (
+        r1.violation.expect("first run catches the bug"),
+        r2.violation.expect("second run catches the bug"),
+    );
+    assert_eq!(v1.schedule, v2.schedule);
+    assert_eq!(v1.trace, v2.trace);
+}

@@ -13,6 +13,13 @@ lint:
 lint-fixtures:
     cargo test -q -p dialga-lint
 
+# Full seeded interleaving sweep: every dialga-race model (pool latch,
+# heal/respawn, DRR admission, lock order) across 1000 PCT schedules per
+# seed, plus the bounded-exhaustive and PR 3 bug-model self-tests.
+# Deterministic; RACE_SCHEDULES overrides the budget.
+race:
+    RACE_SCHEDULES=1000 cargo test -q -p dialga-race
+
 # Fixed-seed chaos smoke: seeded fault plans through the self-healing
 # pool plus the stripe-integrity suite (deterministic, <= 5 s)
 chaos:

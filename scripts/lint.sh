@@ -11,8 +11,14 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== dialga-lint (unsafe surface, atomic ordering, panic paths, const drift) =="
+echo "== dialga-lint (unsafe surface, atomic/lock/latch protocols, panic paths, const drift) =="
 cargo run -q -p dialga-lint
+
+echo "== race smoke (seeded interleaving models, bounded schedule budget) =="
+# Fixed seeds are baked into the models; RACE_SCHEDULES caps the PCT
+# sweep per model so the gate stays fast. `just race` runs the full
+# 1000-schedule sweep.
+RACE_SCHEDULES=64 cargo test -q -p dialga-race
 
 echo "== kernel_fusion smoke (fused/per-row bit-exactness gate) =="
 cargo run -q -p dialga-bench --bin kernel_fusion -- --smoke
