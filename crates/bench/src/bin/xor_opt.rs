@@ -1,0 +1,240 @@
+//! XOR-schedule optimizer bench (PR 9): naive (greedy, one op per set
+//! bit) vs optimized (cross-row CSE + cache-aware reorder) schedules per
+//! code-zoo family, executed through the batched tiled executor
+//! (`dialga_gf::xorexec`), with the fused table-driven RS kernel as the
+//! throughput reference at the same geometry for MDS families.
+//!
+//! Three gates ride on every row:
+//!
+//! * **bit-exactness** — naive, optimized and the serial staging executor
+//!   must agree byte-for-byte before any number is reported;
+//! * **monotonicity** — the optimizer must never increase the XOR count
+//!   (its candidate set includes the input schedule);
+//! * the emitted artifact (`"bench": "xor_opt"`) is schema- and
+//!   improvement-gated by the `trajectory` bin (>= 3 families strictly
+//!   reduced).
+//!
+//! `--smoke` runs a cheap three-family subset as a lint-stage sanity gate;
+//! `--json <path>` writes `BENCH_PR9.json`.
+
+use dialga_bench::harness;
+use dialga_ec::zoo::{self, ZooEntry};
+use dialga_ec::{ReedSolomon, XorScratch};
+use dialga_gf::bitmatrix::W;
+use dialga_gf::sched::FusedSched;
+use dialga_gf::simd::{detected_kernel, dot_prod_fused};
+use dialga_gf::tables::NibbleTables;
+use dialga_gf::xorexec::{execute_packets, TempArena, XorProgram};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn make_data(k: usize, block: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|b| {
+            (0..block)
+                .map(|i| ((b * 131 + i * 29 + 17) & 0xFF) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+/// Run one lowered program over whole blocks through the tiled executor.
+fn run_program(
+    prog: &XorProgram,
+    data: &[Vec<u8>],
+    parity: &mut [Vec<u8>],
+    arena: &mut TempArena,
+    d: u32,
+) {
+    let len = data[0].len();
+    let psize = len / W;
+    let srcs: Vec<&[u8]> = data.iter().flat_map(|b| b.chunks(psize)).collect();
+    let mut outs: Vec<&mut [u8]> = parity
+        .iter_mut()
+        .flat_map(|b| b.chunks_mut(psize))
+        .collect();
+    execute_packets(prog, &srcs, &mut outs, arena, FusedSched::distance(d));
+}
+
+struct Row {
+    family: String,
+    k: usize,
+    m: usize,
+    naive_xors: usize,
+    opt_xors: usize,
+    naive_gibs: f64,
+    opt_gibs: f64,
+    fused_rs_gibs: Option<f64>,
+}
+
+fn run_family(entry: &ZooEntry, block: usize) -> Row {
+    let params = entry.code.params();
+    let (k, m) = (params.k, params.m);
+    let d = k as u32;
+
+    let naive = entry.code.naive_schedule();
+    let opt = entry
+        .code
+        .optimized_schedule()
+        .expect("optimizer on a valid schedule");
+    let (ncost, ocost) = (naive.cost(), opt.cost());
+    assert!(
+        ocost.xors <= ncost.xors,
+        "{}: optimizer increased XOR count ({} -> {})",
+        entry.name,
+        ncost.xors,
+        ocost.xors
+    );
+    let nprog = naive.to_program().expect("lower naive schedule");
+    let oprog = opt.to_program().expect("lower optimized schedule");
+
+    let data = make_data(k, block);
+    let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+
+    // Correctness gate: serial staging executor vs both tiled programs.
+    let mut scratch = XorScratch::new();
+    let want = entry
+        .code
+        .encode_vec_with(&refs, &mut scratch)
+        .expect("serial encode");
+    let mut arena = TempArena::new();
+    let mut got_n = vec![vec![0u8; block]; m];
+    let mut got_o = vec![vec![0u8; block]; m];
+    run_program(&nprog, &data, &mut got_n, &mut arena, d);
+    run_program(&oprog, &data, &mut got_o, &mut arena, d);
+    assert_eq!(want, got_n, "{}: naive program mismatch", entry.name);
+    assert_eq!(want, got_o, "{}: optimized program mismatch", entry.name);
+
+    let mut g = harness::group(entry.name);
+    g.throughput_bytes((k * block) as u64);
+    g.bench("naive", || {
+        run_program(&nprog, &data, &mut got_n, &mut arena, d)
+    });
+    g.bench("optimized", || {
+        run_program(&oprog, &data, &mut got_o, &mut arena, d)
+    });
+    let fused_rs_gibs = entry.mds.then(|| {
+        let rs = ReedSolomon::new(k, m).expect("zoo geometry");
+        let pm = rs.parity_matrix();
+        let tables: Vec<NibbleTables> = (0..m)
+            .flat_map(|i| (0..k).map(move |j| NibbleTables::new(pm[(i, j)].0)))
+            .collect();
+        let mut fused_out = vec![vec![0u8; block]; m];
+        g.bench("fused_rs", || {
+            let mut outs: Vec<&mut [u8]> = fused_out.iter_mut().map(|o| o.as_mut_slice()).collect();
+            dot_prod_fused(&tables, &refs, &mut outs, FusedSched::distance(d));
+        });
+        g.results[2].throughput_gbs().unwrap_or(0.0) * 1e9 / GIB
+    });
+    let gibs = |i: usize| g.results[i].throughput_gbs().unwrap_or(0.0) * 1e9 / GIB;
+
+    Row {
+        family: entry.name.to_string(),
+        k,
+        m,
+        naive_xors: ncost.xors,
+        opt_xors: ocost.xors,
+        naive_gibs: gibs(0),
+        opt_gibs: gibs(1),
+        fused_rs_gibs,
+    }
+}
+
+fn emit_json(path: &str, smoke: bool, rows: &[Row]) {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"xor_opt\",\n  \"pr\": 9,\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"kernel\": \"{:?}\",\n", detected_kernel()));
+    s.push_str("  \"unit\": \"XORs per stripe, GiB/s\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let fused = r
+            .fused_rs_gibs
+            .map_or("null".to_string(), |v| format!("{v:.3}"));
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"k\": {}, \"m\": {}, \"naive_xors\": {}, \"opt_xors\": {}, \"naive_gibs\": {:.3}, \"opt_gibs\": {:.3}, \"fused_rs_gibs\": {}}}{}\n",
+            r.family,
+            r.k,
+            r.m,
+            r.naive_xors,
+            r.opt_xors,
+            r.naive_gibs,
+            r.opt_gibs,
+            fused,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write json artifact");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // Smoke skips the expensive constructions (Cerasure annealing, wide
+    // k=20 CSE) so the lint stage stays fast; the correctness and
+    // monotonicity asserts run either way.
+    let (entries, block): (Vec<ZooEntry>, usize) = if smoke {
+        (
+            vec![
+                ZooEntry {
+                    name: "cauchy-rs(6,3)",
+                    code: zoo::cauchy_rs(6, 3).expect("cauchy-rs(6,3)"),
+                    mds: true,
+                },
+                ZooEntry {
+                    name: "raid6(8)",
+                    code: zoo::raid6(8).expect("raid6(8)"),
+                    mds: true,
+                },
+                ZooEntry {
+                    name: "lrc(8,2,2)",
+                    code: zoo::lrc_bitmatrix(8, 2, 2).expect("lrc(8,2,2)"),
+                    mds: false,
+                },
+            ],
+            16 * 1024,
+        )
+    } else {
+        (zoo::code_zoo().expect("code zoo"), 64 * 1024)
+    };
+
+    println!(
+        "xor_opt: schedule optimizer over the code zoo (detected kernel: {:?})",
+        detected_kernel()
+    );
+    let rows: Vec<Row> = entries.iter().map(|e| run_family(e, block)).collect();
+
+    println!();
+    println!(
+        "{:<18} {:>5} {:>4} {:>11} {:>9} {:>12} {:>10} {:>12}",
+        "family", "k", "m", "naive_xors", "opt_xors", "naive GiB/s", "opt GiB/s", "fused GiB/s"
+    );
+    let mut improved = 0;
+    for r in &rows {
+        let fused = r
+            .fused_rs_gibs
+            .map_or("-".to_string(), |v| format!("{v:.2}"));
+        println!(
+            "{:<18} {:>5} {:>4} {:>11} {:>9} {:>12.2} {:>10.2} {:>12}",
+            r.family, r.k, r.m, r.naive_xors, r.opt_xors, r.naive_gibs, r.opt_gibs, fused
+        );
+        if r.opt_xors < r.naive_xors {
+            improved += 1;
+        }
+    }
+    println!(
+        "\n{improved}/{} families strictly reduced their XOR count",
+        rows.len()
+    );
+
+    if let Some(path) = json {
+        emit_json(&path, smoke, &rows);
+    }
+}

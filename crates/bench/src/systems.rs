@@ -126,6 +126,7 @@ fn xor_code(k: usize, m: usize, flavor: XorFlavor) -> XorCode {
             XorFlavor::Plain => 0,
             XorFlavor::Zerasure => 1,
             XorFlavor::Cerasure => 2,
+            XorFlavor::Matrix => 3,
         },
     );
     let mut guard = CACHE.lock().unwrap();

@@ -39,7 +39,9 @@ use crate::encoder::{Dialga, DEFAULT_BATCH_RETRIES};
 use dialga_ec::{EcError, Lrc};
 #[cfg(feature = "fault-injection")]
 use dialga_faultkit::{ChunkFault, FaultCell, FaultPlan};
+use dialga_gf::bitmatrix::W;
 use dialga_gf::tables::NibbleTables;
+use dialga_gf::xorexec::{ProgOp, TempArena, XorProgram};
 use dialga_memsim::Counters;
 use dialga_pipeline::Knobs;
 use std::ops::Range;
@@ -333,6 +335,44 @@ impl TabSpan {
     }
 }
 
+/// `Send`-able view of a borrowed `&[ProgOp]` — the lowered XOR program a
+/// batch of XOR chunks shares, exactly as [`TabSpan`] shares the nibble
+/// tables of a GF batch. Same liveness contract: the submitting thread
+/// blocks in [`BatchState::wait`] until every chunk completes, so the
+/// program slice outlives every worker dereference.
+#[derive(Clone, Copy)]
+struct ProgSpan {
+    ptr: NonNull<ProgOp>,
+    len: usize,
+}
+
+// SAFETY: a read-only view; the referent outlives all dereferences per the
+// submission protocol documented on the type.
+unsafe impl Send for ProgSpan {}
+
+impl ProgSpan {
+    fn new(ops: &[ProgOp]) -> Self {
+        // SAFETY: slice pointers are never null (empty slices use a
+        // dangling, still non-null pointer).
+        let ptr = unsafe { NonNull::new_unchecked(ops.as_ptr().cast_mut()) };
+        ProgSpan {
+            ptr,
+            len: ops.len(),
+        }
+    }
+
+    /// Rebuild the op slice on the worker.
+    ///
+    /// # Safety
+    /// The slice passed to [`ProgSpan::new`] must still be live, i.e. the
+    /// submitting thread must still be blocked in [`BatchState::wait`].
+    unsafe fn as_slice<'a>(self) -> &'a [ProgOp] {
+        // SAFETY: caller upholds liveness; `ptr`/`len` came from a real
+        // slice, and workers only read.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
 /// `Send`-able read-only view of one source block (or a chunk of it).
 #[derive(Clone, Copy)]
 struct SrcSpan {
@@ -433,16 +473,29 @@ impl OutSpan {
     }
 }
 
-/// One apply-tables job over full-length blocks, before chunking:
-/// `outputs[i] = sum_j tables[i * sources.len() + j] * sources[j]`.
+/// What a chunk computes over its source/output sub-spans: the fused GF
+/// apply-tables kernel, or a lowered XOR program run through the batched
+/// schedule executor ([`dialga_gf::xorexec`]). Both bottom out in the same
+/// §4.2/§4.3 prefetch-distance machinery, so the coordinator's knob cell
+/// steers either kind identically.
+#[derive(Clone, Copy)]
+enum ChunkWork {
+    /// `outputs[i] = sum_j tables[i * sources.len() + j] * sources[j]`.
+    Gf { tables: TabSpan },
+    /// Run `prog` over per-packet sub-spans (`sources`/`outputs` are the
+    /// program's `n_data`/`n_parity` packets, not whole blocks).
+    Xor { prog: ProgSpan, n_temps: usize },
+}
+
+/// One job over full-length blocks (or packets), before chunking.
 ///
-/// Encode, decode stages and single-block repair all reduce to this shape,
-/// so the pool has exactly one worker kernel. Detached spans (not borrows)
-/// so jobs built from mixed origins (caller slices, shard vectors, plan
-/// tables) share one submission path; see [`TabSpan`]/[`OutSpan`] for the
-/// safety contract.
+/// Encode, decode stages, single-block repair and XOR-program encode all
+/// reduce to this shape, so the pool has exactly one submission path.
+/// Detached spans (not borrows) so jobs built from mixed origins (caller
+/// slices, shard vectors, plan tables) share it; see
+/// [`TabSpan`]/[`OutSpan`] for the safety contract.
 struct RawJob {
-    tables: TabSpan,
+    work: ChunkWork,
     sources: Vec<SrcSpan>,
     outputs: Vec<OutSpan>,
     /// Common block length (every source/output).
@@ -453,7 +506,7 @@ struct RawJob {
     default_bf: Option<u32>,
 }
 
-/// One unit of worker work: apply `tables` to `sources[range]` →
+/// One unit of worker work: run `work` over `sources[range]` →
 /// `outputs[range]`. `Send` because every field is (the spans carry the
 /// safety argument on their own `unsafe impl Send`).
 ///
@@ -463,7 +516,7 @@ struct RawJob {
 /// worker exiting with work still enqueued. Without the `Drop` path those
 /// chunks would vanish and [`BatchState::wait`] would block forever.
 struct Chunk {
-    tables: TabSpan,
+    work: ChunkWork,
     sources: Vec<SrcSpan>,
     outputs: Vec<OutSpan>,
     default_d: u32,
@@ -903,7 +956,9 @@ impl EncodePool {
         for s in stripes.iter_mut() {
             let len = s.data.first().map_or(0, |d| d.len());
             jobs.push(RawJob {
-                tables: TabSpan::new(tables),
+                work: ChunkWork::Gf {
+                    tables: TabSpan::new(tables),
+                },
                 sources: s.data.iter().map(|d| SrcSpan::new(d)).collect(),
                 outputs: s.parity.iter_mut().map(|p| OutSpan::new(p)).collect(),
                 len,
@@ -925,6 +980,139 @@ impl EncodePool {
         let mut parity = vec![vec![0u8; len]; coder.params().m];
         let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
         self.encode(coder, data, &mut refs)?;
+        Ok(parity)
+    }
+
+    /// Encode one stripe through a lowered XOR program (a bitmatrix
+    /// schedule from `dialga-ec`, optimized or not) across the pool.
+    /// Blocks until the stripe is done; bit-exact with the serial
+    /// schedule executors.
+    pub fn encode_xor(
+        &self,
+        prog: &XorProgram,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        let mut stripes = [StripeJob { data, parity }];
+        self.encode_xor_batch(prog, &mut stripes)
+    }
+
+    /// Encode a batch of stripes through one lowered XOR program.
+    ///
+    /// Mirrors [`EncodePool::encode_batch`] for the schedule-driven path:
+    /// every stripe is validated up front, then each block is split into
+    /// its `W` bit packets and the *packet* range is chunked with
+    /// [`split_ranges`] — XOR ops are byte-wise, so any horizontal split of
+    /// the packet range is exact. Workers run the chunks through the
+    /// batched executor ([`dialga_gf::xorexec::execute_ops`]) with the
+    /// live coordinator knobs steering the §4.2/§4.3 prefetch distances
+    /// exactly as on the fused-RS path (the shuffle is stripped by the
+    /// executor: schedule ops carry dependencies).
+    pub fn encode_xor_batch(
+        &self,
+        prog: &XorProgram,
+        stripes: &mut [StripeJob<'_, '_>],
+    ) -> Result<(), EcError> {
+        let (k, m) = (prog.n_data / W, prog.n_parity / W);
+        if !prog.n_data.is_multiple_of(W) || !prog.n_parity.is_multiple_of(W) {
+            return Err(EcError::Internal {
+                what: "XOR program packet counts are not multiples of W",
+            });
+        }
+        for s in stripes.iter() {
+            if s.data.len() != k {
+                return Err(EcError::BlockCount {
+                    expected: k,
+                    got: s.data.len(),
+                });
+            }
+            if s.parity.len() != m {
+                return Err(EcError::BlockCount {
+                    expected: m,
+                    got: s.parity.len(),
+                });
+            }
+            let len = s.data.first().map_or(0, |d| d.len());
+            if !len.is_multiple_of(W) {
+                return Err(EcError::BlockLength {
+                    expected: len.next_multiple_of(W),
+                    got: len,
+                });
+            }
+            for d in s.data.iter() {
+                if d.len() != len {
+                    return Err(EcError::BlockLength {
+                        expected: len,
+                        got: d.len(),
+                    });
+                }
+            }
+            for p in s.parity.iter() {
+                if p.len() != len {
+                    return Err(EcError::BlockLength {
+                        expected: len,
+                        got: p.len(),
+                    });
+                }
+            }
+        }
+
+        // One job per stripe over *packet* spans: flat packet index
+        // `block * W + packet` maps to the block's packet sub-slice, the
+        // same layout the serial executors use. `job.len` is the packet
+        // length, so the existing chunker applies unchanged.
+        //
+        // Default prefetch distance: one op-step per source stream (`k`),
+        // mirroring the fused path's streams-default; the knob cell
+        // overrides it live.
+        let default_d = (k as u32).max(1);
+        let mut jobs: Vec<RawJob> = Vec::with_capacity(stripes.len());
+        for s in stripes.iter_mut() {
+            let len = s.data.first().map_or(0, |d| d.len());
+            let psize = len / W;
+            let mut sources = Vec::with_capacity(prog.n_data);
+            for d in s.data.iter() {
+                for p in 0..W {
+                    sources.push(SrcSpan::new(&d[p * psize..(p + 1) * psize]));
+                }
+            }
+            let mut outputs = Vec::with_capacity(prog.n_parity);
+            for blk in s.parity.iter_mut() {
+                for p in 0..W {
+                    outputs.push(OutSpan::new(&mut blk[p * psize..(p + 1) * psize]));
+                }
+            }
+            jobs.push(RawJob {
+                work: ChunkWork::Xor {
+                    prog: ProgSpan::new(&prog.ops),
+                    n_temps: prog.n_temps,
+                },
+                sources,
+                outputs,
+                len: psize,
+                default_d,
+                default_bf: None,
+            });
+        }
+        self.shared
+            .stats
+            .stripes
+            .fetch_add(stripes.len() as u64, Ordering::Relaxed);
+        self.shared.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.run_jobs(&jobs, DEFAULT_BATCH_RETRIES)
+    }
+
+    /// Convenience wrapper allocating the parity blocks for
+    /// [`EncodePool::encode_xor`].
+    pub fn encode_xor_vec(
+        &self,
+        prog: &XorProgram,
+        data: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, EcError> {
+        let len = data.first().map_or(0, |d| d.len());
+        let mut parity = vec![vec![0u8; len]; prog.n_parity / W];
+        let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        self.encode_xor(prog, data, &mut refs)?;
         Ok(parity)
     }
 
@@ -985,7 +1173,9 @@ impl EncodePool {
                 outputs.push(OutSpan::new(v));
             }
             jobs.push(RawJob {
-                tables: TabSpan::new(plan.data_tables()),
+                work: ChunkWork::Gf {
+                    tables: TabSpan::new(plan.data_tables()),
+                },
                 sources,
                 outputs,
                 len: plan.shard_len(),
@@ -1014,7 +1204,9 @@ impl EncodePool {
                 outputs.push(OutSpan::new(v));
             }
             jobs.push(RawJob {
-                tables: TabSpan::new(plan.parity_tables()),
+                work: ChunkWork::Gf {
+                    tables: TabSpan::new(plan.parity_tables()),
+                },
                 sources,
                 outputs,
                 len: plan.shard_len(),
@@ -1074,7 +1266,9 @@ impl EncodePool {
             sources.push(SrcSpan::new(v));
         }
         let job = RawJob {
-            tables: TabSpan::new(plan.tables()),
+            work: ChunkWork::Gf {
+                tables: TabSpan::new(plan.tables()),
+            },
             sources,
             outputs: vec![OutSpan::new(&mut out)],
             len,
@@ -1126,7 +1320,9 @@ impl EncodePool {
         let mut sources: Vec<SrcSpan> = group_data.iter().map(|d| SrcSpan::new(d)).collect();
         sources.push(SrcSpan::new(local_parity));
         let job = RawJob {
-            tables: TabSpan::new(&tables),
+            work: ChunkWork::Gf {
+                tables: TabSpan::new(&tables),
+            },
             sources,
             outputs: vec![OutSpan::new(&mut out)],
             len,
@@ -1172,7 +1368,9 @@ impl EncodePool {
         let mut scratch = vec![vec![0u8; len]; m];
         {
             let job = RawJob {
-                tables: TabSpan::new(coder.tables()),
+                work: ChunkWork::Gf {
+                    tables: TabSpan::new(coder.tables()),
+                },
                 sources: data.iter().map(|d| SrcSpan::new(d)).collect(),
                 outputs: scratch.iter_mut().map(|o| OutSpan::new(o)).collect(),
                 len,
@@ -1426,7 +1624,7 @@ impl EncodePool {
                 .map(|o| unsafe { o.sub(r.start, r.len()) })
                 .collect();
             chunks.push(Chunk {
-                tables: job.tables,
+                work: job.work,
                 sources,
                 outputs,
                 default_d: job.default_d,
@@ -1489,6 +1687,10 @@ fn worker_loop(index: usize, rx: Receiver<Msg>, shared: Arc<PoolShared>) {
     #[cfg(not(feature = "fault-injection"))]
     let _ = index;
     let mut last_knobs = shared.knobs.load(Ordering::Acquire);
+    // Per-worker temp arena for XOR-program chunks: tile-sized buffers,
+    // allocated once and reused for the worker's lifetime (satellite of the
+    // schedule-optimizer PR — the old naive path allocated per stripe).
+    let mut arena = TempArena::new();
     while let Ok(msg) = rx.recv() {
         let chunk = match msg {
             Msg::Run(chunk) => chunk,
@@ -1528,11 +1730,9 @@ fn worker_loop(index: usize, rx: Receiver<Msg>, shared: Arc<PoolShared>) {
                 panic!("injected worker panic (slot {index})");
             }
             // SAFETY: the submitting thread blocks in `BatchState::wait`
-            // until this chunk (and its whole batch) completes, so the
-            // tables and all spans are live; output sub-spans of distinct
-            // chunks never alias (see `OutSpan`).
-            let tables: &[NibbleTables] = unsafe { chunk.tables.as_slice() };
-            // SAFETY: as above — spans outlive the batch wait.
+            // until this chunk (and its whole batch) completes, so all
+            // spans are live; output sub-spans of distinct chunks never
+            // alias (see `OutSpan`).
             let sources: Vec<&[u8]> = chunk
                 .sources
                 .iter()
@@ -1551,7 +1751,28 @@ fn worker_loop(index: usize, rx: Receiver<Msg>, shared: Arc<PoolShared>) {
                 d_long: knobs.bf_first_distance.or(chunk.default_bf),
                 shuffle: knobs.shuffle,
             };
-            crate::encoder::apply_tables(tables, &sources, &mut outputs, sched);
+            match chunk.work {
+                ChunkWork::Gf { tables } => {
+                    // SAFETY: tables outlive the batch wait (see `TabSpan`).
+                    let tables: &[NibbleTables] = unsafe { tables.as_slice() };
+                    crate::encoder::apply_tables(tables, &sources, &mut outputs, sched);
+                }
+                ChunkWork::Xor { prog, n_temps } => {
+                    // SAFETY: the program outlives the batch wait (see
+                    // `ProgSpan`).
+                    let ops: &[ProgOp] = unsafe { prog.as_slice() };
+                    // The executor strips the shuffle itself (schedule ops
+                    // carry dependencies); distances apply as-is.
+                    dialga_gf::xorexec::execute_ops(
+                        ops,
+                        n_temps,
+                        &sources,
+                        &mut outputs,
+                        &mut arena,
+                        sched,
+                    );
+                }
+            }
         }));
 
         let len = chunk.sources.first().map_or(0, |s| s.len);
@@ -1712,6 +1933,94 @@ mod tests {
         }
         assert_eq!(parity, expected);
         assert_eq!(pool.stats().stripes, 5);
+        assert_eq!(pool.stats().dispatches, 1);
+    }
+
+    #[test]
+    fn pool_xor_program_matches_serial() {
+        use dialga_ec::xor::{XorCode, XorFlavor};
+        let code = XorCode::new(6, 3, XorFlavor::Cerasure).unwrap();
+        // Multiple of W, packet length not CHUNK_ALIGN-aligned: ragged
+        // chunking over the packet range.
+        let data = make_data(6, W * 1200);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let serial = code.encode_vec(&refs).unwrap();
+        let naive = code.schedule().to_program().unwrap();
+        let opt = code.optimized_schedule().unwrap().to_program().unwrap();
+        for threads in [1usize, 2, 4] {
+            let pool = EncodePool::new(threads);
+            assert_eq!(
+                pool.encode_xor_vec(&naive, &refs).unwrap(),
+                serial,
+                "naive threads={threads}"
+            );
+            assert_eq!(
+                pool.encode_xor_vec(&opt, &refs).unwrap(),
+                serial,
+                "optimized threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_xor_rejects_bad_geometry_before_enqueue() {
+        use dialga_ec::xor::{XorCode, XorFlavor};
+        let code = XorCode::new(4, 2, XorFlavor::Plain).unwrap();
+        let prog = code.schedule().to_program().unwrap();
+        let pool = EncodePool::new(2);
+        // Wrong block count.
+        let data = make_data(3, W * 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert!(matches!(
+            pool.encode_xor_vec(&prog, &refs),
+            Err(EcError::BlockCount { .. })
+        ));
+        // Length not a multiple of W.
+        let data = make_data(4, W * 64 + 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert!(matches!(
+            pool.encode_xor_vec(&prog, &refs),
+            Err(EcError::BlockLength { .. })
+        ));
+        assert_eq!(pool.stats().chunks, 0, "nothing must reach the queues");
+    }
+
+    #[test]
+    fn pool_xor_batch_matches_serial() {
+        use dialga_ec::xor::{XorCode, XorFlavor};
+        let code = XorCode::new(5, 2, XorFlavor::Cerasure).unwrap();
+        let prog = code.schedule().to_program().unwrap();
+        let pool = EncodePool::new(3);
+        let stripes_data: Vec<Vec<Vec<u8>>> =
+            (0..4).map(|s| make_data(5, W * (512 + s * 37))).collect();
+        let mut expected = Vec::new();
+        let mut parity: Vec<Vec<Vec<u8>>> = Vec::new();
+        for sd in &stripes_data {
+            let refs: Vec<&[u8]> = sd.iter().map(|d| d.as_slice()).collect();
+            expected.push(code.encode_vec(&refs).unwrap());
+            parity.push(vec![vec![0u8; sd[0].len()]; 2]);
+        }
+        {
+            let data_refs: Vec<Vec<&[u8]>> = stripes_data
+                .iter()
+                .map(|sd| sd.iter().map(|d| d.as_slice()).collect())
+                .collect();
+            let mut parity_refs: Vec<Vec<&mut [u8]>> = parity
+                .iter_mut()
+                .map(|sp| sp.iter_mut().map(|p| p.as_mut_slice()).collect())
+                .collect();
+            let mut jobs: Vec<StripeJob<'_, '_>> = data_refs
+                .iter()
+                .zip(parity_refs.iter_mut())
+                .map(|(d, p)| StripeJob {
+                    data: d.as_slice(),
+                    parity: p.as_mut_slice(),
+                })
+                .collect();
+            pool.encode_xor_batch(&prog, &mut jobs).unwrap();
+        }
+        assert_eq!(parity, expected);
+        assert_eq!(pool.stats().stripes, 4);
         assert_eq!(pool.stats().dispatches, 1);
     }
 
@@ -2045,7 +2354,9 @@ mod tests {
         let mut out = vec![0u8; 1024];
         let tables: Vec<NibbleTables> = Vec::new();
         let job = RawJob {
-            tables: TabSpan::new(&tables),
+            work: ChunkWork::Gf {
+                tables: TabSpan::new(&tables),
+            },
             sources: vec![SrcSpan::new(&src)],
             outputs: vec![OutSpan::new(&mut out)],
             len: 1024,

@@ -21,6 +21,127 @@ pub enum XorFlavor {
     Zerasure,
     /// Greedy X/Y matrix search + smart schedule (Cerasure-like).
     Cerasure,
+    /// Externally supplied parity matrix (Cauchy-RS, RAID-6, LRC, ...) +
+    /// smart schedule — the code-zoo constructor
+    /// [`XorCode::from_parity_matrix`].
+    Matrix,
+}
+
+/// Reusable scratch for schedule execution: temp packets plus the staging
+/// packet the naive executor copies sources through. Keep one per thread
+/// and repeated encodes allocate nothing.
+#[derive(Debug, Default)]
+pub struct XorScratch {
+    temps: Vec<Vec<u8>>,
+    packet: Vec<u8>,
+}
+
+impl XorScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Execute a schedule over packetized blocks: `sources` are the schedule's
+/// `k` source blocks, `outputs` its `m` destination blocks, all of `len`
+/// bytes (`len` must be a multiple of 8 so packets are equal-sized).
+/// `scratch` is reused across calls — repeated executions allocate nothing
+/// once the buffers have grown to size.
+///
+/// The schedule is validated first ([`Schedule::validate`]); a malformed
+/// schedule is rejected instead of silently producing garbage (it would
+/// otherwise read stale scratch bytes).
+pub fn execute_schedule(
+    schedule: &Schedule,
+    sources: &[&[u8]],
+    outputs: &mut [Vec<u8>],
+    len: usize,
+    scratch: &mut XorScratch,
+) -> Result<(), EcError> {
+    schedule.validate()?;
+    if !len.is_multiple_of(W) {
+        return Err(EcError::BlockLength {
+            expected: len.next_multiple_of(W),
+            got: len,
+        });
+    }
+    if sources.len() != schedule.k {
+        return Err(EcError::BlockCount {
+            expected: schedule.k,
+            got: sources.len(),
+        });
+    }
+    if outputs.len() != schedule.m {
+        return Err(EcError::BlockCount {
+            expected: schedule.m,
+            got: outputs.len(),
+        });
+    }
+    for s in sources {
+        if s.len() != len {
+            return Err(EcError::BlockLength {
+                expected: len,
+                got: s.len(),
+            });
+        }
+    }
+    for o in outputs.iter() {
+        if o.len() != len {
+            return Err(EcError::BlockLength {
+                expected: len,
+                got: o.len(),
+            });
+        }
+    }
+    let psize = len / W;
+    let XorScratch { temps, packet } = scratch;
+    if temps.len() < schedule.n_temps {
+        temps.resize_with(schedule.n_temps, Vec::new);
+    }
+    for t in &mut temps[..schedule.n_temps] {
+        if t.len() < psize {
+            t.resize(psize, 0);
+        }
+    }
+    packet.resize(psize, 0);
+    for op in &schedule.ops {
+        // Stage the source packet (borrow-safety: source and dest can alias
+        // only between parity packets; the staging copy keeps this simple
+        // and matches the packet-movement cost anyway). The staging buffer
+        // lives in `scratch`, so this allocates nothing per op.
+        match op.src {
+            Src::Data(c) => {
+                let (b, p) = (c / W, c % W);
+                packet.copy_from_slice(&sources[b][p * psize..(p + 1) * psize]);
+            }
+            Src::Parity(r) => {
+                let (b, p) = (r / W, r % W);
+                packet.copy_from_slice(&outputs[b][p * psize..(p + 1) * psize]);
+            }
+            Src::Temp(t) => packet.copy_from_slice(&temps[t][..psize]),
+        }
+        match op.dst {
+            Dst::Parity(r) => {
+                let (b, p) = (r / W, r % W);
+                let dst = &mut outputs[b][p * psize..(p + 1) * psize];
+                if op.init {
+                    dst.copy_from_slice(packet);
+                } else {
+                    xor_slice(packet, dst);
+                }
+            }
+            Dst::Temp(t) => {
+                let dst = &mut temps[t][..psize];
+                if op.init {
+                    dst.copy_from_slice(packet);
+                } else {
+                    xor_slice(packet, dst);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A bitmatrix XOR code with a pre-built encode schedule.
@@ -62,7 +183,7 @@ impl XorCode {
     pub fn new(k: usize, m: usize, flavor: XorFlavor) -> Result<Self, EcError> {
         let params = CodeParams::new(k, m)?;
         let parity_matrix = match flavor {
-            XorFlavor::Plain => GfMatrix::cauchy_parity(k, m),
+            XorFlavor::Plain | XorFlavor::Matrix => GfMatrix::cauchy_parity(k, m),
             XorFlavor::Zerasure => crate::schedule::anneal_xy(k, m, 4000, 0x5EED)?.parity,
             XorFlavor::Cerasure => crate::schedule::greedy_xy(k, m)?.parity,
         };
@@ -71,6 +192,7 @@ impl XorCode {
             XorFlavor::Plain => Schedule::from_bitmatrix(&bitmatrix, k, m),
             _ => Schedule::smart_from_bitmatrix(&bitmatrix, k, m),
         };
+        schedule.validate()?;
         Ok(XorCode {
             params,
             parity_matrix,
@@ -78,6 +200,39 @@ impl XorCode {
             schedule,
             flavor,
         })
+    }
+
+    /// Build a code from an arbitrary `m x k` parity matrix — the code-zoo
+    /// entry point (Cauchy-RS via [`ReedSolomon::bitmatrix_code`], RAID-6
+    /// P+Q, LRC bitmatrix variants, ...). Applies smart (CSE) scheduling;
+    /// callers wanting the fully optimized form run
+    /// [`XorCode::optimized_schedule`].
+    pub fn from_parity_matrix(parity_matrix: GfMatrix) -> Result<Self, EcError> {
+        let (m, k) = (parity_matrix.rows(), parity_matrix.cols());
+        let params = CodeParams::new(k, m)?;
+        let bitmatrix = BitMatrix::from_gf_matrix(&parity_matrix.to_rows());
+        let schedule = Schedule::smart_from_bitmatrix(&bitmatrix, k, m);
+        schedule.validate()?;
+        Ok(XorCode {
+            params,
+            parity_matrix,
+            bitmatrix,
+            schedule,
+            flavor: XorFlavor::Matrix,
+        })
+    }
+
+    /// The naive (per-row, no-reuse) schedule for this code's bitmatrix —
+    /// the greedy baseline the optimizer is measured against.
+    pub fn naive_schedule(&self) -> Schedule {
+        Schedule::from_bitmatrix(&self.bitmatrix, self.params.k, self.params.m)
+    }
+
+    /// Run the [`crate::schedule::opt`] pass pipeline on this code's
+    /// schedule and return the best (validated) variant. Computed on
+    /// demand — construction stays cheap for callers that never execute.
+    pub fn optimized_schedule(&self) -> Result<Schedule, EcError> {
+        crate::schedule::opt::optimize(&self.schedule)
     }
 
     /// Code geometry.
@@ -105,62 +260,21 @@ impl XorCode {
         &self.bitmatrix
     }
 
-    /// Execute a schedule over packetized blocks.
+    /// Encode the k data blocks into m freshly allocated parity blocks.
     ///
-    /// `len` must be a multiple of 8 so packets are equal-sized.
-    fn execute(
-        schedule: &Schedule,
-        sources: &[&[u8]],
-        outputs: &mut [Vec<u8>],
-        len: usize,
-    ) -> Result<(), EcError> {
-        if !len.is_multiple_of(W) {
-            return Err(EcError::BlockLength {
-                expected: len.next_multiple_of(W),
-                got: len,
-            });
-        }
-        let psize = len / W;
-        let mut temps: Vec<Vec<u8>> = vec![vec![0u8; psize]; schedule.n_temps];
-        for op in &schedule.ops {
-            // Copy out the source packet (borrow-safety: source and dest can
-            // alias only between parity packets; a copy keeps this simple
-            // and matches the packet-movement cost anyway).
-            let src_packet: Vec<u8> = match op.src {
-                Src::Data(c) => {
-                    let (b, p) = (c / W, c % W);
-                    sources[b][p * psize..(p + 1) * psize].to_vec()
-                }
-                Src::Parity(r) => {
-                    let (b, p) = (r / W, r % W);
-                    outputs[b][p * psize..(p + 1) * psize].to_vec()
-                }
-                Src::Temp(t) => temps[t].clone(),
-            };
-            match op.dst {
-                Dst::Parity(r) => {
-                    let (b, p) = (r / W, r % W);
-                    let dst = &mut outputs[b][p * psize..(p + 1) * psize];
-                    if op.init {
-                        dst.copy_from_slice(&src_packet);
-                    } else {
-                        xor_slice(&src_packet, dst);
-                    }
-                }
-                Dst::Temp(t) => {
-                    if op.init {
-                        temps[t].copy_from_slice(&src_packet);
-                    } else {
-                        xor_slice(&src_packet, &mut temps[t]);
-                    }
-                }
-            }
-        }
-        Ok(())
+    /// Allocates a fresh [`XorScratch`] per call; hot paths should keep one
+    /// and use [`XorCode::encode_vec_with`].
+    pub fn encode_vec(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        self.encode_vec_with(data, &mut XorScratch::new())
     }
 
-    /// Encode the k data blocks into m freshly allocated parity blocks.
-    pub fn encode_vec(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+    /// Encode with caller-provided scratch: repeated encodes reuse the temp
+    /// arena instead of allocating per stripe.
+    pub fn encode_vec_with(
+        &self,
+        data: &[&[u8]],
+        scratch: &mut XorScratch,
+    ) -> Result<Vec<Vec<u8>>, EcError> {
         if data.len() != self.params.k {
             return Err(EcError::BlockCount {
                 expected: self.params.k,
@@ -168,16 +282,8 @@ impl XorCode {
             });
         }
         let len = data[0].len();
-        for d in data {
-            if d.len() != len {
-                return Err(EcError::BlockLength {
-                    expected: len,
-                    got: d.len(),
-                });
-            }
-        }
         let mut parity = vec![vec![0u8; len]; self.params.m];
-        Self::execute(&self.schedule, data, &mut parity, len)?;
+        execute_schedule(&self.schedule, data, &mut parity, len, scratch)?;
         Ok(parity)
     }
 
@@ -214,6 +320,15 @@ impl XorCode {
     /// Reconstruct missing blocks in place (same contract as
     /// [`ReedSolomon::decode`]).
     pub fn decode(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        self.decode_with(shards, &mut XorScratch::new())
+    }
+
+    /// [`XorCode::decode`] with caller-provided scratch.
+    pub fn decode_with(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        scratch: &mut XorScratch,
+    ) -> Result<(), EcError> {
         let (k, m) = (self.params.k, self.params.m);
         if shards.len() != k + m {
             return Err(EcError::BlockCount {
@@ -246,7 +361,7 @@ impl XorCode {
                 })
                 .collect::<Result<_, _>>()?;
             let mut outs = vec![vec![0u8; len]; lost_data.len()];
-            Self::execute(&schedule, &srcs, &mut outs, len)?;
+            execute_schedule(&schedule, &srcs, &mut outs, len, scratch)?;
             for (&ld, out) in lost_data.iter().zip(outs) {
                 shards[ld] = Some(out);
             }

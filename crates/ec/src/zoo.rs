@@ -1,0 +1,185 @@
+//! The widened code zoo: one constructor per code family, plus a canonical
+//! registry of geometries the schedule optimizer ([`crate::schedule::opt`])
+//! is exercised and benchmarked on.
+//!
+//! The point of the zoo is matrix *diversity*: the optimizer's CSE and
+//! reordering passes behave very differently on a dense Cauchy bitmatrix
+//! (many shared pairs), RAID-6's two-row P+Q shape (one all-ones row, one
+//! generator-power row), an LRC's mixed dense-global/sparse-local rows, and
+//! a wide k ≥ 20 stripe (long rows, huge pair space).
+
+use crate::xor::XorCode;
+use crate::{EcError, GfMatrix, Lrc, ReedSolomon};
+
+/// Cauchy-RS bitmatrix construction: the table-driven RS code's Cauchy
+/// parity matrix, expanded to a bitmatrix schedule (see
+/// [`ReedSolomon::bitmatrix_code`]).
+pub fn cauchy_rs(k: usize, m: usize) -> Result<XorCode, EcError> {
+    ReedSolomon::new(k, m)?.bitmatrix_code()
+}
+
+/// RAID-6 P+Q as a bitmatrix code: P is the plain XOR row, Q the
+/// generator-power row ([`GfMatrix::raid6_parity`]). MDS with m = 2.
+pub fn raid6(k: usize) -> Result<XorCode, EcError> {
+    XorCode::from_parity_matrix(GfMatrix::raid6_parity(k)?)
+}
+
+/// Azure-style LRC(k, m, l) as one bitmatrix code producing the `m` global
+/// and `l` local parities together ([`Lrc::bitmatrix_code`]). Not MDS over
+/// its `m + l` parities (decode stays with [`Lrc::decode`]).
+pub fn lrc_bitmatrix(k: usize, m: usize, l: usize) -> Result<XorCode, EcError> {
+    Lrc::new(k, m, l)?.bitmatrix_code()
+}
+
+/// One code family in the zoo.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Short family name (stable; used by benches and reports).
+    pub name: &'static str,
+    /// The code with its baseline (smart) schedule.
+    pub code: XorCode,
+    /// Whether the code is MDS over its parities (i.e. comparable
+    /// head-to-head with the fused RS path at the same geometry).
+    pub mds: bool,
+}
+
+/// The canonical zoo: one entry per family at a representative geometry,
+/// ordered from narrow to wide. Covers the matrix-density spectrum the
+/// optimizer must win across: dense Cauchy (narrow + wide ≥ 20),
+/// annealed/greedy XOR baselines, two-row RAID-6, and mixed-density LRC.
+pub fn code_zoo() -> Result<Vec<ZooEntry>, EcError> {
+    use crate::xor::XorFlavor;
+    Ok(vec![
+        ZooEntry {
+            name: "cauchy-rs(8,4)",
+            code: cauchy_rs(8, 4)?,
+            mds: true,
+        },
+        ZooEntry {
+            name: "cerasure(8,4)",
+            code: XorCode::new(8, 4, XorFlavor::Cerasure)?,
+            mds: true,
+        },
+        ZooEntry {
+            name: "raid6(10)",
+            code: raid6(10)?,
+            mds: true,
+        },
+        ZooEntry {
+            name: "lrc(12,2,2)",
+            code: lrc_bitmatrix(12, 2, 2)?,
+            mds: false,
+        },
+        ZooEntry {
+            name: "wide-cauchy(20,4)",
+            code: cauchy_rs(20, 4)?,
+            mds: true,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 41 + j * 17 + 9) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raid6_p_is_plain_xor_and_code_is_mds() {
+        let code = raid6(5).unwrap();
+        let data = make_data(5, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode_vec(&refs).unwrap();
+        // P = XOR of the data blocks.
+        let mut p = vec![0u8; 64];
+        for d in &data {
+            for (x, y) in p.iter_mut().zip(d) {
+                *x ^= y;
+            }
+        }
+        assert_eq!(parity[0], p);
+        // Any two erasures repair (MDS).
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[1] = None;
+        shards[5] = None; // P
+        code.decode(&mut shards).unwrap();
+        assert_eq!(shards[1].as_ref().unwrap(), &data[1]);
+    }
+
+    #[test]
+    fn lrc_bitmatrix_matches_lrc_structure() {
+        let (k, m, l) = (6, 2, 2);
+        let lrc = Lrc::new(k, m, l).unwrap();
+        let code = lrc_bitmatrix(k, m, l).unwrap();
+        // Combined matrix = global RS rows then one all-ones row per group.
+        let combined = lrc.combined_parity_matrix();
+        assert_eq!(code.parity_matrix(), &combined);
+        for (i, row) in lrc
+            .global_code()
+            .parity_matrix()
+            .to_rows()
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(combined.row(i), row.as_slice());
+        }
+        let data = make_data(k, 96);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let xor_parity = code.encode_vec(&refs).unwrap();
+        let lrc_parity = lrc.encode_vec(&refs).unwrap();
+        // Local parities are pure XOR rows — layout-independent, so the
+        // bitmatrix code produces the exact same local parity bytes. (The
+        // global GF rows agree as a *code* but in bit-sliced layout; see
+        // `xor::tests::assert_bitmatrix_semantics`.)
+        for g in 0..l {
+            assert_eq!(xor_parity[m + g], lrc_parity[m + g], "group {g}");
+        }
+    }
+
+    #[test]
+    fn cauchy_rs_bitmatrix_is_the_rs_code() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let code = rs.bitmatrix_code().unwrap();
+        assert_eq!(code.parity_matrix(), rs.parity_matrix());
+        let data = make_data(4, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        // Same code, different layout: decode after erasure round-trips.
+        let parity = code.encode_vec(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[0] = None;
+        shards[2] = None;
+        code.decode(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &data[0]);
+        assert_eq!(shards[2].as_ref().unwrap(), &data[2]);
+    }
+
+    #[test]
+    fn zoo_builds_and_names_are_unique() {
+        let zoo = code_zoo().unwrap();
+        assert!(zoo.len() >= 5);
+        let mut names: Vec<&str> = zoo.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), zoo.len());
+        // The wide entry really is wide.
+        assert!(zoo.iter().any(|e| e.code.params().k >= 20));
+    }
+}

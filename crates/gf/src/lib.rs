@@ -25,6 +25,7 @@ pub mod sched;
 pub mod simd;
 pub mod slice;
 pub mod tables;
+pub mod xorexec;
 
 pub use arith::Gf8;
 pub use bitmatrix::BitMatrix;

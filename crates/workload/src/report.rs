@@ -534,6 +534,59 @@ pub fn validate_artifact(doc: &Json) -> Result<TrajectoryRow, String> {
                 tail: tails.join(", "),
             })
         }
+        "xor_opt" => {
+            let results = want_arr(doc, "results", "root")?;
+            if results.is_empty() {
+                return Err("xor_opt: empty `results`".to_string());
+            }
+            let mut improved = 0usize;
+            let mut total_naive = 0.0f64;
+            let mut total_opt = 0.0f64;
+            let mut best_gibs = 0.0f64;
+            for row in results {
+                let family = want_str(row, "family", "xor_opt result")?;
+                let ctx = format!("xor_opt `{family}`");
+                want_num(row, "k", &ctx)?;
+                want_num(row, "m", &ctx)?;
+                let naive_xors = want_num(row, "naive_xors", &ctx)?;
+                let opt_xors = want_num(row, "opt_xors", &ctx)?;
+                want_num(row, "naive_gibs", &ctx)?;
+                let opt_gibs = want_num(row, "opt_gibs", &ctx)?;
+                match row.get("fused_rs_gibs") {
+                    Some(v) if v.is_null() || v.as_f64().is_some() => {}
+                    _ => return Err(format!("{ctx}: missing `fused_rs_gibs`")),
+                }
+                // The optimizer must never make a schedule worse: its
+                // candidate set includes the input schedule.
+                if opt_xors > naive_xors {
+                    return Err(format!(
+                        "{ctx}: optimizer increased XOR count ({naive_xors} -> {opt_xors})"
+                    ));
+                }
+                if opt_xors < naive_xors {
+                    improved += 1;
+                }
+                total_naive += naive_xors;
+                total_opt += opt_xors;
+                best_gibs = best_gibs.max(opt_gibs);
+            }
+            // PR 9 acceptance: the pass pipeline must strictly reduce the
+            // XOR count on at least three zoo families.
+            if improved < 3 {
+                return Err(format!(
+                    "xor_opt: only {improved} families improved (need >= 3)"
+                ));
+            }
+            let reduction = 100.0 * (1.0 - total_opt / total_naive.max(1.0));
+            Ok(TrajectoryRow {
+                kind,
+                headline: format!(
+                    "xor count -{reduction:.1}% over {} families, opt peak {best_gibs:.1} GiB/s",
+                    results.len()
+                ),
+                tail: format!("{improved}/{} families strictly improved", results.len()),
+            })
+        }
         other => Err(format!("unknown bench kind `{other}`")),
     }
 }
@@ -639,6 +692,35 @@ mod tests {
         let row = validate_artifact(&pr6).expect("service_bench row");
         assert!(row.headline.contains("21253"));
         assert!(validate_artifact(&parse(r#"{"bench": "mystery"}"#).expect("doc")).is_err());
+    }
+
+    #[test]
+    fn xor_opt_artifact_validates_and_gates() {
+        let good = r#"{"bench": "xor_opt", "pr": 9, "smoke": false, "results": [
+            {"family": "cauchy-rs(8,4)", "k": 8, "m": 4, "naive_xors": 900, "opt_xors": 600, "naive_gibs": 3.0, "opt_gibs": 4.1, "fused_rs_gibs": 9.0},
+            {"family": "raid6(10)", "k": 10, "m": 2, "naive_xors": 300, "opt_xors": 260, "naive_gibs": 5.0, "opt_gibs": 5.6, "fused_rs_gibs": 8.0},
+            {"family": "lrc(12,2,2)", "k": 12, "m": 4, "naive_xors": 700, "opt_xors": 540, "naive_gibs": 3.5, "opt_gibs": 4.0, "fused_rs_gibs": null},
+            {"family": "wide-cauchy(20,4)", "k": 20, "m": 4, "naive_xors": 2400, "opt_xors": 2400, "naive_gibs": 2.0, "opt_gibs": 2.0, "fused_rs_gibs": 7.0}
+        ]}"#;
+        let row = validate_artifact(&parse(good).expect("doc")).expect("xor_opt row");
+        assert_eq!(row.kind, "xor_opt");
+        assert!(row.headline.contains("xor count -"), "{}", row.headline);
+        assert!(row.tail.contains("3/4"), "{}", row.tail);
+
+        // An optimizer that *increases* the XOR count is schema-valid data
+        // but a broken pass pipeline: hard error.
+        let worse = good.replace("\"opt_xors\": 600", "\"opt_xors\": 901");
+        assert!(validate_artifact(&parse(&worse).expect("doc")).is_err());
+
+        // Fewer than three strictly-improved families fails the PR gate.
+        let flat = good
+            .replace("\"opt_xors\": 600", "\"opt_xors\": 900")
+            .replace("\"opt_xors\": 260", "\"opt_xors\": 300");
+        assert!(validate_artifact(&parse(&flat).expect("doc")).is_err());
+
+        // Missing per-family field is schema drift.
+        let drift = good.replace("\"naive_gibs\"", "\"naive_gibz\"");
+        assert!(validate_artifact(&parse(&drift).expect("doc")).is_err());
     }
 
     #[test]

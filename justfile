@@ -59,6 +59,12 @@ service-bench:
 workload-bench:
     cargo run --release -p dialga-bench --features fault-injection --bin workload_bench -- --json BENCH_PR7.json
 
+# XOR-schedule optimizer over the code zoo: naive vs optimized schedules
+# through the tiled executor, fused-RS reference for MDS families,
+# committed as BENCH_PR9.json
+xor-bench:
+    cargo run --release -p dialga-bench --bin xor_opt -- --json BENCH_PR9.json
+
 # Cross-PR latency/throughput trajectory over every committed
 # BENCH_PRn.json; exits non-zero on any schema drift
 trajectory:

@@ -23,6 +23,9 @@ RACE_SCHEDULES=64 cargo test -q -p dialga-race
 echo "== kernel_fusion smoke (fused/per-row bit-exactness gate) =="
 cargo run -q -p dialga-bench --bin kernel_fusion -- --smoke
 
+echo "== xor_opt smoke (schedule optimizer bit-exactness + monotonicity gate) =="
+cargo run -q -p dialga-bench --bin xor_opt -- --smoke
+
 echo "== chaos smoke (fixed-seed fault plans + stripe integrity) =="
 cargo test -q --test chaos --test integrity
 
