@@ -1,0 +1,245 @@
+//! Crash-recovery benchmark (PR 10): seeded power-fail sweeps over the
+//! journaled stripe store, timing `StripeStore::open` (commit-table
+//! walk plus boot scrub) after each crash and tallying how recovery
+//! resolved the in-flight stripe.
+//!
+//! Each trial formats a fresh persistence-domain image, commits a full
+//! set of stripes, corrupts one settled shard on a cadence (so the boot
+//! scrub's repair path is timed too), then power-fails an overwrite at
+//! one of its two persist boundaries (slot persist / commit persist).
+//! Recovery must land every stripe on exactly its pre- or post-image —
+//! a torn hybrid fails the run on the spot, and the emitted artifact
+//! (`"bench": "recovery"`) re-gates `torn_hybrid == 0` through the
+//! `trajectory` schema check.
+//!
+//! `--smoke` runs one small geometry; `--json <path>` writes
+//! `BENCH_PR10.json` (self-validated before the write).
+
+use dialga_memsim::PersistMem;
+use dialga_store::{Geometry, StoreError, StripeStore};
+use dialga_workload::json::parse;
+use dialga_workload::report::{recovery_json, validate_artifact, RecoveryRow};
+
+/// Deterministic data generator (splitmix64) — the bench carries no RNG
+/// dependency and every trial must be reproducible from its seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn stripe_data(state: &mut u64, k: usize, shard_len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|_| (0..shard_len).map(|_| splitmix(state) as u8).collect())
+        .collect()
+}
+
+fn refs(data: &[Vec<u8>]) -> Vec<&[u8]> {
+    data.iter().map(|d| d.as_slice()).collect()
+}
+
+struct GeomSpec {
+    k: usize,
+    m: usize,
+    stripes: usize,
+    shard_len: usize,
+    trials: u64,
+}
+
+/// Sweep one geometry: `trials` independent crash/recover cycles.
+/// Every third trial also corrupts one settled shard so the boot scrub's
+/// decode-and-repair path contributes to the recovery timing.
+fn run_geometry(spec: &GeomSpec) -> RecoveryRow {
+    let geo = Geometry::new(spec.k, spec.m, spec.shard_len, spec.stripes).expect("geometry");
+    let mut ns_samples: Vec<u64> = Vec::new();
+    let mut row = RecoveryRow {
+        k: spec.k,
+        m: spec.m,
+        stripes: spec.stripes,
+        shard_len: spec.shard_len,
+        crashes: spec.trials,
+        // One overwrite cycle = slot persist + commit persist.
+        boundaries: 2,
+        ..RecoveryRow::default()
+    };
+
+    for trial in 0..spec.trials {
+        let seed = 0xD1A1_6A00 ^ (trial.wrapping_mul(0x9E37_79B9));
+        let mem = PersistMem::with_seed(geo.image_len(), seed);
+        let mut store = StripeStore::format(mem, geo).expect("format");
+
+        let mut state = seed;
+        let old: Vec<Vec<Vec<u8>>> = (0..spec.stripes)
+            .map(|_| stripe_data(&mut state, spec.k, spec.shard_len))
+            .collect();
+        for (stripe, data) in old.iter().enumerate() {
+            store.write_stripe(stripe, &refs(data)).expect("seed write");
+        }
+
+        // Cadenced corruption of a settled stripe (never the overwrite
+        // target): flip one shard in place so recovery must re-derive it.
+        let corrupted = trial % 3 == 0 && spec.stripes > 1;
+        if corrupted {
+            let victim_shard = (trial as usize) % (spec.k + spec.m);
+            // First write of every stripe lands in slot 0.
+            let off = geo.shard_off(1, 0, victim_shard);
+            let garbage: Vec<u8> = (0..spec.shard_len)
+                .map(|_| splitmix(&mut state) as u8)
+                .collect();
+            store.image_mut().store(off, &garbage).expect("corrupt");
+            store
+                .image_mut()
+                .persist(off, spec.shard_len)
+                .expect("persist corruption");
+        }
+
+        // Power-fail the overwrite of stripe 0 at one of its two
+        // boundaries, alternating so both roll directions are timed.
+        let crash_at = trial % 2;
+        store.image_mut().arm_crash(crash_at);
+        let new = stripe_data(&mut state, spec.k, spec.shard_len);
+        match store.write_stripe(0, &refs(&new)) {
+            Err(StoreError::Crashed) => {}
+            other => panic!("armed write did not crash: {other:?}"),
+        }
+
+        // Reboot from the durable (possibly torn) image; `open` times its
+        // own recovery into the report.
+        let image = store.into_image().durable_image().to_vec();
+        let store = StripeStore::open(PersistMem::from_bytes(image, seed ^ 0xFACE)).expect("open");
+        let report = store.recovery_report();
+        ns_samples.push(report.recovery_ns);
+        row.stripes_rolled_back += report.rolled_back as u64;
+        row.stripes_rolled_forward += report.rolled_forward as u64;
+        row.shards_repaired += report.shards_repaired as u64;
+        assert!(
+            report.corrupt.is_empty(),
+            "({},{}) trial {trial}: scrub could not localize the damage",
+            spec.k,
+            spec.m
+        );
+
+        // The in-flight stripe must be exactly old or new; everything
+        // settled must be byte-identical (including the repaired victim).
+        match store.read_stripe(0) {
+            Ok(got) if got == old[0] || got == new => {}
+            Ok(_) => row.torn_hybrid += 1,
+            Err(e) => panic!("({},{}) trial {trial}: {e}", spec.k, spec.m),
+        }
+        for (stripe, data) in old.iter().enumerate().skip(1) {
+            assert_eq!(
+                &store.read_stripe(stripe).expect("settled stripe"),
+                data,
+                "({},{}) trial {trial}: settled stripe {stripe} changed",
+                spec.k,
+                spec.m
+            );
+        }
+        if corrupted {
+            assert!(
+                row.shards_repaired > 0,
+                "({},{}) trial {trial}: corrupted shard was not repaired",
+                spec.k,
+                spec.m
+            );
+        }
+    }
+
+    let total: u64 = ns_samples.iter().sum();
+    row.recovery_ns_mean = total as f64 / ns_samples.len().max(1) as f64;
+    row.recovery_ns_max = ns_samples.iter().copied().max().unwrap_or(0);
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let specs: Vec<GeomSpec> = if smoke {
+        vec![GeomSpec {
+            k: 4,
+            m: 2,
+            stripes: 4,
+            shard_len: 256,
+            trials: 6,
+        }]
+    } else {
+        vec![
+            GeomSpec {
+                k: 4,
+                m: 2,
+                stripes: 8,
+                shard_len: 256,
+                trials: 48,
+            },
+            GeomSpec {
+                k: 6,
+                m: 3,
+                stripes: 6,
+                shard_len: 256,
+                trials: 32,
+            },
+            GeomSpec {
+                k: 10,
+                m: 4,
+                stripes: 4,
+                shard_len: 512,
+                trials: 24,
+            },
+        ]
+    };
+
+    println!("recovery_bench: seeded power-fail sweeps over the journaled stripe store");
+    let rows: Vec<RecoveryRow> = specs.iter().map(run_geometry).collect();
+
+    println!();
+    println!(
+        "{:>3} {:>3} {:>8} {:>9} {:>8} {:>13} {:>12} {:>7} {:>8} {:>9} {:>7}",
+        "k",
+        "m",
+        "stripes",
+        "shard",
+        "crashes",
+        "mean_rec_us",
+        "max_rec_us",
+        "back",
+        "forward",
+        "repaired",
+        "hybrid"
+    );
+    for r in &rows {
+        println!(
+            "{:>3} {:>3} {:>8} {:>9} {:>8} {:>13.1} {:>12.1} {:>7} {:>8} {:>9} {:>7}",
+            r.k,
+            r.m,
+            r.stripes,
+            r.shard_len,
+            r.crashes,
+            r.recovery_ns_mean / 1_000.0,
+            r.recovery_ns_max as f64 / 1_000.0,
+            r.stripes_rolled_back,
+            r.stripes_rolled_forward,
+            r.shards_repaired,
+            r.torn_hybrid
+        );
+    }
+
+    // Self-validate the emission through the same gate `trajectory` runs,
+    // so a drifted artifact can never be written in the first place.
+    let artifact = recovery_json(10, smoke, &rows);
+    let doc = parse(&artifact).expect("own emission must parse");
+    let traj = validate_artifact(&doc).expect("own emission must validate");
+    println!("\n{} — {}", traj.headline, traj.tail);
+
+    if let Some(path) = json {
+        std::fs::write(&path, artifact).expect("write json artifact");
+        println!("wrote {path}");
+    }
+}

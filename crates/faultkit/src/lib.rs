@@ -84,6 +84,16 @@ pub enum Fault {
         /// Additional latency in nanoseconds.
         extra_ns: f64,
     },
+    /// Power fails at the `nth_persist`-th persist boundary (0-based,
+    /// counted per arm across every fence the instrumented persistence
+    /// domain issues). The boundary does *not* complete: lines flushed
+    /// but not yet fenced may tear (an arbitrary cacheline subset
+    /// persists, chosen by the domain's seeded RNG) and everything after
+    /// the crash observes a dead domain.
+    CrashPoint {
+        /// 0-based persist-boundary ordinal.
+        nth_persist: u64,
+    },
 }
 
 /// What a worker should do with the chunk it just dequeued.
@@ -231,6 +241,7 @@ struct Armed {
     sends_seen: u64,
     samples_seen: u64,
     reads_seen: u64,
+    persists_seen: u64,
     injected: u64,
 }
 
@@ -275,6 +286,7 @@ impl FaultCell {
             sends_seen: 0,
             samples_seen: 0,
             reads_seen: 0,
+            persists_seen: 0,
             injected: 0,
         });
         let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
@@ -398,6 +410,30 @@ impl FaultCell {
         }
         extra
     }
+
+    /// Hook: a persistence domain is about to complete a persist
+    /// boundary (flush + fence). `true` means power fails *at* this
+    /// boundary: the fence must not complete, and the domain should
+    /// freeze to its crash image.
+    pub fn on_persist(&self) -> bool {
+        if !self.armed() {
+            return false;
+        }
+        let mut guard = self.lock_armed();
+        let Some(armed) = guard.as_mut() else {
+            return false;
+        };
+        let nth = armed.persists_seen;
+        armed.persists_seen += 1;
+        let hit = armed
+            .faults
+            .iter()
+            .any(|f| matches!(*f, Fault::CrashPoint { nth_persist } if nth_persist == nth));
+        if hit {
+            armed.injected += 1;
+        }
+        hit
+    }
 }
 
 /// Flip one byte of a shard in place: XOR `mask` (coerced to `0x01` when
@@ -428,6 +464,7 @@ mod tests {
         assert!(!cell.on_send());
         assert_eq!(cell.on_sample(), None);
         assert_eq!(cell.on_media_read(), None);
+        assert!(!cell.on_persist());
         assert_eq!(cell.injected(), 0);
     }
 
@@ -486,6 +523,27 @@ mod tests {
         assert_eq!(cell.on_sample(), None);
         assert_eq!(cell.on_media_read(), Some(900.0));
         assert_eq!(cell.on_media_read(), None);
+    }
+
+    #[test]
+    fn crash_points_fire_at_exactly_the_scripted_boundary() {
+        let cell = FaultCell::new();
+        assert!(!cell.on_persist(), "disarmed cell never crashes");
+        cell.arm(
+            &FaultPlan::new().with(Fault::CrashPoint { nth_persist: 2 }),
+            1,
+        );
+        assert!(!cell.on_persist());
+        assert!(!cell.on_persist());
+        assert!(cell.on_persist(), "third boundary is ordinal 2");
+        assert!(!cell.on_persist(), "a crash point fires exactly once");
+        assert_eq!(cell.injected(), 1);
+        // Re-arming resets the boundary counter.
+        cell.arm(
+            &FaultPlan::new().with(Fault::CrashPoint { nth_persist: 0 }),
+            1,
+        );
+        assert!(cell.on_persist());
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub fn workspace_config() -> Config {
             // The workload harness is pure trace generation + replay over
             // the service/pool public APIs; nothing in it touches spans.
             "crates/workload/src/lib.rs",
+            // The journaled stripe store is pure byte-slice code over the
+            // PmImage trait; crash consistency comes from the protocol,
+            // never from raw memory tricks.
+            "crates/store/src/lib.rs",
             "crates/bench/src/lib.rs",
             "crates/lint/src/lib.rs",
             // The interleaving explorer is pure std: scheduler, shim
@@ -100,6 +104,7 @@ pub fn workspace_config() -> Config {
             "crates/pipeline/src/",
             "crates/faultkit/src/",
             "crates/service/src/",
+            "crates/store/src/",
         ]),
         // The declared-atomic registry (R3 knobs, R9 everything): each
         // entry is a field name plus the ordering protocol its role
@@ -130,6 +135,18 @@ pub fn workspace_config() -> Config {
                 // Acquire on the hook's armed check, swap on one-shot
                 // consume — a hand-off flag, not a policy knob.
                 flag("fault_word"),
+                // dialga-service's recovery gate: the recovery thread
+                // stores false (Release) only after publishing the opened
+                // store; submit/accessors load Acquire. Same shape as the
+                // stripe store's on-image commit word (below).
+                flag("recovering"),
+                // The stripe store's 8-byte commit record. It lives in
+                // the persistence domain, not a Rust atomic, so R9 never
+                // sees an op on it — declared so the role registry (and
+                // DESIGN.md's table) names every publication word in the
+                // workspace, and so the dialga-race model that mirrors it
+                // cites a declared role.
+                flag("commit_word"),
             ];
             // `PoolCounters` stats plus the round-robin dispatch cursor,
             // the `fetch_min` load-cost ratchet, faultkit's arm-generation
@@ -186,6 +203,7 @@ pub fn workspace_config() -> Config {
             "crates/memsim/src/",
             "crates/pipeline/src/",
             "crates/workload/src/",
+            "crates/store/src/",
         ]),
         // The R8 lock graph: every Mutex in the pool/service/fault paths,
         // named once, with the receivers and helper methods that acquire
@@ -226,6 +244,15 @@ pub fn workspace_config() -> Config {
                 name: "armed".to_string(),
                 receivers: s(&["armed"]),
                 helpers: s(&["lock_armed"]),
+            },
+            // The service's recovery hand-off slot: the recovery thread
+            // publishes the opened store under it before releasing the
+            // `recovering` flag; accessors take it only after observing
+            // the flag clear, so it never nests inside another lock.
+            LockDecl {
+                name: "recovered".to_string(),
+                receivers: s(&["recovered"]),
+                helpers: vec![],
             },
         ],
         lock_scope_prefixes: s(&[

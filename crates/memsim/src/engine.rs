@@ -9,6 +9,7 @@ use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::device::MemorySystem;
+use crate::persist::PersistDomain;
 use crate::prefetcher::StreamPrefetcher;
 use crate::CACHELINE;
 use std::cmp::Ordering;
@@ -137,6 +138,8 @@ pub struct Engine {
     counters: Counters,
     /// Scratch for prefetcher output.
     pf_lines: Vec<u64>,
+    /// Optional persistence-domain tracker (see [`PersistDomain`]).
+    persist: Option<PersistDomain>,
 }
 
 impl Engine {
@@ -153,12 +156,25 @@ impl Engine {
             cfg,
             counters: Counters::default(),
             pf_lines: Vec::with_capacity(16),
+            persist: None,
         }
     }
 
     /// The machine config.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Start tracking the persistence domain: NT-stored lines are pending
+    /// until a `fence` task completes, after which they are durable.
+    /// Costs nothing in simulated time — it observes, never prices.
+    pub fn enable_persist_tracking(&mut self) {
+        self.persist = Some(PersistDomain::new());
+    }
+
+    /// The persistence-domain tracker, if enabled.
+    pub fn persist_domain(&self) -> Option<&PersistDomain> {
+        self.persist.as_ref()
     }
 
     /// Live counters (read-only).
@@ -241,6 +257,9 @@ impl Engine {
         // Posted NT stores.
         for &addr in &task.stores {
             t += st_issue;
+            if let Some(dom) = self.persist.as_mut() {
+                dom.nt_store(addr / CACHELINE);
+            }
             let stall_until = self.mem.write_line(addr / CACHELINE, t, &mut self.counters);
             if stall_until > t {
                 self.counters.store_stall_ns += stall_until - t;
@@ -250,6 +269,9 @@ impl Engine {
 
         if task.fence {
             t = t.max(self.mem.drain_time());
+            if let Some(dom) = self.persist.as_mut() {
+                dom.fence();
+            }
         }
         t
     }
@@ -610,6 +632,42 @@ mod tests {
             "fence returned too early: {}",
             r.elapsed_ns
         );
+    }
+
+    #[test]
+    fn persist_tracking_splits_durable_from_pending() {
+        // Two rows of 8 NT stores; only the first fences. After the run,
+        // the first row's lines are durable, the second row's pending.
+        struct TwoRows {
+            row: u64,
+        }
+        impl TaskSource for TwoRows {
+            fn next_task(&mut self, _t: usize, _n: f64, _c: &Counters, task: &mut RowTask) -> bool {
+                if self.row >= 2 {
+                    return false;
+                }
+                for i in 0..8u64 {
+                    task.stores.push((self.row * 8 + i) * 64);
+                }
+                task.fence = self.row == 0;
+                self.row += 1;
+                true
+            }
+            fn data_bytes(&self) -> u64 {
+                0
+            }
+        }
+        let mut eng = Engine::new(MachineConfig::pm(), 1);
+        assert!(eng.persist_domain().is_none());
+        eng.enable_persist_tracking();
+        eng.run(&mut TwoRows { row: 0 });
+        let dom = eng.persist_domain().unwrap();
+        assert_eq!(dom.durable_lines(), 8);
+        assert_eq!(dom.pending_lines(), 8);
+        assert_eq!(dom.boundaries(), 1);
+        assert!(dom.is_durable(0) && !dom.is_durable(8 * 64));
+        let image = dom.crash_image(3);
+        assert!(image.len() >= 8 && image.len() <= 16);
     }
 
     #[test]

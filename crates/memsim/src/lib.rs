@@ -31,11 +31,13 @@ pub mod config;
 pub mod counters;
 pub mod device;
 pub mod engine;
+pub mod persist;
 pub mod prefetcher;
 
 pub use config::{CacheConfig, MachineConfig, MemKind, PmConfig, PrefetcherConfig};
 pub use counters::Counters;
 pub use engine::{Engine, RowTask, RunReport, TaskSource};
+pub use persist::{PersistDomain, PersistMem, PmError};
 
 /// Bytes per cacheline (CPU cache and memory-interface granularity).
 pub const CACHELINE: u64 = 64;

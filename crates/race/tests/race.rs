@@ -471,6 +471,109 @@ fn inverted_lock_order_deadlocks() {
 }
 
 // ---------------------------------------------------------------------------
+// Real model 5 (PR 10 tentpole): the stripe store's shadow-slot
+// commit-record protocol (store.rs `write_stripe` + `commit` vs
+// `recover`). The writer seals a shadow slot — payload first, then the
+// footer that binds it — and only then publishes the 8-byte commit
+// word; anything that trusts a commit word must find the named slot
+// fully sealed. In the shipped store the "reader" is post-crash
+// recovery, so the ordering is enforced by persist boundaries rather
+// than acquire/release — the model collapses both to the same
+// publication skeleton and proves the order is the load-bearing part.
+// The commit word carries the R9 `flag` role (single releasing writer,
+// acquiring readers), same as the service's `recovering` gate.
+// ---------------------------------------------------------------------------
+
+struct CommitProto {
+    /// Slot payloads (stand-ins for the shard bytes of each shadow slot).
+    payload: [AtomicU64; 2],
+    /// Slot footers: the seq whose hash seals the payload above.
+    footer: [AtomicU64; 2],
+    /// The 8-byte commit record: `(slot << 32) | seq`, zero = none.
+    commit_word: AtomicU64,
+}
+
+fn pack_commit(slot: u64, seq: u64) -> u64 {
+    (slot << 32) | seq
+}
+
+/// Two write cycles through alternating shadow slots, raced against a
+/// recovery-shaped observer. `commit_first` re-introduces the bug the
+/// protocol exists to exclude: publishing the commit word before the
+/// slot is sealed.
+fn commit_protocol_model(commit_first: bool) {
+    let p = Arc::new(CommitProto {
+        payload: [AtomicU64::new(0), AtomicU64::new(0)],
+        footer: [AtomicU64::new(0), AtomicU64::new(0)],
+        commit_word: AtomicU64::new(0),
+    });
+
+    let writer = {
+        let p = Arc::clone(&p);
+        spawn(move || {
+            for seq in 1u64..=2 {
+                // First write lands in slot 1's mirror image of the real
+                // store's A/B alternation; each slot is written once, so
+                // the observer's equality checks below are exact.
+                let slot = (seq % 2) as usize;
+                if commit_first {
+                    p.commit_word
+                        .store(pack_commit(slot as u64, seq), Ordering::Release);
+                    p.payload[slot].store(seq * 1000, Ordering::Relaxed);
+                    p.footer[slot].store(seq, Ordering::Relaxed);
+                } else {
+                    p.payload[slot].store(seq * 1000, Ordering::Relaxed);
+                    p.footer[slot].store(seq, Ordering::Relaxed);
+                    p.commit_word
+                        .store(pack_commit(slot as u64, seq), Ordering::Release);
+                }
+            }
+        })
+    };
+
+    // Recovery-shaped observer: every probe that trusts the commit word
+    // must find the named slot sealed — footer seq in place and the
+    // payload it binds intact.
+    for _ in 0..2 {
+        let word = p.commit_word.load(Ordering::Acquire);
+        let (slot, seq) = ((word >> 32) as usize, word & 0xFFFF_FFFF);
+        if seq == 0 {
+            continue;
+        }
+        let footer = p.footer[slot].load(Ordering::Acquire);
+        let payload = p.payload[slot].load(Ordering::Acquire);
+        assert_eq!(footer, seq, "commit word names an unsealed slot");
+        assert_eq!(payload, seq * 1000, "committed slot payload torn");
+    }
+    writer.join().expect("writer exits cleanly");
+}
+
+#[test]
+fn commit_record_protocol_clean() {
+    Explorer::pct(0xD1A7_0005, budget())
+        .run(|| commit_protocol_model(false))
+        .assert_clean();
+}
+
+/// The ordering bug the commit record excludes: commit word published
+/// before the slot it names is sealed. Some interleaving has the
+/// observer trust the word and read a stale slot — the explorer must
+/// find it.
+#[test]
+fn bug_model_commit_before_seal_is_caught() {
+    let report = Explorer::pct(0xBAD_0005, 500).run(|| commit_protocol_model(true));
+    let v = report
+        .violation
+        .expect("explorer must catch the early commit");
+    assert_eq!(v.kind, ViolationKind::Panic);
+    assert!(
+        v.message.contains("unsealed") || v.message.contains("torn"),
+        "{}",
+        v.message
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Harness self-checks at the integration level.
 // ---------------------------------------------------------------------------
 

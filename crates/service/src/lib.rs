@@ -46,10 +46,11 @@ use dialga::encoder::Dialga;
 use dialga::pool::{EncodePool, PoolStats};
 use dialga_ec::EcError;
 use dialga_memsim::MachineConfig;
+use dialga_store::{PmImage, RecoveryReport, StoreError, StripeStore};
 use shard::{OpPayload, Pending, Shard};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -118,6 +119,10 @@ pub enum ServiceError {
         /// How long the request had been queued when it was dropped.
         waited: Duration,
     },
+    /// The service is still recovering its stripe store after a crash;
+    /// retry once [`StripeService::wait_recovered`] reports ready. Pure
+    /// backpressure — recovery never blocks a submitting client.
+    Recovering,
     /// The coding layer rejected or failed the request.
     Coding(EcError),
     /// The service shut down before the request completed.
@@ -132,6 +137,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Expired { waited } => {
                 write!(f, "request expired after {} µs queued", waited.as_micros())
+            }
+            ServiceError::Recovering => {
+                write!(f, "service is recovering its stripe store; retry shortly")
             }
             ServiceError::Coding(e) => write!(f, "coding error: {e}"),
             ServiceError::Disconnected => write!(f, "service shut down"),
@@ -351,6 +359,10 @@ pub struct ServiceStats {
     pub classes: Vec<OpClassStats>,
 }
 
+/// A [`StripeStore`] over any boxed backing image — what
+/// [`StripeService::with_store`] recovers and owns.
+pub type BoxedStore = StripeStore<Box<dyn PmImage + Send>>;
+
 /// The sharded stripe-service front end. See the crate docs for the
 /// architecture; construct with [`StripeService::new`], submit with
 /// [`StripeService::submit_encode`] /
@@ -361,6 +373,15 @@ pub struct StripeService {
     masters: Vec<JoinHandle<()>>,
     seq: AtomicU64,
     counters: Arc<ServiceCounters>,
+    /// True while the construction-time store recovery is still running.
+    /// Store-`Release` by the recovery thread after the result is
+    /// published, load-`Acquire` on the submit path (knob-word protocol,
+    /// lint R9): a submitter that observes `false` also observes the
+    /// recovered store behind `recovered`.
+    recovering: Arc<AtomicBool>,
+    /// The recovered store (or the recovery failure), published by the
+    /// recovery thread before it clears `recovering`.
+    recovered: Arc<Mutex<Option<Result<BoxedStore, StoreError>>>>,
 }
 
 impl StripeService {
@@ -418,7 +439,109 @@ impl StripeService {
             masters,
             seq: AtomicU64::new(0),
             counters,
+            recovering: Arc::new(AtomicBool::new(false)),
+            recovered: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// Build the service *over a dirty stripe store*: the shards come up
+    /// immediately, a dedicated thread runs [`StripeStore::open`]
+    /// (rollback/forward + boot scrub) on `image`, and until it finishes
+    /// every submission is refused with [`ServiceError::Recovering`] —
+    /// backpressure, never blocking. Poll with
+    /// [`wait_recovered`](Self::wait_recovered); inspect the outcome with
+    /// [`recovery_report`](Self::recovery_report) and reach the store
+    /// through [`with_store_mut`](Self::with_store_mut).
+    pub fn with_store(
+        cfg: ServiceConfig,
+        image: Box<dyn PmImage + Send>,
+    ) -> Result<StripeService, EcError> {
+        let mut svc = StripeService::new(cfg)?;
+        svc.recovering.store(true, Ordering::Release);
+        let recovering = Arc::clone(&svc.recovering);
+        let recovered = Arc::clone(&svc.recovered);
+        let handle = std::thread::Builder::new()
+            .name("dialga-svc-recover".to_string())
+            .spawn(move || {
+                let result = StripeStore::open(image);
+                *recovered.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                // Release-publish *after* the store is visible behind the
+                // mutex: a submitter seeing `false` finds it there.
+                recovering.store(false, Ordering::Release);
+            })
+            // Mirrors the shard-master spawn below: no thread, no service.
+            // lint:allow(panic-path): unrecoverable at service build
+            .expect("spawn recovery thread");
+        svc.masters.push(handle);
+        Ok(svc)
+    }
+
+    /// True while construction-time store recovery is still running.
+    pub fn recovering(&self) -> bool {
+        self.recovering.load(Ordering::Acquire)
+    }
+
+    /// Poll until recovery finishes or `timeout` elapses; returns `true`
+    /// once the service is out of the recovering state. A plain
+    /// [`StripeService::new`] service is never recovering.
+    pub fn wait_recovered(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.recovering() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// What recovery found and did — `None` while still recovering, if
+    /// the service has no store, or if recovery failed (see
+    /// [`recovery_error`](Self::recovery_error)).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        if self.recovering() {
+            return None;
+        }
+        let guard = self
+            .recovered
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(Ok(store)) => Some(store.recovery_report().clone()),
+            _ => None,
+        }
+    }
+
+    /// The recovery failure, rendered — `None` while recovering, when
+    /// there is no store, or when recovery succeeded.
+    pub fn recovery_error(&self) -> Option<String> {
+        if self.recovering() {
+            return None;
+        }
+        let guard = self
+            .recovered
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(Err(e)) => Some(e.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Run `f` over the recovered store. `None` while recovering, when
+    /// the service has no store, or when recovery failed.
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut BoxedStore) -> R) -> Option<R> {
+        if self.recovering() {
+            return None;
+        }
+        let mut guard = self
+            .recovered
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(Ok(store)) => Some(f(store)),
+            _ => None,
+        }
     }
 
     /// Number of shards.
@@ -514,6 +637,9 @@ impl StripeService {
         op: OpPayload,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServiceError> {
+        if self.recovering.load(Ordering::Acquire) {
+            return Err(ServiceError::Recovering);
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let (shard_idx, spilled) = self.pick_shard(tenant, seq);
         let (tx, rx) = mpsc::channel();
@@ -783,6 +909,89 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok(), "resume drains the queue");
         }
+    }
+
+    /// A backing image whose every read pays a delay: makes the recovery
+    /// window wide enough to observe deterministically.
+    struct SlowImage {
+        inner: dialga_store::MemImage,
+        delay: Duration,
+    }
+
+    impl PmImage for SlowImage {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), dialga_store::StoreError> {
+            std::thread::sleep(self.delay);
+            self.inner.read(offset, out)
+        }
+        fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), dialga_store::StoreError> {
+            self.inner.store(offset, bytes)
+        }
+        fn persist(&mut self, offset: u64, len: usize) -> Result<(), dialga_store::StoreError> {
+            self.inner.persist(offset, len)
+        }
+    }
+
+    #[test]
+    fn recovery_phase_backpressures_then_serves() {
+        use dialga_store::{Geometry, MemImage, StripeStore};
+        // A store with a few committed stripes…
+        let geo = Geometry::new(4, 2, 256, 8).unwrap();
+        let mut store = StripeStore::format(MemImage::new(geo.image_len()), geo).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 256]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        for stripe in 0..8 {
+            store.write_stripe(stripe, &refs).unwrap();
+        }
+        // …reopened behind a slow image so recovery visibly takes time.
+        let slow = SlowImage {
+            inner: store.into_image(),
+            delay: Duration::from_micros(300),
+        };
+        let svc = StripeService::with_store(small_cfg(), Box::new(slow)).unwrap();
+        assert!(svc.recovering());
+        assert!(matches!(
+            svc.submit_encode(1, make_stripe(4, 256, 0), None),
+            Err(ServiceError::Recovering)
+        ));
+        assert!(svc.recovery_report().is_none());
+        assert!(svc.with_store_mut(|_| ()).is_none());
+
+        assert!(svc.wait_recovered(Duration::from_secs(30)));
+        let report = svc.recovery_report().unwrap();
+        assert_eq!(report.committed, 8);
+        assert!(report.corrupt.is_empty());
+        assert!(svc.recovery_error().is_none());
+        let read = svc.with_store_mut(|s| s.read_stripe(3).unwrap()).unwrap();
+        assert_eq!(read, data);
+        // And admission is open again.
+        let ticket = svc.submit_encode(1, make_stripe(4, 256, 1), None).unwrap();
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn failed_recovery_surfaces_the_error_and_reopens_admission() {
+        use dialga_store::MemImage;
+        // Garbage image: no superblock.
+        let svc = StripeService::with_store(small_cfg(), Box::new(MemImage::new(1 << 16))).unwrap();
+        assert!(svc.wait_recovered(Duration::from_secs(30)));
+        assert!(svc.recovery_report().is_none());
+        let err = svc.recovery_error().unwrap();
+        assert!(err.contains("superblock"), "unexpected error: {err}");
+        // The coding planes still serve: no store, but no deadlock.
+        let ticket = svc.submit_encode(1, make_stripe(4, 256, 2), None).unwrap();
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn plain_service_is_never_recovering() {
+        let svc = StripeService::new(small_cfg()).unwrap();
+        assert!(!svc.recovering());
+        assert!(svc.wait_recovered(Duration::from_millis(1)));
+        assert!(svc.recovery_report().is_none());
+        assert!(svc.recovery_error().is_none());
     }
 
     #[test]

@@ -1,0 +1,940 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Journaled stripe store: crash-consistent erasure-coded stripes over a
+//! persistence-domain image.
+//!
+//! The paper's stack prices persistence but (before this crate) never
+//! *survived* it: nothing guaranteed a stripe is readable after power
+//! fails mid-write. This crate closes that gap with a shadow-write +
+//! atomic-commit-record protocol layered over any [`PmImage`] backing —
+//! [`PersistMem`](dialga_memsim::PersistMem) for crash-injected tests,
+//! [`MemImage`]/[`FileImage`] for the archive CLI.
+//!
+//! # On-image layout
+//!
+//! ```text
+//! [ superblock: 1 XPLine ]
+//! [ commit table: one 8 B word per stripe, padded to an XPLine ]
+//! [ stripe 0 slot A | stripe 0 slot B ]    each slot:
+//! [ stripe 1 slot A | stripe 1 slot B ]      (k+m) shards of shard_len
+//! ...                                        + one cacheline footer
+//! ```
+//!
+//! # Commit protocol
+//!
+//! Every stripe write goes to the *inactive* slot (A/B shadow pair):
+//!
+//! 1. store the `k+m` shard payloads and the slot footer (magic, stripe,
+//!    sequence, FNV-1a payload hash, checksum), then **persist** the slot
+//!    — persist boundary #1;
+//! 2. store the stripe's 8-byte commit word — sequence + slot bit,
+//!    checksummed and mixed with the stripe index — then **persist** it —
+//!    persist boundary #2.
+//!
+//! The commit word lives inside one cacheline and is 8-byte aligned, so
+//! under the persistence domain's 64 B tearing granularity it persists
+//! atomically: a crash anywhere leaves either the old word or the new
+//! word, never a blend. [`StripeStore::open`] derives the recovery
+//! decision purely from durable state:
+//!
+//! * inactive slot carries a valid footer with `seq = committed + 1` and
+//!   a matching payload hash → the crash hit *after* the slot persisted
+//!   but before (or during) the commit persisted: **roll forward**;
+//! * footer claims `seq = committed + 1` but the payload hash mismatches
+//!   → the slot write itself tore: **roll back** (the committed slot is
+//!   untouched by construction);
+//! * anything else → the stripe is wherever its commit word says.
+//!
+//! After rollback/forward, a **boot scrub** re-verifies every committed
+//! stripe with [`Dialga::scrub`], re-derives localizable corrupt shards
+//! through the decode path, and quarantines what cannot be localized.
+
+use dialga::Dialga;
+use dialga_ec::EcError;
+use dialga_memsim::{PersistMem, PmError, CACHELINE, XPLINE};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::time::Instant;
+
+/// Superblock magic: `b"DIALGAST"`.
+const SB_MAGIC: u64 = u64::from_le_bytes(*b"DIALGAST");
+/// Slot-footer magic: `b"DLGASLOT"`.
+const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"DLGASLOT");
+/// Commit-word domain separator mixed into the checksum.
+const COMMIT_MAGIC: u64 = 0xD1A1_6A5A_C0DE_C0DE;
+/// Layout version.
+const VERSION: u64 = 1;
+
+/// splitmix64 finalizer: the store's checksum mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte slice, continued from `h` (seed with
+/// [`FNV_OFFSET`]).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn le64(bytes: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(w)
+}
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backing persistence domain has power-failed; reopen from its
+    /// durable image.
+    Crashed,
+    /// Access outside the backing image.
+    OutOfRange {
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Image length.
+        image_len: usize,
+    },
+    /// Backing-file I/O failure.
+    Io(io::Error),
+    /// The superblock is absent, corrupt, or from a different layout.
+    BadSuperblock {
+        /// What failed to validate.
+        why: &'static str,
+    },
+    /// Rejected geometry (zero stripes, unaligned shard length, image
+    /// too small, …).
+    BadGeometry {
+        /// What was wrong.
+        why: &'static str,
+    },
+    /// Stripe index beyond the formatted stripe count.
+    NoSuchStripe {
+        /// Requested stripe.
+        stripe: usize,
+        /// Formatted stripe count.
+        stripes: usize,
+    },
+    /// The stripe has never been committed.
+    Unallocated {
+        /// Requested stripe.
+        stripe: usize,
+    },
+    /// The boot scrub could not localize this stripe's corruption; it is
+    /// quarantined until rewritten.
+    Quarantined {
+        /// The corrupt stripe.
+        stripe: usize,
+    },
+    /// Erasure-coding failure.
+    Coding(EcError),
+    /// Caller-supplied stripe data has the wrong shape.
+    BadStripeData {
+        /// What was wrong.
+        why: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Crashed => write!(f, "backing persistence domain has crashed"),
+            StoreError::OutOfRange {
+                offset,
+                len,
+                image_len,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside image of {image_len} bytes"
+            ),
+            StoreError::Io(e) => write!(f, "backing file i/o: {e}"),
+            StoreError::BadSuperblock { why } => write!(f, "bad superblock: {why}"),
+            StoreError::BadGeometry { why } => write!(f, "bad geometry: {why}"),
+            StoreError::NoSuchStripe { stripe, stripes } => {
+                write!(f, "stripe {stripe} out of range (store has {stripes})")
+            }
+            StoreError::Unallocated { stripe } => {
+                write!(f, "stripe {stripe} has never been committed")
+            }
+            StoreError::Quarantined { stripe } => write!(
+                f,
+                "stripe {stripe} is quarantined (unlocalizable corruption found at boot)"
+            ),
+            StoreError::Coding(e) => write!(f, "erasure coding: {e}"),
+            StoreError::BadStripeData { why } => write!(f, "bad stripe data: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<PmError> for StoreError {
+    fn from(e: PmError) -> Self {
+        match e {
+            PmError::Crashed => StoreError::Crashed,
+            PmError::OutOfRange {
+                offset,
+                len,
+                image_len,
+            } => StoreError::OutOfRange {
+                offset,
+                len,
+                image_len,
+            },
+        }
+    }
+}
+
+impl From<EcError> for StoreError {
+    fn from(e: EcError) -> Self {
+        StoreError::Coding(e)
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A byte-addressed persistent backing image.
+///
+/// `persist` must make `[offset, offset+len)` durable and constitutes
+/// one persist boundary; a crash strictly before a `persist` returns may
+/// leave any 64 B-cacheline-granular subset of the range durable.
+pub trait PmImage {
+    /// Image length in bytes.
+    fn len(&self) -> usize;
+    /// True for a zero-length image.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Read `out.len()` bytes at `offset`.
+    fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), StoreError>;
+    /// Store bytes at `offset` (not yet durable).
+    fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Flush + fence the range: one persist boundary.
+    fn persist(&mut self, offset: u64, len: usize) -> Result<(), StoreError>;
+}
+
+impl<T: PmImage + ?Sized> PmImage for Box<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read(offset, out)
+    }
+    fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).store(offset, bytes)
+    }
+    fn persist(&mut self, offset: u64, len: usize) -> Result<(), StoreError> {
+        (**self).persist(offset, len)
+    }
+}
+
+impl PmImage for PersistMem {
+    fn len(&self) -> usize {
+        PersistMem::len(self)
+    }
+    fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        Ok(PersistMem::read(self, offset, out)?)
+    }
+    fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        Ok(PersistMem::store(self, offset, bytes)?)
+    }
+    fn persist(&mut self, offset: u64, len: usize) -> Result<(), StoreError> {
+        Ok(PersistMem::persist(self, offset, len)?)
+    }
+}
+
+/// A plain in-memory image: every store is instantly "durable". The
+/// zero-fault backing for unit tests and in-process archives.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    bytes: Vec<u8>,
+}
+
+impl MemImage {
+    /// A zero-filled image.
+    pub fn new(len: usize) -> Self {
+        MemImage {
+            bytes: vec![0; len],
+        }
+    }
+
+    /// Wrap existing bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemImage { bytes }
+    }
+
+    /// The raw bytes (e.g. to corrupt in integrity tests).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Unwrap into the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl PmImage for MemImage {
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+    fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        let (start, end) = range_of(offset, out.len(), self.bytes.len())?;
+        out.copy_from_slice(&self.bytes[start..end]);
+        Ok(())
+    }
+    fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let (start, end) = range_of(offset, bytes.len(), self.bytes.len())?;
+        self.bytes[start..end].copy_from_slice(bytes);
+        Ok(())
+    }
+    fn persist(&mut self, _offset: u64, _len: usize) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+fn range_of(offset: u64, len: usize, image_len: usize) -> Result<(usize, usize), StoreError> {
+    match offset.checked_add(len as u64) {
+        Some(end) if end <= image_len as u64 => Ok((offset as usize, offset as usize + len)),
+        _ => Err(StoreError::OutOfRange {
+            offset,
+            len,
+            image_len,
+        }),
+    }
+}
+
+/// A file-backed image for the archive CLI: `persist` is `sync_data`.
+#[derive(Debug)]
+pub struct FileImage {
+    file: File,
+    len: usize,
+}
+
+impl FileImage {
+    /// Create (truncating) a zero-filled file image of `len` bytes.
+    pub fn create(path: &std::path::Path, len: usize) -> Result<Self, StoreError> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        Ok(FileImage { file, len })
+    }
+
+    /// Open an existing file image.
+    pub fn open(path: &std::path::Path) -> Result<Self, StoreError> {
+        let file = File::options().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        Ok(FileImage { file, len })
+    }
+}
+
+impl PmImage for FileImage {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn read(&self, offset: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        range_of(offset, out.len(), self.len)?;
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(out, offset)?;
+        Ok(())
+    }
+    fn store(&mut self, offset: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        range_of(offset, bytes.len(), self.len)?;
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(bytes, offset)?;
+        Ok(())
+    }
+    fn persist(&mut self, _offset: u64, _len: usize) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Stripe-store layout parameters and offset arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Data shards per stripe.
+    pub k: usize,
+    /// Parity shards per stripe.
+    pub m: usize,
+    /// Bytes per shard (a multiple of 64).
+    pub shard_len: usize,
+    /// Stripes in the store.
+    pub stripes: usize,
+}
+
+impl Geometry {
+    /// Validate and build a geometry.
+    pub fn new(k: usize, m: usize, shard_len: usize, stripes: usize) -> Result<Self, StoreError> {
+        if shard_len == 0 || !(shard_len as u64).is_multiple_of(CACHELINE) {
+            return Err(StoreError::BadGeometry {
+                why: "shard_len must be a positive multiple of the 64 B cacheline",
+            });
+        }
+        if stripes == 0 {
+            return Err(StoreError::BadGeometry {
+                why: "at least one stripe",
+            });
+        }
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(StoreError::BadGeometry {
+                why: "code geometry outside GF(2^8) bounds",
+            });
+        }
+        let geo = Geometry {
+            k,
+            m,
+            shard_len,
+            stripes,
+        };
+        if geo.checked_image_len().is_none() {
+            return Err(StoreError::BadGeometry {
+                why: "layout overflows the address space",
+            });
+        }
+        Ok(geo)
+    }
+
+    fn checked_image_len(&self) -> Option<u64> {
+        let table = (self.stripes as u64).checked_mul(8)?;
+        let table = table.checked_next_multiple_of(XPLINE)?;
+        let slot = self.slot_len().checked_mul(2)?;
+        let slots = slot.checked_mul(self.stripes as u64)?;
+        XPLINE.checked_add(table)?.checked_add(slots)
+    }
+
+    /// One slot: `k+m` shards plus the footer cacheline.
+    pub fn slot_len(&self) -> u64 {
+        ((self.k + self.m) * self.shard_len) as u64 + CACHELINE
+    }
+
+    /// Byte offset of the stripe's 8-byte commit word.
+    pub fn commit_word_off(&self, stripe: usize) -> u64 {
+        XPLINE + stripe as u64 * 8
+    }
+
+    fn slots_off(&self) -> u64 {
+        XPLINE + (self.stripes as u64 * 8).next_multiple_of(XPLINE)
+    }
+
+    /// Byte offset of a stripe's slot (`slot` is 0 = A, 1 = B).
+    pub fn slot_off(&self, stripe: usize, slot: u8) -> u64 {
+        self.slots_off() + stripe as u64 * 2 * self.slot_len() + slot as u64 * self.slot_len()
+    }
+
+    /// Byte offset of one shard inside a slot.
+    pub fn shard_off(&self, stripe: usize, slot: u8, shard: usize) -> u64 {
+        self.slot_off(stripe, slot) + (shard * self.shard_len) as u64
+    }
+
+    /// Byte offset of a slot's footer cacheline.
+    pub fn footer_off(&self, stripe: usize, slot: u8) -> u64 {
+        self.slot_off(stripe, slot) + ((self.k + self.m) * self.shard_len) as u64
+    }
+
+    /// Total image bytes this geometry needs.
+    pub fn image_len(&self) -> usize {
+        // Validated non-overflowing in `new`.
+        self.slots_off() as usize + self.stripes * 2 * self.slot_len() as usize
+    }
+}
+
+/// Pack a commit word: 31-bit sequence + slot bit, checksummed against
+/// the stripe index. An all-zero word means "never committed", so
+/// sequences start at 1.
+fn pack_commit(stripe: usize, seq: u32, slot: u8) -> u64 {
+    let payload = (seq as u64 & 0x7FFF_FFFF) | ((slot as u64) << 31);
+    let check = mix64(payload ^ ((stripe as u64) << 32) ^ COMMIT_MAGIC) >> 32;
+    payload | (check << 32)
+}
+
+/// Decode a commit word; `None` when absent or failing its checksum.
+fn unpack_commit(stripe: usize, word: u64) -> Option<(u32, u8)> {
+    if word == 0 {
+        return None;
+    }
+    let payload = word & 0xFFFF_FFFF;
+    let check = mix64(payload ^ ((stripe as u64) << 32) ^ COMMIT_MAGIC) >> 32;
+    if word >> 32 != check {
+        return None;
+    }
+    let seq = (payload & 0x7FFF_FFFF) as u32;
+    if seq == 0 {
+        return None;
+    }
+    Some((seq, ((payload >> 31) & 1) as u8))
+}
+
+/// Slot footer: the durable claim "this slot holds sequence `seq` of
+/// stripe `stripe`, and its payload hashes to `payload_hash`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Footer {
+    stripe: u64,
+    seq: u32,
+    payload_hash: u64,
+}
+
+impl Footer {
+    fn encode(&self) -> [u8; CACHELINE as usize] {
+        let mut out = [0u8; CACHELINE as usize];
+        let words = [
+            FOOTER_MAGIC,
+            self.stripe,
+            self.seq as u64,
+            self.payload_hash,
+        ];
+        let mut check = FOOTER_MAGIC;
+        for (i, w) in words.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+            check = mix64(check ^ w.rotate_left(i as u32));
+        }
+        out[32..40].copy_from_slice(&check.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Footer> {
+        if bytes.len() < 40 || le64(bytes) != FOOTER_MAGIC {
+            return None;
+        }
+        let mut check = FOOTER_MAGIC;
+        for i in 0..4 {
+            check = mix64(check ^ le64(&bytes[i * 8..]).rotate_left(i as u32));
+        }
+        if le64(&bytes[32..]) != check {
+            return None;
+        }
+        let seq = le64(&bytes[16..]);
+        if seq == 0 || seq > 0x7FFF_FFFF {
+            return None;
+        }
+        Some(Footer {
+            stripe: le64(&bytes[8..]),
+            seq: seq as u32,
+            payload_hash: le64(&bytes[24..]),
+        })
+    }
+}
+
+/// What [`StripeStore::open`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Wall-clock nanoseconds recovery took (commit-table walk + scrub).
+    pub recovery_ns: u64,
+    /// Stripes in the store.
+    pub stripes: usize,
+    /// Stripes with a committed version after recovery.
+    pub committed: usize,
+    /// Interrupted writes rolled back (torn shadow slot discarded).
+    pub rolled_back: usize,
+    /// Interrupted writes rolled forward (slot durable, commit re-issued).
+    pub rolled_forward: usize,
+    /// Shards re-derived by the boot scrub, summed over stripes.
+    pub shards_repaired: usize,
+    /// Per-stripe repaired shard sets: `(stripe, shard indices)`.
+    pub repaired: Vec<(usize, Vec<usize>)>,
+    /// Per-stripe unlocalizable corruption evidence: `(stripe, shards)`.
+    pub corrupt: Vec<(usize, Vec<usize>)>,
+}
+
+/// A crash-consistent erasure-coded stripe store over a [`PmImage`].
+///
+/// See the module docs for the layout and commit protocol. All writes go
+/// through [`write_stripe`](Self::write_stripe) (exactly two persist
+/// boundaries); [`open`](Self::open) recovers a dirty image and scrubs
+/// every committed stripe before serving reads.
+pub struct StripeStore<I> {
+    image: I,
+    geo: Geometry,
+    coder: Dialga,
+    /// Committed sequence per stripe (0 = never committed).
+    committed: Vec<u32>,
+    /// Slot holding the committed version (meaningful when `committed>0`).
+    active: Vec<u8>,
+    /// Stripes quarantined by the boot scrub.
+    quarantined: BTreeSet<usize>,
+    report: RecoveryReport,
+}
+
+impl<I: PmImage> StripeStore<I> {
+    /// Format a fresh store: writes the superblock and an all-zero commit
+    /// table, then persists the metadata region (one persist boundary).
+    pub fn format(mut image: I, geo: Geometry) -> Result<Self, StoreError> {
+        let need = geo.image_len();
+        if image.len() < need {
+            return Err(StoreError::BadGeometry {
+                why: "backing image smaller than the geometry needs",
+            });
+        }
+        let coder = Dialga::new(geo.k, geo.m)?;
+        let mut sb = vec![0u8; XPLINE as usize];
+        let words = [
+            SB_MAGIC,
+            VERSION,
+            geo.k as u64,
+            geo.m as u64,
+            geo.shard_len as u64,
+            geo.stripes as u64,
+        ];
+        let mut check = SB_MAGIC;
+        for (i, w) in words.iter().enumerate() {
+            sb[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+            check = mix64(check ^ w.rotate_left(i as u32));
+        }
+        sb[48..56].copy_from_slice(&check.to_le_bytes());
+        image.store(0, &sb)?;
+        let table_len = geo.slots_off() - XPLINE;
+        image.store(XPLINE, &vec![0u8; table_len as usize])?;
+        image.persist(0, geo.slots_off() as usize)?;
+        Ok(StripeStore {
+            image,
+            coder,
+            committed: vec![0; geo.stripes],
+            active: vec![0; geo.stripes],
+            quarantined: BTreeSet::new(),
+            report: RecoveryReport {
+                stripes: geo.stripes,
+                ..RecoveryReport::default()
+            },
+            geo,
+        })
+    }
+
+    /// Open (and recover) an existing store from its durable image:
+    /// validate the superblock, roll every interrupted write forward or
+    /// back, then boot-scrub all committed stripes.
+    pub fn open(image: I) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let geo = Self::read_superblock(&image)?;
+        if image.len() < geo.image_len() {
+            return Err(StoreError::BadSuperblock {
+                why: "image truncated below its declared geometry",
+            });
+        }
+        let coder = Dialga::new(geo.k, geo.m)?;
+        let mut store = StripeStore {
+            image,
+            coder,
+            committed: vec![0; geo.stripes],
+            active: vec![0; geo.stripes],
+            quarantined: BTreeSet::new(),
+            report: RecoveryReport {
+                stripes: geo.stripes,
+                ..RecoveryReport::default()
+            },
+            geo,
+        };
+        store.recover()?;
+        store.boot_scrub()?;
+        store.report.committed = store.committed.iter().filter(|&&s| s > 0).count();
+        store.report.recovery_ns = start.elapsed().as_nanos() as u64;
+        Ok(store)
+    }
+
+    fn read_superblock(image: &I) -> Result<Geometry, StoreError> {
+        if image.len() < XPLINE as usize {
+            return Err(StoreError::BadSuperblock {
+                why: "image smaller than one superblock",
+            });
+        }
+        let mut sb = vec![0u8; XPLINE as usize];
+        image.read(0, &mut sb)?;
+        if le64(&sb) != SB_MAGIC {
+            return Err(StoreError::BadSuperblock { why: "bad magic" });
+        }
+        let mut check = SB_MAGIC;
+        for i in 0..6 {
+            check = mix64(check ^ le64(&sb[i * 8..]).rotate_left(i as u32));
+        }
+        if le64(&sb[48..]) != check {
+            return Err(StoreError::BadSuperblock {
+                why: "checksum mismatch",
+            });
+        }
+        if le64(&sb[8..]) != VERSION {
+            return Err(StoreError::BadSuperblock {
+                why: "unknown layout version",
+            });
+        }
+        Geometry::new(
+            le64(&sb[16..]) as usize,
+            le64(&sb[24..]) as usize,
+            le64(&sb[32..]) as usize,
+            le64(&sb[40..]) as usize,
+        )
+    }
+
+    /// Walk the commit table, resolving each stripe per the recovery
+    /// state machine in the module docs.
+    fn recover(&mut self) -> Result<(), StoreError> {
+        for stripe in 0..self.geo.stripes {
+            let mut word_bytes = [0u8; 8];
+            self.image
+                .read(self.geo.commit_word_off(stripe), &mut word_bytes)?;
+            let committed = unpack_commit(stripe, u64::from_le_bytes(word_bytes));
+
+            match committed {
+                Some((seq, slot)) => {
+                    self.committed[stripe] = seq;
+                    self.active[stripe] = slot;
+                    // Did an interrupted successor write leave a durable
+                    // shadow slot?
+                    let shadow = 1 - slot;
+                    match self.read_footer(stripe, shadow)? {
+                        Some(f) if f.stripe == stripe as u64 && f.seq == seq.wrapping_add(1) => {
+                            if self.payload_hash(stripe, shadow)? == f.payload_hash {
+                                self.commit(stripe, f.seq, shadow)?;
+                                self.report.rolled_forward += 1;
+                            } else {
+                                // Torn shadow write: evidence of an
+                                // in-flight epoch that did not survive.
+                                self.report.rolled_back += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    // Never committed — unless a first write's slot
+                    // persisted and only its commit word was lost.
+                    let best = [0u8, 1]
+                        .into_iter()
+                        .filter_map(|s| match self.read_footer(stripe, s) {
+                            Ok(Some(f)) if f.stripe == stripe as u64 => Some((f, s)),
+                            _ => None,
+                        })
+                        .max_by_key(|(f, _)| f.seq);
+                    if let Some((f, slot)) = best {
+                        if self.payload_hash(stripe, slot)? == f.payload_hash {
+                            self.commit(stripe, f.seq, slot)?;
+                            self.report.rolled_forward += 1;
+                        } else {
+                            self.report.rolled_back += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify every committed stripe; re-derive localizable corruption
+    /// through the decode path, quarantine the rest.
+    fn boot_scrub(&mut self) -> Result<(), StoreError> {
+        for stripe in 0..self.geo.stripes {
+            if self.committed[stripe] == 0 {
+                continue;
+            }
+            let slot = self.active[stripe];
+            let shards = self.read_slot_shards(stripe, slot)?;
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            match self.coder.scrub(&refs) {
+                Ok(bad) if bad.is_empty() => {}
+                Ok(bad) => {
+                    // Localized: erase the bad shards and re-derive them.
+                    let mut opts: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+                    for &i in &bad {
+                        opts[i] = None;
+                    }
+                    self.coder.decode(&mut opts)?;
+                    for &i in &bad {
+                        let Some(fixed) = opts[i].as_deref() else {
+                            return Err(StoreError::Coding(EcError::Internal {
+                                what: "decode left a repaired shard absent",
+                            }));
+                        };
+                        self.image
+                            .store(self.geo.shard_off(stripe, slot, i), fixed)?;
+                    }
+                    // The footer's payload hash covers the *original*
+                    // payload, which the repair just restored bit-exact;
+                    // one persist makes the repair durable.
+                    self.image.persist(
+                        self.geo.slot_off(stripe, slot),
+                        self.geo.slot_len() as usize,
+                    )?;
+                    self.report.shards_repaired += bad.len();
+                    self.report.repaired.push((stripe, bad));
+                }
+                Err(EcError::Corrupt { shards }) => {
+                    self.quarantined.insert(stripe);
+                    self.report.corrupt.push((stripe, shards));
+                }
+                Err(e) => return Err(StoreError::Coding(e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn read_footer(&self, stripe: usize, slot: u8) -> Result<Option<Footer>, StoreError> {
+        let mut bytes = [0u8; CACHELINE as usize];
+        self.image
+            .read(self.geo.footer_off(stripe, slot), &mut bytes)?;
+        Ok(Footer::decode(&bytes))
+    }
+
+    /// FNV-1a over a slot's whole shard payload region.
+    fn payload_hash(&self, stripe: usize, slot: u8) -> Result<u64, StoreError> {
+        let mut h = FNV_OFFSET;
+        let mut buf = vec![0u8; self.geo.shard_len];
+        for shard in 0..self.geo.k + self.geo.m {
+            self.image
+                .read(self.geo.shard_off(stripe, slot, shard), &mut buf)?;
+            h = fnv1a(h, &buf);
+        }
+        Ok(h)
+    }
+
+    /// Write + persist a commit word and update the in-memory map.
+    fn commit(&mut self, stripe: usize, seq: u32, slot: u8) -> Result<(), StoreError> {
+        let word = pack_commit(stripe, seq, slot);
+        self.image
+            .store(self.geo.commit_word_off(stripe), &word.to_le_bytes())?;
+        self.image.persist(self.geo.commit_word_off(stripe), 8)?;
+        self.committed[stripe] = seq;
+        self.active[stripe] = slot;
+        Ok(())
+    }
+
+    /// Encode and durably commit one stripe of `k` data shards. Exactly
+    /// two persist boundaries: the shadow slot, then the commit word.
+    /// A crash anywhere leaves the previous version intact.
+    pub fn write_stripe(&mut self, stripe: usize, data: &[&[u8]]) -> Result<(), StoreError> {
+        let geo = self.geo;
+        if stripe >= geo.stripes {
+            return Err(StoreError::NoSuchStripe {
+                stripe,
+                stripes: geo.stripes,
+            });
+        }
+        if data.len() != geo.k {
+            return Err(StoreError::BadStripeData {
+                why: "need exactly k data shards",
+            });
+        }
+        if data.iter().any(|d| d.len() != geo.shard_len) {
+            return Err(StoreError::BadStripeData {
+                why: "every data shard must be shard_len bytes",
+            });
+        }
+        let parity = self.coder.encode_vec(data)?;
+        let seq = self.committed[stripe].wrapping_add(1);
+        let slot = if self.committed[stripe] == 0 {
+            0
+        } else {
+            1 - self.active[stripe]
+        };
+
+        let mut h = FNV_OFFSET;
+        for (i, shard) in data
+            .iter()
+            .copied()
+            .chain(parity.iter().map(|p| p.as_slice()))
+            .enumerate()
+        {
+            self.image.store(geo.shard_off(stripe, slot, i), shard)?;
+            h = fnv1a(h, shard);
+        }
+        let footer = Footer {
+            stripe: stripe as u64,
+            seq,
+            payload_hash: h,
+        };
+        self.image
+            .store(geo.footer_off(stripe, slot), &footer.encode())?;
+        self.image
+            .persist(geo.slot_off(stripe, slot), geo.slot_len() as usize)?;
+
+        self.commit(stripe, seq, slot)?;
+        self.quarantined.remove(&stripe);
+        Ok(())
+    }
+
+    /// Read a committed stripe's `k` data shards.
+    pub fn read_stripe(&self, stripe: usize) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut all = self.read_all_shards(stripe)?;
+        all.truncate(self.geo.k);
+        Ok(all)
+    }
+
+    /// Read all `k+m` shards of a committed stripe.
+    pub fn read_all_shards(&self, stripe: usize) -> Result<Vec<Vec<u8>>, StoreError> {
+        if stripe >= self.geo.stripes {
+            return Err(StoreError::NoSuchStripe {
+                stripe,
+                stripes: self.geo.stripes,
+            });
+        }
+        if self.quarantined.contains(&stripe) {
+            return Err(StoreError::Quarantined { stripe });
+        }
+        if self.committed[stripe] == 0 {
+            return Err(StoreError::Unallocated { stripe });
+        }
+        self.read_slot_shards(stripe, self.active[stripe])
+    }
+
+    fn read_slot_shards(&self, stripe: usize, slot: u8) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut out = Vec::with_capacity(self.geo.k + self.geo.m);
+        for shard in 0..self.geo.k + self.geo.m {
+            let mut buf = vec![0u8; self.geo.shard_len];
+            self.image
+                .read(self.geo.shard_off(stripe, slot, shard), &mut buf)?;
+            out.push(buf);
+        }
+        Ok(out)
+    }
+
+    /// The store's geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Committed sequence number of a stripe (0 = never committed).
+    pub fn committed_seq(&self, stripe: usize) -> u32 {
+        self.committed.get(stripe).copied().unwrap_or(0)
+    }
+
+    /// Stripes quarantined by the boot scrub.
+    pub fn quarantined(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// What the last `open` found and did (empty after `format`).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Borrow the backing image.
+    pub fn image(&self) -> &I {
+        &self.image
+    }
+
+    /// Mutably borrow the backing image (tests corrupt bytes here).
+    pub fn image_mut(&mut self) -> &mut I {
+        &mut self.image
+    }
+
+    /// Unwrap the backing image.
+    pub fn into_image(self) -> I {
+        self.image
+    }
+}

@@ -346,6 +346,69 @@ pub fn bench_json(
     )
 }
 
+/// One crash-recovery sweep row: a single geometry driven through many
+/// seeded crash points, each followed by a timed `StripeStore::open`
+/// (recovery + boot scrub). Emitted under `"bench": "recovery"`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryRow {
+    /// Data shards per stripe.
+    pub k: usize,
+    /// Parity shards per stripe.
+    pub m: usize,
+    /// Stripes in the store image.
+    pub stripes: usize,
+    /// Shard payload length, bytes.
+    pub shard_len: usize,
+    /// Crash points injected (one recovery per crash).
+    pub crashes: u64,
+    /// Persist boundaries in one full write cycle (the crash-point space).
+    pub boundaries: u64,
+    /// Mean `recovery_ns` across all recoveries of this row.
+    pub recovery_ns_mean: f64,
+    /// Worst `recovery_ns` across all recoveries of this row.
+    pub recovery_ns_max: u64,
+    /// Stripes rolled back (torn shadow slot discarded) across the sweep.
+    pub stripes_rolled_back: u64,
+    /// Stripes rolled forward (intact slot re-committed) across the sweep.
+    pub stripes_rolled_forward: u64,
+    /// Shards re-derived by the boot scrub across the sweep.
+    pub shards_repaired: u64,
+    /// Recovered images that were neither the old nor the new stripe —
+    /// must be zero; non-zero means the commit protocol tore.
+    pub torn_hybrid: u64,
+}
+
+impl RecoveryRow {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"k\": {}, \"m\": {}, \"stripes\": {}, \"shard_len\": {}, \"crashes\": {}, \"boundaries\": {}, \"recovery_ns_mean\": {:.1}, \"recovery_ns_max\": {}, \"stripes_rolled_back\": {}, \"stripes_rolled_forward\": {}, \"shards_repaired\": {}, \"torn_hybrid\": {}}}",
+            self.k,
+            self.m,
+            self.stripes,
+            self.shard_len,
+            self.crashes,
+            self.boundaries,
+            self.recovery_ns_mean,
+            self.recovery_ns_max,
+            self.stripes_rolled_back,
+            self.stripes_rolled_forward,
+            self.shards_repaired,
+            self.torn_hybrid
+        )
+    }
+}
+
+/// Assemble a `"bench": "recovery"` artifact (`BENCH_PR10.json`).
+pub fn recovery_json(pr: u32, smoke: bool, rows: &[RecoveryRow]) -> String {
+    let body: Vec<String> = rows.iter().map(RecoveryRow::to_json).collect();
+    format!(
+        "{{\n  \"bench\": \"recovery\",\n  \"pr\": {},\n  \"smoke\": {},\n  \"unit\": \"ns, crash counts\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        pr,
+        smoke,
+        body.join(",\n")
+    )
+}
+
 fn want_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
     obj.get(key)
         .and_then(Json::as_f64)
@@ -587,6 +650,64 @@ pub fn validate_artifact(doc: &Json) -> Result<TrajectoryRow, String> {
                 tail: format!("{improved}/{} families strictly improved", results.len()),
             })
         }
+        "recovery" => {
+            let results = want_arr(doc, "results", "root")?;
+            if results.is_empty() {
+                return Err("recovery: empty `results`".to_string());
+            }
+            let mut crashes = 0u64;
+            let mut rolled_back = 0u64;
+            let mut rolled_forward = 0u64;
+            let mut repaired = 0u64;
+            let mut worst_ns = 0.0f64;
+            for row in results {
+                let k = want_num(row, "k", "recovery result")?;
+                let m = want_num(row, "m", "recovery result")?;
+                let ctx = format!("recovery ({k},{m})");
+                want_num(row, "stripes", &ctx)?;
+                want_num(row, "shard_len", &ctx)?;
+                let row_crashes = want_num(row, "crashes", &ctx)?;
+                want_num(row, "boundaries", &ctx)?;
+                let mean = want_num(row, "recovery_ns_mean", &ctx)?;
+                let max = want_num(row, "recovery_ns_max", &ctx)?;
+                rolled_back += want_num(row, "stripes_rolled_back", &ctx)? as u64;
+                rolled_forward += want_num(row, "stripes_rolled_forward", &ctx)? as u64;
+                repaired += want_num(row, "shards_repaired", &ctx)? as u64;
+                let torn = want_num(row, "torn_hybrid", &ctx)?;
+                // Correctness gates, not schema: any hybrid image means the
+                // commit-record protocol failed, and a row with no crashes
+                // measured nothing.
+                if torn != 0.0 {
+                    return Err(format!("{ctx}: {torn} torn-hybrid recoveries (must be 0)"));
+                }
+                if row_crashes <= 0.0 {
+                    return Err(format!("{ctx}: zero crashes injected"));
+                }
+                if mean > max {
+                    return Err(format!(
+                        "{ctx}: recovery_ns_mean {mean} exceeds recovery_ns_max {max}"
+                    ));
+                }
+                crashes += row_crashes as u64;
+                worst_ns = worst_ns.max(max);
+            }
+            // A sweep where recovery never rolled a stripe either way never
+            // actually exercised the protocol.
+            if rolled_back + rolled_forward == 0 {
+                return Err("recovery: no stripe ever rolled back or forward".to_string());
+            }
+            Ok(TrajectoryRow {
+                kind,
+                headline: format!(
+                    "{crashes} crashes over {} geometries, 0 hybrid images",
+                    results.len()
+                ),
+                tail: format!(
+                    "rolled back {rolled_back} / forward {rolled_forward}, {repaired} shards re-derived, worst recovery {:.0} us",
+                    worst_ns / 1_000.0
+                ),
+            })
+        }
         other => Err(format!("unknown bench kind `{other}`")),
     }
 }
@@ -720,6 +841,69 @@ mod tests {
 
         // Missing per-family field is schema drift.
         let drift = good.replace("\"naive_gibs\"", "\"naive_gibz\"");
+        assert!(validate_artifact(&parse(&drift).expect("doc")).is_err());
+    }
+
+    #[test]
+    fn recovery_artifact_validates_and_gates() {
+        let rows = vec![
+            RecoveryRow {
+                k: 4,
+                m: 2,
+                stripes: 8,
+                shard_len: 256,
+                crashes: 64,
+                boundaries: 4,
+                recovery_ns_mean: 41_000.0,
+                recovery_ns_max: 90_000,
+                stripes_rolled_back: 11,
+                stripes_rolled_forward: 20,
+                shards_repaired: 0,
+                torn_hybrid: 0,
+            },
+            RecoveryRow {
+                k: 10,
+                m: 4,
+                stripes: 4,
+                shard_len: 512,
+                crashes: 32,
+                boundaries: 4,
+                recovery_ns_mean: 120_000.0,
+                recovery_ns_max: 300_000,
+                stripes_rolled_back: 5,
+                stripes_rolled_forward: 9,
+                shards_repaired: 6,
+                torn_hybrid: 0,
+            },
+        ];
+        let good = recovery_json(10, false, &rows);
+        let row = validate_artifact(&parse(&good).expect("doc")).expect("recovery row");
+        assert_eq!(row.kind, "recovery");
+        assert!(row.headline.contains("96 crashes"), "{}", row.headline);
+        assert!(row.tail.contains("6 shards"), "{}", row.tail);
+
+        // A hybrid image is a protocol failure, not data: hard error.
+        let hybrid = good.replace("\"torn_hybrid\": 0}", "\"torn_hybrid\": 1}");
+        assert!(validate_artifact(&parse(&hybrid).expect("doc")).is_err());
+
+        // A sweep that never rolled a stripe exercised nothing.
+        let inert = good
+            .replace("\"stripes_rolled_back\": 11", "\"stripes_rolled_back\": 0")
+            .replace(
+                "\"stripes_rolled_forward\": 20",
+                "\"stripes_rolled_forward\": 0",
+            )
+            .replace("\"stripes_rolled_back\": 5", "\"stripes_rolled_back\": 0")
+            .replace(
+                "\"stripes_rolled_forward\": 9",
+                "\"stripes_rolled_forward\": 0",
+            );
+        assert!(validate_artifact(&parse(&inert).expect("doc")).is_err());
+
+        // Zero crashes and missing fields are both drift.
+        let idle = good.replace("\"crashes\": 64", "\"crashes\": 0");
+        assert!(validate_artifact(&parse(&idle).expect("doc")).is_err());
+        let drift = good.replace("\"recovery_ns_mean\"", "\"recovery_ms_mean\"");
         assert!(validate_artifact(&parse(&drift).expect("doc")).is_err());
     }
 

@@ -25,6 +25,12 @@ race:
 chaos:
     cargo test -q --test chaos --test integrity
 
+# Crash-point recovery sweep: exhaustive persist-boundary enumeration on
+# (4,2) plus seeded random crash sweeps on (6,3)/(10,4). Deterministic;
+# CRASH_SEEDS widens the random sweeps.
+crash:
+    CRASH_SEEDS=16 cargo test -q --test crash
+
 # Figure tables (see crates/bench/src/bin)
 figures:
     cargo run --release -p dialga-bench --bin all_figures
@@ -64,6 +70,13 @@ workload-bench:
 # committed as BENCH_PR9.json
 xor-bench:
     cargo run --release -p dialga-bench --bin xor_opt -- --json BENCH_PR9.json
+
+# Seeded power-fail sweeps over the journaled stripe store: timed
+# recovery (commit-table walk + boot scrub) per crash, roll tallies,
+# committed as BENCH_PR10.json (self-validated before the write; the
+# gate hard-fails any torn-hybrid recovery)
+recovery-bench:
+    cargo run --release -p dialga-bench --bin recovery_bench -- --json BENCH_PR10.json
 
 # Cross-PR latency/throughput trajectory over every committed
 # BENCH_PRn.json; exits non-zero on any schema drift

@@ -29,6 +29,14 @@ cargo run -q -p dialga-bench --bin xor_opt -- --smoke
 echo "== chaos smoke (fixed-seed fault plans + stripe integrity) =="
 cargo test -q --test chaos --test integrity
 
+echo "== crash smoke (every (4,2) persist boundary, sampled wide-code sweeps) =="
+# Exhaustive enumeration for the smallest code; CRASH_SEEDS stays at its
+# small default here. `just crash` runs the widened sweep.
+cargo test -q --test crash
+
+echo "== recovery smoke (seeded power-fail + timed reopen, torn-hybrid gate) =="
+cargo run -q -p dialga-bench --bin recovery_bench -- --smoke
+
 echo "== workload smoke (trace replay over all profiles, artifact self-check) =="
 cargo run -q --release -p dialga-bench --features fault-injection \
     --bin workload_bench -- --smoke --json target/BENCH_SMOKE.json

@@ -165,8 +165,30 @@ fn manifest_for(input: &Path, k: usize, m: usize, file_len: u64, shard_len: u64)
     }
 }
 
-/// Write the manifest plus all data and parity shard files; returns the
+/// Write `bytes` to `path` atomically: write a sibling `.tmp` file, then
+/// `rename` over the target (atomic on POSIX). A failure at any point
+/// removes the temp, so a crashed or failed write never leaves a
+/// partially-written file under the real name.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Write all data and parity shard files, then the manifest; returns the
 /// manifest path.
+///
+/// Commit ordering mirrors the stripe store: every shard lands (each one
+/// atomically, temp + rename) *before* the manifest appears, and the
+/// manifest itself is the atomic commit record — a reader either sees a
+/// complete archive or no archive. Any failure rolls the already-written
+/// shards back, so a failed encode leaves the output directory as it
+/// found it instead of a truncated archive a later read would trust.
 fn write_archive(
     out_dir: &Path,
     manifest: &Manifest,
@@ -179,12 +201,32 @@ fn write_archive(
         .and_then(|s| s.to_str())
         .unwrap_or("archive");
     let manifest_path = out_dir.join(format!("{stem}.dialga"));
-    fs::write(&manifest_path, manifest.to_text())?;
-    for (i, shard) in data.iter().enumerate() {
-        fs::write(manifest.shard_path(&manifest_path, i), shard)?;
+    let shard_files: Vec<(PathBuf, &[u8])> = data
+        .iter()
+        .copied()
+        .chain(parity.iter().map(|p| p.as_slice()))
+        .enumerate()
+        .map(|(i, bytes)| (manifest.shard_path(&manifest_path, i), bytes))
+        .collect();
+    let mut written: Vec<&Path> = Vec::with_capacity(shard_files.len());
+    let mut failure: Option<io::Error> = None;
+    for (path, bytes) in &shard_files {
+        match write_file_atomic(path, bytes) {
+            Ok(()) => written.push(path),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
     }
-    for (i, shard) in parity.iter().enumerate() {
-        fs::write(manifest.shard_path(&manifest_path, manifest.k + i), shard)?;
+    if failure.is_none() {
+        failure = write_file_atomic(&manifest_path, manifest.to_text().as_bytes()).err();
+    }
+    if let Some(e) = failure {
+        for path in written {
+            let _ = fs::remove_file(path);
+        }
+        return Err(e.into());
     }
     Ok(manifest_path)
 }
@@ -448,6 +490,8 @@ pub fn repair(manifest_path: &Path) -> Result<usize, ArchiveError> {
 }
 
 /// Write the named rebuilt shards of a verified trial stripe to disk.
+/// Each shard lands atomically (temp + rename), so an interrupted repair
+/// can corrupt no shard it did not fully rebuild.
 fn persist(
     manifest: &Manifest,
     manifest_path: &Path,
@@ -455,8 +499,8 @@ fn persist(
     rebuilt: &[usize],
 ) -> Result<usize, ArchiveError> {
     for &i in rebuilt {
-        fs::write(
-            manifest.shard_path(manifest_path, i),
+        write_file_atomic(
+            &manifest.shard_path(manifest_path, i),
             trial[i].as_ref().unwrap(),
         )?;
     }
@@ -644,6 +688,37 @@ mod tests {
         assert!(!manifest.shard_path(&manifest_path, 0).exists());
         // restore flows through repair, so it refuses too.
         assert!(restore(&manifest_path, Some(&dir.join("r.bin"))).is_err());
+    }
+
+    /// Regression for the partial-output hazard: a mid-write failure used
+    /// to leave a manifest pointing at missing/truncated shards, which a
+    /// later `verify`/`restore` treated as a real (degraded) archive. Now
+    /// the manifest is written last and every file goes temp-then-rename,
+    /// so a failed encode leaves no visible archive at all.
+    #[test]
+    fn failed_encode_leaves_no_visible_archive() {
+        let dir = tmpdir("atomic");
+        let input = sample_file(&dir, 10_000);
+        // Occupy a shard target with a directory: the rename onto it
+        // must fail partway through the shard sequence.
+        fs::create_dir_all(dir.join("sample.s002")).unwrap();
+        assert!(encode_file(&input, &dir, 4, 2, 1).is_err());
+        assert!(
+            !dir.join("sample.dialga").exists(),
+            "failed encode must not publish a manifest"
+        );
+        // No half-written shards or stray temp files either.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(
+                name == "sample.bin" || name == "sample.s002",
+                "leftover file after failed encode: {name}"
+            );
+        }
+        // With the obstruction gone the same encode succeeds cleanly.
+        fs::remove_dir_all(dir.join("sample.s002")).unwrap();
+        let manifest = encode_file(&input, &dir, 4, 2, 1).unwrap();
+        assert!(verify(&manifest).unwrap().healthy());
     }
 
     #[test]

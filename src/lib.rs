@@ -16,6 +16,8 @@
 //!   (coordinator, lightweight operator, buffer-friendly prefetch).
 //! * [`service`] — the sharded stripe-service front end (bounded
 //!   admission, tenant-fair scheduling, fused batch dispatch).
+//! * [`store`] — the journaled stripe store (shadow-write + atomic
+//!   commit record, crash recovery, boot scrub).
 
 pub mod archive;
 
@@ -25,3 +27,4 @@ pub use dialga_gf as gf;
 pub use dialga_memsim as memsim;
 pub use dialga_pipeline as pipeline;
 pub use dialga_service as service;
+pub use dialga_store as store;

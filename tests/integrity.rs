@@ -1,11 +1,14 @@
 //! End-to-end stripe integrity: `Dialga::verify` / `Dialga::scrub`
-//! localization sweeps and the pool's verified decode/repair paths
-//! (acceptance criteria of the robustness PR).
+//! localization sweeps, the pool's verified decode/repair paths
+//! (acceptance criteria of the robustness PR), and the stripe store's
+//! boot scrub — every torn-shard pattern must be repaired in place or
+//! reported as `Corrupt` with its evidence; silent misses are zero.
 
 use dialga_faultkit::{flip_byte, truncate_shard};
 use dialga_repro::ec::EcError;
 use dialga_repro::scheduler::encoder::Dialga;
 use dialga_repro::scheduler::EncodePool;
+use dialga_repro::store::{Geometry, MemImage, StoreError, StripeStore};
 use dialga_testkit::run_cases;
 
 fn stripe(coder: &Dialga, len: usize, seed: usize) -> Vec<Vec<u8>> {
@@ -156,4 +159,151 @@ fn pool_verify_matches_serial_and_handles_truncation() {
         pool.verify(&coder, &refs[..6], &refs[6..]),
         Err(EcError::BlockLength { .. })
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Boot-scrub integrity (PR 10): corruption planted in a committed store
+// image must be repaired bit-exactly (with the exact shard set named) or
+// quarantined with `Corrupt` evidence — never served silently.
+// ---------------------------------------------------------------------------
+
+const STORE_SHARD: usize = 512;
+const GEOMETRIES: [(usize, usize); 3] = [(4, 2), (6, 3), (10, 4)];
+
+/// Format a two-stripe store and commit deterministic data to both.
+/// Returns the raw image bytes plus the committed data shards.
+fn committed_image(k: usize, m: usize) -> (Geometry, Vec<u8>, Vec<Vec<Vec<u8>>>) {
+    let geo = Geometry::new(k, m, STORE_SHARD, 2).unwrap();
+    let mut store = StripeStore::format(MemImage::new(geo.image_len()), geo).unwrap();
+    let data: Vec<Vec<Vec<u8>>> = (0..2)
+        .map(|stripe| {
+            (0..k)
+                .map(|i| {
+                    (0..STORE_SHARD)
+                        .map(|j| ((stripe * 251 + i * 89 + j * 7 + 13) % 256) as u8)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    for (stripe, shards) in data.iter().enumerate() {
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        store.write_stripe(stripe, &refs).unwrap();
+    }
+    (geo, store.into_image().into_bytes(), data)
+}
+
+/// Tear `victims` of stripe 0's committed slot (first writes land in
+/// slot 0): one cacheline of each victim shard is overwritten with a
+/// distinct stale-looking pattern, the way a lost flush leaves bytes
+/// from an older epoch.
+fn tear_shards(image: &mut [u8], geo: &Geometry, victims: &[usize]) {
+    for (n, &victim) in victims.iter().enumerate() {
+        let off = geo.shard_off(0, 0, victim) as usize + (victim * 64) % (STORE_SHARD - 64);
+        for (i, b) in image[off..off + 64].iter_mut().enumerate() {
+            *b = ((n * 151 + i * 3 + 0xA5) % 256) as u8;
+        }
+    }
+}
+
+/// Every single-shard tear, on every geometry and every shard position,
+/// is repaired in place with the exact victim named — and the repaired
+/// stripe reads back bit-identical. `missed` counts corrupted reopens
+/// that reported nothing; it must end at zero.
+#[test]
+fn boot_scrub_repairs_every_single_shard_tear() {
+    let mut missed = 0u32;
+    for (k, m) in GEOMETRIES {
+        let (geo, image, data) = committed_image(k, m);
+        for victim in 0..k + m {
+            let mut torn = image.clone();
+            tear_shards(&mut torn, &geo, &[victim]);
+            let store = StripeStore::open(MemImage::from_bytes(torn)).unwrap();
+            let report = store.recovery_report();
+            if report.repaired.is_empty() && report.corrupt.is_empty() {
+                missed += 1;
+                continue;
+            }
+            assert_eq!(
+                report.repaired,
+                vec![(0, vec![victim])],
+                "k={k} m={m} victim={victim}: wrong repair set"
+            );
+            assert!(report.corrupt.is_empty(), "k={k} m={m} victim={victim}");
+            assert_eq!(report.shards_repaired, 1);
+            assert_eq!(
+                store.read_stripe(0).unwrap(),
+                data[0],
+                "repair not bit-exact"
+            );
+            assert_eq!(store.read_stripe(1).unwrap(), data[1], "bystander changed");
+            // The repair persisted: a second reopen is clean.
+            let again =
+                StripeStore::open(MemImage::from_bytes(store.into_image().into_bytes())).unwrap();
+            assert!(again.recovery_report().repaired.is_empty());
+            assert!(again.recovery_report().corrupt.is_empty());
+        }
+    }
+    assert_eq!(missed, 0, "corrupted stores reopened without a report");
+}
+
+/// Multi-shard tears within the scrub's localization budget (at most
+/// m - 1 shards) are repaired with the exact shard set.
+#[test]
+fn boot_scrub_repairs_localizable_multi_shard_tears() {
+    for (k, m) in GEOMETRIES {
+        if m < 3 {
+            continue; // m - 1 < 2: pairs are beyond this code's budget
+        }
+        let (geo, image, data) = committed_image(k, m);
+        let pairs = [(0usize, 1usize), (1, k), (k, k + m - 1), (2, k - 1)];
+        for (a, b) in pairs {
+            let mut torn = image.clone();
+            tear_shards(&mut torn, &geo, &[a, b]);
+            let store = StripeStore::open(MemImage::from_bytes(torn)).unwrap();
+            let report = store.recovery_report();
+            let mut want = vec![a, b];
+            want.sort_unstable();
+            assert_eq!(
+                report.repaired,
+                vec![(0, want)],
+                "k={k} m={m} pair ({a},{b}): wrong repair set"
+            );
+            assert_eq!(
+                store.read_stripe(0).unwrap(),
+                data[0],
+                "repair not bit-exact"
+            );
+        }
+    }
+}
+
+/// Tears beyond localization (m shards at once) must be quarantined
+/// with `Corrupt` evidence — reads refuse rather than serve garbage,
+/// and the undamaged stripe keeps serving.
+#[test]
+fn boot_scrub_quarantines_unlocalizable_tears() {
+    for (k, m) in GEOMETRIES {
+        let (geo, image, data) = committed_image(k, m);
+        let victims: Vec<usize> = (0..m).collect();
+        let mut torn = image.clone();
+        tear_shards(&mut torn, &geo, &victims);
+        let store = StripeStore::open(MemImage::from_bytes(torn)).unwrap();
+        let report = store.recovery_report();
+        assert!(
+            !report.corrupt.is_empty(),
+            "k={k} m={m}: {m}-shard tear was not reported"
+        );
+        assert_eq!(report.corrupt[0].0, 0, "wrong stripe blamed");
+        assert!(!report.corrupt[0].1.is_empty(), "empty corruption evidence");
+        assert!(
+            matches!(
+                store.read_stripe(0),
+                Err(StoreError::Quarantined { stripe: 0 })
+            ),
+            "k={k} m={m}: quarantined stripe served a read"
+        );
+        assert_eq!(store.read_stripe(1).unwrap(), data[1], "bystander affected");
+        assert_eq!(store.quarantined().count(), 1);
+    }
 }
